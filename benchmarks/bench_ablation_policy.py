@@ -1,0 +1,54 @@
+"""Ablation: the pseudo-random policy's design constants.
+
+DESIGN.md calls out two choices to ablate: the >= 90 deg floor on the
+random turn (without it the drone often re-faces the obstacle it just
+avoided) and the 1 m ToF obstacle threshold (too short risks collisions,
+too long wastes the room's free space).
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.mission.explorer import ExplorationMission
+from repro.policies import PolicyConfig, PseudoRandomPolicy
+from repro.world import paper_room
+
+
+def _mean_coverage(policy_factory, n_runs, flight_time_s):
+    room = paper_room()
+    scores = []
+    for run_idx in range(n_runs):
+        mission = ExplorationMission(
+            room, policy_factory(), flight_time_s=flight_time_s
+        )
+        scores.append(mission.run(seed=300 + run_idx).coverage)
+    return float(np.mean(scores))
+
+
+def _sweep(scale):
+    config = PolicyConfig(cruise_speed=0.5)
+    rows = {}
+    for min_turn in (10.0, 45.0, 90.0, 135.0):
+        rows[f"min_turn={min_turn:g}deg"] = _mean_coverage(
+            lambda: PseudoRandomPolicy(config, min_turn_deg=min_turn),
+            scale.n_runs,
+            scale.flight_time_s,
+        )
+    for threshold in (0.5, 1.0, 2.0):
+        cfg = PolicyConfig(cruise_speed=0.5, obstacle_threshold=threshold)
+        rows[f"threshold={threshold:g}m"] = _mean_coverage(
+            lambda: PseudoRandomPolicy(cfg), scale.n_runs, scale.flight_time_s
+        )
+    return rows
+
+
+def test_ablation_pseudo_random(benchmark, scale):
+    rows = run_once(benchmark, _sweep, scale)
+    print()
+    print("pseudo-random ablation (mean coverage):")
+    for name, coverage in rows.items():
+        print(f"  {name:20s} {coverage:.0%}")
+    # The paper's 90 deg floor should not lose to near-zero floors, and a
+    # 2 m threshold (reacting far too early) wastes free space.
+    assert rows["min_turn=90deg"] >= rows["min_turn=10deg"] - 0.10
+    assert rows["threshold=2m"] <= rows["threshold=1m"] + 0.05

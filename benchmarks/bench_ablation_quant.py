@@ -1,0 +1,70 @@
+"""Ablation: QAT fine-tuning vs plain post-training quantization.
+
+The paper adds a QAT fine-tuning step "to minimize the mAP loss due to
+the 8-bit conversion". This ablation trains one model, quantizes it once
+with and once without QAT fine-tuning, and compares the int8 mAP.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.datasets import make_himax_like, make_openimages_like
+from repro.evaluation import evaluate_map
+from repro.quantization import QATWeightQuantizer, quantize_detector
+from repro.vision import SSDDetector, tiny_spec
+from repro.vision.training import (
+    Trainer,
+    paper_finetune_config,
+    paper_pretrain_config,
+)
+
+
+def _evaluate(model, dataset):
+    preds = []
+    for start in range(0, len(dataset), 16):
+        images = np.stack(
+            [dataset[i].image for i in range(start, min(start + 16, len(dataset)))]
+        )
+        preds.extend(model.predict(images, score_threshold=0.3))
+    return evaluate_map(
+        preds, [d.boxes for d in dataset], [d.labels for d in dataset]
+    ).map_score
+
+
+def _run(train_scale):
+    web_train = make_openimages_like(train_scale.train_images, seed=0)
+    himax_train = make_himax_like(train_scale.finetune_images, seed=1)
+    himax_test = make_himax_like(train_scale.test_images, seed=2)
+    calib = np.stack([himax_train[i].image for i in range(16)])
+
+    base = SSDDetector(tiny_spec(1.0), rng=np.random.default_rng(0))
+    Trainer(base, paper_pretrain_config(train_scale.pretrain_epochs)).fit(web_train)
+
+    import copy
+
+    ptq_model = copy.deepcopy(base)
+    Trainer(ptq_model, paper_finetune_config(train_scale.finetune_epochs)).fit(himax_train)
+    qat_model = copy.deepcopy(base)
+    Trainer(
+        qat_model,
+        paper_finetune_config(train_scale.finetune_epochs),
+        qat=QATWeightQuantizer(),
+    ).fit(himax_train)
+
+    return {
+        "float32 (PTQ branch)": _evaluate(ptq_model, himax_test),
+        "int8 PTQ": _evaluate(quantize_detector(ptq_model, calib), himax_test),
+        "float32 (QAT branch)": _evaluate(qat_model, himax_test),
+        "int8 QAT": _evaluate(quantize_detector(qat_model, calib), himax_test),
+    }
+
+
+def test_ablation_quantization(benchmark, train_scale):
+    rows = run_once(benchmark, _run, train_scale)
+    print()
+    print("quantization ablation (onboard-domain mAP):")
+    for name, score in rows.items():
+        print(f"  {name:22s} {score:.1%}")
+    # int8 must stay within a few points of its float parent either way.
+    assert rows["int8 QAT"] >= rows["float32 (QAT branch)"] - 0.15
+    assert rows["int8 PTQ"] >= rows["float32 (PTQ branch)"] - 0.20

@@ -1,0 +1,19 @@
+"""Regenerates Fig. 3: occupancy heatmaps of the four policies."""
+
+from conftest import run_once
+
+from repro.experiments import fig3
+
+
+def test_fig3_heatmaps(benchmark, scale):
+    result = run_once(benchmark, fig3.run, scale)
+    print()
+    print(fig3.format_maps(result))
+    # Wall-following never explores the inner part of the room (paper).
+    grid = result.grids["wall-following"]
+    mask = grid.visited_mask
+    inner = mask[3:-3, 3:-3]
+    assert inner.mean() < 0.35
+    # The spiral and pseudo-random policies beat it on overall coverage.
+    assert result.coverage["spiral"] > result.coverage["wall-following"]
+    assert result.coverage["pseudo-random"] > result.coverage["rotate-and-measure"]

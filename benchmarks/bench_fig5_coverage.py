@@ -1,0 +1,22 @@
+"""Regenerates Fig. 5: mean coverage per policy and flight speed."""
+
+from conftest import run_once
+
+from repro.experiments import fig5
+
+
+def test_fig5_coverage(benchmark, scale):
+    result = run_once(benchmark, fig5.run, scale)
+    print()
+    print(fig5.format_table(result))
+    cov = result.coverage
+    # Paper shape: pseudo-random and spiral benefit strongly from speed.
+    assert cov[("pseudo-random", 0.5)] > cov[("pseudo-random", 0.1)] + 0.15
+    assert cov[("spiral", 0.5)] > cov[("spiral", 0.1)] + 0.15
+    # The best configurations reach high coverage (paper: 83% at 1 m/s).
+    best_policy, best_speed = result.best_configuration()
+    assert cov[(best_policy, best_speed)] >= 0.6
+    assert best_policy in ("pseudo-random", "spiral")
+    # Wall-following and rotate-and-measure stay well below the leaders.
+    assert cov[("wall-following", 1.0)] < cov[("spiral", 1.0)]
+    assert cov[("rotate-and-measure", 0.5)] < cov[("pseudo-random", 0.5)]

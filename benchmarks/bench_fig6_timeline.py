@@ -1,0 +1,16 @@
+"""Regenerates Fig. 6: coverage band + detection timeline, best config."""
+
+from conftest import run_once
+
+from repro.experiments import fig6
+
+
+def test_fig6_timeline(benchmark, scale):
+    result = run_once(benchmark, fig6.run, scale)
+    print()
+    print(fig6.format_figure(result))
+    # Coverage grows monotonically and ends well above the start.
+    assert (result.mean_coverage[1:] >= result.mean_coverage[:-1] - 1e-9).all()
+    assert result.mean_coverage[-1] > 0.4
+    # The best run detects most of the six objects.
+    assert result.best_run.detection_rate >= 0.5

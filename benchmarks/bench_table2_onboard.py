@@ -1,0 +1,20 @@
+"""Regenerates Table II: params / MMAC / efficiency / FPS on GAP8."""
+
+from conftest import run_once
+
+from repro.experiments import table2
+
+
+def test_table2_onboard(benchmark, scale):
+    result = run_once(benchmark, table2.run, scale)
+    print()
+    print(table2.format_table(result))
+    rows = {r.width: r for r in result.rows}
+    # Paper shape: monotone params/MACs in alpha; throughput inverse.
+    assert rows[1.0].params > rows[0.75].params > rows[0.5].params
+    assert rows[1.0].macs > rows[0.75].macs > rows[0.5].macs
+    assert rows[0.5].fps > rows[0.75].fps > rows[1.0].fps
+    # Magnitudes within the paper's band.
+    assert 1.0 <= rows[1.0].fps <= 2.5
+    assert 3.0 <= rows[0.5].fps <= 6.0
+    assert 4.5 <= rows[1.0].efficiency <= 6.5

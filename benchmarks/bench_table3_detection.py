@@ -1,0 +1,22 @@
+"""Regenerates Table III: closed-loop detection rate per SSD/policy/speed."""
+
+from conftest import run_once
+
+from repro.experiments import table3
+
+
+def test_table3_detection(benchmark, scale):
+    result = run_once(benchmark, table3.run, scale)
+    print()
+    print(table3.format_table(result))
+    r = result.rates
+    # 0.1 m/s cripples the pseudo-random policy (paper: 27%).
+    assert r[("1.0", "pseudo-random", 0.1)] < r[("1.0", "pseudo-random", 0.5)]
+    # The winning configuration involves pseudo-random or spiral at >= 0.5 m/s.
+    width, policy, speed = result.best_configuration()
+    assert policy in ("pseudo-random", "spiral")
+    assert speed >= 0.5
+    # The big SSD wins (or ties) the best-policy comparison at 0.5 m/s.
+    assert (
+        r[("1.0", "pseudo-random", 0.5)] >= r[("0.75", "pseudo-random", 0.5)] - 0.15
+    )

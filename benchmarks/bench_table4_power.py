@@ -1,0 +1,16 @@
+"""Regenerates Table IV: power breakdown of the robotic platform."""
+
+from conftest import run_once
+
+from repro.experiments import table4
+
+
+def test_table4_power(benchmark, scale):
+    result = run_once(benchmark, table4.run, scale)
+    print()
+    print(table4.format_table(result))
+    pct = result.breakdown.percentages()
+    # Paper: motors dominate at ~91%, AI-deck is ~1.7%, total ~8 W.
+    assert 85.0 <= pct["Motors"] <= 95.0
+    assert pct["AI-deck"] <= 3.0
+    assert 7.0 <= result.breakdown.total_w <= 9.0

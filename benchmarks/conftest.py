@@ -1,0 +1,41 @@
+"""Shared benchmark fixtures and scale selection.
+
+Every benchmark regenerates one of the paper's tables/figures. By default
+a reduced "bench" scale keeps the whole suite in the minutes range; set
+``REPRO_FULL=1`` for paper-scale runs (5 runs x 180 s flights, larger
+training sets).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.config import FULL_SCALE, SMOKE_SCALE, quick
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """Experiment scale shared by all benchmarks."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return FULL_SCALE
+    return SMOKE_SCALE
+
+
+@pytest.fixture(scope="session")
+def train_scale():
+    """Smaller scale for the training-heavy Table I benchmark."""
+    if os.environ.get("REPRO_FULL") == "1":
+        return FULL_SCALE
+    return quick(
+        SMOKE_SCALE,
+        train_images=90,
+        finetune_images=40,
+        test_images=40,
+        pretrain_epochs=4,
+        finetune_epochs=2,
+    )
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run a heavy experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

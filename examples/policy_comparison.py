@@ -1,0 +1,45 @@
+"""Compare the four bio-inspired exploration policies (Fig. 3 + Fig. 5).
+
+Flies every policy at the three paper speeds (0.1 / 0.5 / 1.0 m/s),
+prints the Fig. 5 coverage table and one Fig. 3 heatmap per policy, and
+reports the STM32 host-MCU load of each policy for context.
+
+Usage:
+    python examples/policy_comparison.py [--runs N] [--flight-time S]
+"""
+
+import argparse
+
+from repro.experiments import SMOKE_SCALE
+from repro.experiments.config import quick
+from repro.experiments import fig3, fig5
+from repro.hw import STM32LoadModel
+from repro.policies import POLICY_NAMES
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=2, help="flights per configuration")
+    parser.add_argument("--flight-time", type=float, default=180.0, help="seconds per flight")
+    args = parser.parse_args()
+
+    scale = quick(SMOKE_SCALE, n_runs=args.runs, flight_time_s=args.flight_time)
+
+    print(fig5.format_table(fig5.run(scale)))
+    print()
+    best_policy, best_speed = fig5.run(scale).best_configuration()
+    print(f"best configuration: {best_policy} at {best_speed:g} m/s")
+    print()
+    print(fig3.format_maps(fig3.run(scale)))
+    print()
+    load = STM32LoadModel()
+    print("STM32 host load (policy + flight stack):")
+    for name in POLICY_NAMES:
+        print(
+            f"  {name:20s} {load.total_load(name):6.2%} "
+            f"(headroom {load.headroom(name):.0%})"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Quickstart: fly one exploration mission and print the occupancy map.
+
+Runs the paper's winning policy (pseudo-random) in the 6.5 m x 5.5 m
+testing room for one 3-minute flight at 0.5 m/s and prints the coverage
+statistics and the Fig. 3-style ASCII heatmap.
+
+It also writes ``quickstart_heatmap.pgm`` and ``quickstart_path.svg``
+next to the script -- openable with any image viewer / browser.
+
+Usage:
+    python examples/quickstart.py
+"""
+
+from pathlib import Path
+
+from repro.mission.explorer import ExplorationMission
+from repro.policies import PolicyConfig, PseudoRandomPolicy
+from repro.viz import heatmap_to_pgm, trajectory_to_svg, write_pgm
+from repro.world import paper_room
+
+
+def main() -> None:
+    room = paper_room()
+    policy = PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5))
+    mission = ExplorationMission(room, policy, flight_time_s=180.0)
+    result = mission.run(seed=42)
+
+    print(f"policy:          {policy.name}")
+    print(f"flight time:     {result.flight_time_s:.0f} s")
+    print(f"distance flown:  {result.distance_flown_m:.1f} m")
+    print(f"coverage:        {result.coverage:.0%} of {result.grid.n_cells} cells")
+    print(f"collisions:      {result.collisions}")
+    print()
+    print("occupancy heatmap (18 s cap, '.' = never visited):")
+    print(result.grid.render_ascii(cap_seconds=18.0))
+
+    here = Path(__file__).resolve().parent
+    write_pgm(heatmap_to_pgm(result.grid), here / "quickstart_heatmap.pgm")
+    svg = trajectory_to_svg(
+        room,
+        result.samples,
+        title=f"{policy.name} @ 0.5 m/s, coverage {result.coverage:.0%}",
+    )
+    (here / "quickstart_path.svg").write_text(svg)
+    print()
+    print(f"wrote {here / 'quickstart_heatmap.pgm'}")
+    print(f"wrote {here / 'quickstart_path.svg'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+"""Reproduction of the DATE 2023 nano-drone exploration + detection system.
+
+The library is organised as one subpackage per subsystem of the paper:
+
+- :mod:`repro.geometry` -- 2-D geometry and ray casting.
+- :mod:`repro.world` -- rooms, obstacles and scene objects.
+- :mod:`repro.sensors` -- ToF ranging, odometry and camera models.
+- :mod:`repro.drone` -- the simulated Crazyflie platform.
+- :mod:`repro.policies` -- the four bio-inspired exploration policies.
+- :mod:`repro.mapping` -- occupancy grids and coverage metrics.
+- :mod:`repro.nn` -- a from-scratch numpy neural-network stack.
+- :mod:`repro.vision` -- SSD-MobileNetV2 object detection.
+- :mod:`repro.quantization` -- symmetric int8 quantization and QAT.
+- :mod:`repro.datasets` -- synthetic bottle/tin-can datasets.
+- :mod:`repro.evaluation` -- COCO-style mAP and detection-rate metrics.
+- :mod:`repro.hw` -- GAP8/STM32 cost, memory and power models.
+- :mod:`repro.mission` -- exploration and closed-loop search missions.
+- :mod:`repro.experiments` -- regenerators for every table and figure.
+"""
+
+from repro.version import __version__
+
+__all__ = ["__version__"]

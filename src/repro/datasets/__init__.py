@@ -1,0 +1,28 @@
+"""Synthetic bottle / tin-can detection datasets.
+
+Substitute for the paper's OpenImages subset and in-field Himax dataset:
+a parametric renderer draws bottles and tin cans into cluttered scenes;
+the *web* domain (:mod:`repro.datasets.openimages_like`) produces clean,
+colorful images while the *onboard* domain
+(:mod:`repro.datasets.himax_like`) applies the grayscale / blur / noise /
+vignette degradation of the nano-drone camera, reproducing the domain
+shift that drives Table I.
+"""
+
+from repro.datasets.base import DetectionDataset, LabeledImage
+from repro.datasets.shapes import draw_bottle, draw_can
+from repro.datasets.openimages_like import make_openimages_like
+from repro.datasets.himax_like import himax_degrade, make_himax_like
+from repro.datasets.augment import photometric_augment, rebalance_with_translation
+
+__all__ = [
+    "DetectionDataset",
+    "LabeledImage",
+    "draw_bottle",
+    "draw_can",
+    "make_openimages_like",
+    "make_himax_like",
+    "himax_degrade",
+    "photometric_augment",
+    "rebalance_with_translation",
+]

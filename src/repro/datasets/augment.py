@@ -1,0 +1,154 @@
+"""Training-time augmentations (paper Sec. IV-A).
+
+"During training, the images are extended with photometric
+augmentations, such as flipping, brightness adjustment, random cropping,
+and grayscale conversion, individually applied with a probability of
+0.5." The class rebalancing by horizontal translation (Sec. III-D) is
+also implemented here.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import DetectionDataset, LabeledImage
+
+
+def flip_horizontal(image: np.ndarray, boxes: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Mirror the image and its boxes left-right."""
+    flipped = image[:, :, ::-1].copy()
+    new_boxes = boxes.copy()
+    if boxes.size:
+        new_boxes[:, 0] = 1.0 - boxes[:, 2]
+        new_boxes[:, 2] = 1.0 - boxes[:, 0]
+    return flipped, new_boxes
+
+
+def adjust_brightness(image: np.ndarray, factor: float) -> np.ndarray:
+    """Scale brightness, clipping to [0, 1]."""
+    return np.clip(image * factor, 0.0, 1.0)
+
+
+def to_grayscale(image: np.ndarray) -> np.ndarray:
+    """Luma conversion replicated onto all three channels."""
+    gray = 0.299 * image[0] + 0.587 * image[1] + 0.114 * image[2]
+    return np.repeat(gray[None], 3, axis=0)
+
+
+def random_crop(
+    image: np.ndarray,
+    boxes: np.ndarray,
+    labels: np.ndarray,
+    rng: np.random.Generator,
+    min_keep: float = 0.75,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Crop a random window keeping >= ``min_keep`` of each side.
+
+    The crop is resized back to the original resolution by nearest
+    neighbour; boxes are re-normalized and objects whose centre leaves the
+    window are dropped.
+    """
+    _, h, w = image.shape
+    keep_h = rng.uniform(min_keep, 1.0)
+    keep_w = rng.uniform(min_keep, 1.0)
+    ch, cw = max(2, int(h * keep_h)), max(2, int(w * keep_w))
+    y0 = int(rng.uniform(0, h - ch)) if h > ch else 0
+    x0 = int(rng.uniform(0, w - cw)) if w > cw else 0
+    window = image[:, y0 : y0 + ch, x0 : x0 + cw]
+    # Nearest-neighbour resize back to (h, w).
+    yi = np.clip((np.arange(h) * ch / h).astype(int), 0, ch - 1)
+    xi = np.clip((np.arange(w) * cw / w).astype(int), 0, cw - 1)
+    resized = window[:, yi][:, :, xi]
+    new_boxes: List[List[float]] = []
+    new_labels: List[int] = []
+    for box, label in zip(boxes, labels):
+        cx = (box[0] + box[2]) / 2.0 * w
+        cy = (box[1] + box[3]) / 2.0 * h
+        if not (x0 <= cx <= x0 + cw and y0 <= cy <= y0 + ch):
+            continue
+        xmin = (np.clip(box[0] * w, x0, x0 + cw) - x0) / cw
+        xmax = (np.clip(box[2] * w, x0, x0 + cw) - x0) / cw
+        ymin = (np.clip(box[1] * h, y0, y0 + ch) - y0) / ch
+        ymax = (np.clip(box[3] * h, y0, y0 + ch) - y0) / ch
+        if xmax - xmin > 1e-3 and ymax - ymin > 1e-3:
+            new_boxes.append([xmin, ymin, xmax, ymax])
+            new_labels.append(int(label))
+    return (
+        resized,
+        np.array(new_boxes, dtype=np.float64).reshape(-1, 4),
+        np.array(new_labels, dtype=int),
+    )
+
+
+def photometric_augment(
+    item: LabeledImage, rng: np.random.Generator, p: float = 0.5
+) -> LabeledImage:
+    """Apply each of the paper's four augmentations with probability ``p``."""
+    image, boxes, labels = item.image, item.boxes, item.labels
+    if rng.uniform() < p:
+        image, boxes = flip_horizontal(image, boxes)
+    if rng.uniform() < p:
+        image = adjust_brightness(image, rng.uniform(0.6, 1.4))
+    if rng.uniform() < p:
+        image, boxes, labels = random_crop(image, boxes, labels, rng)
+    if rng.uniform() < p:
+        image = to_grayscale(image)
+    return LabeledImage(image=image, boxes=boxes, labels=labels)
+
+
+def translate_horizontal(
+    item: LabeledImage, rng: np.random.Generator, max_fraction: float = 0.10
+) -> LabeledImage:
+    """Shift the image horizontally by up to ``max_fraction`` of its width.
+
+    This is the paper's rebalancing transform for the tin-can class
+    ("horizontal translation up to 10% of the image's width"). The
+    vacated strip is edge-padded; boxes are shifted and clipped.
+    """
+    _, h, w = item.image.shape
+    shift = int(round(rng.uniform(-max_fraction, max_fraction) * w))
+    image = np.roll(item.image, shift, axis=2)
+    if shift > 0:
+        image[:, :, :shift] = image[:, :, shift : shift + 1]
+    elif shift < 0:
+        image[:, :, shift:] = image[:, :, shift - 1 : shift]
+    boxes = item.boxes.copy()
+    if boxes.size:
+        boxes[:, [0, 2]] = np.clip(boxes[:, [0, 2]] + shift / w, 0.0, 1.0)
+    keep = (boxes[:, 2] - boxes[:, 0]) > 1e-3 if boxes.size else np.array([], dtype=bool)
+    return LabeledImage(
+        image=image,
+        boxes=boxes[keep] if boxes.size else boxes,
+        labels=item.labels[keep] if boxes.size else item.labels,
+    )
+
+
+def rebalance_with_translation(
+    dataset: DetectionDataset,
+    minority_class: int = 1,
+    seed: Optional[int] = None,
+    num_classes: int = 2,
+) -> DetectionDataset:
+    """Balance class instance counts by duplicating minority-class images.
+
+    Mirrors Sec. III-D: additional tin-can images are generated through
+    horizontal translation until the instance counts are roughly equal.
+    """
+    rng = np.random.default_rng(seed)
+    counts = dataset.class_counts(num_classes)
+    majority = max(counts)
+    minority_items = [
+        item for item in dataset if minority_class in set(item.labels.tolist())
+    ]
+    items = list(dataset)
+    if not minority_items:
+        return DetectionDataset(items)
+    while counts[minority_class] < majority * 0.9:
+        source = minority_items[int(rng.integers(len(minority_items)))]
+        new_item = translate_horizontal(source, rng)
+        items.append(new_item)
+        for label in new_item.labels:
+            counts[int(label)] += 1
+    return DetectionDataset(items)

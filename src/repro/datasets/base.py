@@ -1,0 +1,104 @@
+"""Dataset containers shared by both synthetic domains."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclass
+class LabeledImage:
+    """One image with its ground truth.
+
+    Attributes:
+        image: ``(3, H, W)`` float array in ``[0, 1]``.
+        boxes: ``(G, 4)`` normalized corner boxes.
+        labels: ``(G,)`` zero-based class ids (0 = bottle, 1 = tin can).
+    """
+
+    image: np.ndarray
+    boxes: np.ndarray
+    labels: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.image.ndim != 3 or self.image.shape[0] != 3:
+            raise ShapeError(f"image must be (3, H, W), got {self.image.shape}")
+        self.boxes = np.asarray(self.boxes, dtype=np.float64).reshape(-1, 4)
+        self.labels = np.asarray(self.labels, dtype=int).reshape(-1)
+        if self.boxes.shape[0] != self.labels.shape[0]:
+            raise ShapeError("boxes and labels disagree")
+
+
+class DetectionDataset:
+    """An in-memory list of labeled images with batching helpers."""
+
+    def __init__(self, items: Sequence[LabeledImage]):
+        self._items: List[LabeledImage] = list(items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, index: int) -> LabeledImage:
+        return self._items[index]
+
+    def __iter__(self) -> Iterator[LabeledImage]:
+        return iter(self._items)
+
+    def subset(self, indices: Sequence[int]) -> "DetectionDataset":
+        """New dataset holding the selected items."""
+        return DetectionDataset([self._items[i] for i in indices])
+
+    def split(
+        self, fractions: Sequence[float], seed: Optional[int] = None
+    ) -> List["DetectionDataset"]:
+        """Random partition into ``len(fractions)`` datasets.
+
+        Args:
+            fractions: positive weights summing to 1 (within tolerance).
+            seed: shuffling seed.
+        """
+        if abs(sum(fractions) - 1.0) > 1e-6:
+            raise ValueError("fractions must sum to 1")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self._items))
+        splits = []
+        start = 0
+        for i, frac in enumerate(fractions):
+            if i == len(fractions) - 1:
+                count = len(self._items) - start
+            else:
+                count = int(round(frac * len(self._items)))
+            splits.append(self.subset(order[start : start + count].tolist()))
+            start += count
+        return splits
+
+    def class_counts(self, num_classes: int = 2) -> List[int]:
+        """Ground-truth instance count per class."""
+        counts = [0] * num_classes
+        for item in self._items:
+            for label in item.labels:
+                counts[int(label)] += 1
+        return counts
+
+    def batches(
+        self, batch_size: int, rng: Optional[np.random.Generator] = None
+    ) -> Iterator[Tuple[np.ndarray, List[np.ndarray], List[np.ndarray]]]:
+        """Yield ``(images, boxes_list, labels_list)`` minibatches.
+
+        Shuffles when ``rng`` is given; the final partial batch is kept.
+        """
+        order = np.arange(len(self._items))
+        if rng is not None:
+            rng.shuffle(order)
+        for start in range(0, len(order), batch_size):
+            chunk = [self._items[i] for i in order[start : start + batch_size]]
+            images = np.stack([c.image for c in chunk])
+            yield images, [c.boxes for c in chunk], [c.labels for c in chunk]
+
+    def extend(self, items: Sequence[LabeledImage]) -> None:
+        """Append more items in place."""
+        self._items.extend(items)

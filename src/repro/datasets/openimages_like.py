@@ -1,0 +1,90 @@
+"""The synthetic *web* domain standing in for the OpenImages subset.
+
+Clean, colorful, sharp images. The class imbalance of the paper's subset
+(11306 bottle vs 1306 tin-can images, i.e. roughly 9:1) is reproduced via
+``bottle_fraction`` so the rebalancing-by-translation step of the paper
+has the same job to do here.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.datasets.base import DetectionDataset, LabeledImage
+from repro.datasets.shapes import draw_background, draw_bottle, draw_can
+
+#: Bottle/(bottle+can) image fraction in the paper's raw training subset.
+PAPER_BOTTLE_FRACTION = 11306 / (11306 + 1306)
+
+
+def render_scene(
+    hw: Tuple[int, int],
+    rng: np.random.Generator,
+    bottle_fraction: float = PAPER_BOTTLE_FRACTION,
+    max_objects: int = 3,
+) -> LabeledImage:
+    """Render one clean scene with 1..max_objects objects.
+
+    Args:
+        hw: image ``(height, width)``.
+        rng: scene randomness.
+        bottle_fraction: probability that each object is a bottle.
+        max_objects: upper bound on objects per image.
+    """
+    h, w = hw
+    img = np.zeros((h, w, 3), dtype=np.float64)
+    draw_background(img, rng)
+    n_objects = int(rng.integers(1, max_objects + 1))
+    boxes, labels = [], []
+    occupied_x: list = []
+    for _ in range(n_objects):
+        is_bottle = rng.uniform() < bottle_fraction
+        height = h * (rng.uniform(0.35, 0.8) if is_bottle else rng.uniform(0.2, 0.5))
+        for _attempt in range(8):
+            cx = rng.uniform(0.12 * w, 0.88 * w)
+            if all(abs(cx - ox) > 0.18 * w for ox in occupied_x):
+                break
+        base_y = rng.uniform(0.55 * h, 0.97 * h)
+        if is_bottle:
+            bbox = draw_bottle(img, cx, base_y, height, rng)
+            label = 0
+        else:
+            bbox = draw_can(img, cx, base_y, height, rng)
+            label = 1
+        if bbox is None:
+            continue
+        occupied_x.append(cx)
+        xmin, ymin, xmax, ymax = bbox
+        boxes.append([xmin / w, ymin / h, xmax / w, ymax / h])
+        labels.append(label)
+    if not boxes:
+        # Guarantee at least one object so every image is a training signal.
+        bbox = draw_bottle(img, w / 2, 0.9 * h, 0.6 * h, rng)
+        if bbox is not None:
+            xmin, ymin, xmax, ymax = bbox
+            boxes.append([xmin / w, ymin / h, xmax / w, ymax / h])
+            labels.append(0)
+    return LabeledImage(
+        image=np.ascontiguousarray(img.transpose(2, 0, 1)),
+        boxes=np.array(boxes, dtype=np.float64).reshape(-1, 4),
+        labels=np.array(labels, dtype=int),
+    )
+
+
+def make_openimages_like(
+    n_images: int,
+    hw: Tuple[int, int] = (48, 64),
+    seed: Optional[int] = None,
+    bottle_fraction: float = PAPER_BOTTLE_FRACTION,
+    max_objects: int = 3,
+) -> DetectionDataset:
+    """Build a web-domain dataset of ``n_images`` scenes."""
+    rng = np.random.default_rng(seed)
+    return DetectionDataset(
+        [
+            render_scene(hw, rng, bottle_fraction=bottle_fraction, max_objects=max_objects)
+            for _ in range(n_images)
+        ]
+    )

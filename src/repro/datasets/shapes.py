@@ -1,0 +1,198 @@
+"""Parametric renderer for bottles and tin cans.
+
+Images are ``(H, W, 3)`` float arrays in ``[0, 1]`` during drawing (the
+dataset builders transpose to CHW at the end). Objects are drawn with
+simple filled primitives but carry the class-discriminative cues a real
+detector keys on: bottles are tall and narrow with a neck; cans are short
+and wide with a bright metallic lid and a label band.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+BBox = Tuple[float, float, float, float]
+
+
+def _fill_rect(img: np.ndarray, x0: int, y0: int, x1: int, y1: int, color) -> None:
+    h, w, _ = img.shape
+    x0, x1 = max(0, x0), min(w, x1)
+    y0, y1 = max(0, y0), min(h, y1)
+    if x1 > x0 and y1 > y0:
+        img[y0:y1, x0:x1] = color
+
+
+def _fill_ellipse(img: np.ndarray, cx: float, cy: float, rx: float, ry: float, color) -> None:
+    h, w, _ = img.shape
+    y0, y1 = max(0, int(cy - ry)), min(h, int(cy + ry) + 1)
+    x0, x1 = max(0, int(cx - rx)), min(w, int(cx + rx) + 1)
+    if x1 <= x0 or y1 <= y0 or rx <= 0 or ry <= 0:
+        return
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    mask = ((xs - cx) / rx) ** 2 + ((ys - cy) / ry) ** 2 <= 1.0
+    img[y0:y1, x0:x1][mask] = color
+
+
+#: Bottle body colors (saturated glass/plastic tones).
+BOTTLE_COLORS = (
+    (0.10, 0.35, 0.12),
+    (0.30, 0.16, 0.08),
+    (0.08, 0.20, 0.40),
+    (0.25, 0.28, 0.10),
+)
+
+#: Can body colors (metallic grays and branded reds/blues).
+CAN_COLORS = (
+    (0.62, 0.62, 0.65),
+    (0.70, 0.15, 0.12),
+    (0.15, 0.25, 0.60),
+    (0.55, 0.55, 0.45),
+)
+
+
+def draw_bottle(
+    img: np.ndarray,
+    cx: float,
+    base_y: float,
+    height: float,
+    rng: np.random.Generator,
+) -> Optional[BBox]:
+    """Draw a bottle standing on ``base_y`` centred at ``cx``.
+
+    Args:
+        img: HWC canvas, modified in place.
+        cx: horizontal centre in pixels.
+        base_y: y pixel of the bottle base (bottom).
+        height: total bottle height in pixels.
+        rng: randomizes colour and proportions.
+
+    Returns:
+        The pixel bounding box ``(xmin, ymin, xmax, ymax)``, or ``None``
+        if the shape fell entirely outside the canvas.
+    """
+    h_img, w_img, _ = img.shape
+    body_w = height * rng.uniform(0.26, 0.34)
+    body_h = height * 0.62
+    neck_w = body_w * rng.uniform(0.32, 0.42)
+    neck_h = height * 0.30
+    cap_h = height - body_h - neck_h
+    color = np.array(BOTTLE_COLORS[rng.integers(len(BOTTLE_COLORS))])
+    color = np.clip(color + rng.normal(0.0, 0.03, 3), 0.0, 1.0)
+
+    body_top = base_y - body_h
+    _fill_rect(
+        img,
+        int(cx - body_w / 2),
+        int(body_top),
+        int(cx + body_w / 2),
+        int(base_y),
+        color,
+    )
+    # Rounded shoulders: an ellipse blending body into neck.
+    _fill_ellipse(img, cx, body_top, body_w / 2, height * 0.06, color)
+    neck_top = body_top - neck_h
+    _fill_rect(
+        img,
+        int(cx - neck_w / 2),
+        int(neck_top),
+        int(cx + neck_w / 2),
+        int(body_top),
+        color * 0.85,
+    )
+    cap_color = np.clip(color * 0.5 + 0.2, 0.0, 1.0)
+    _fill_rect(
+        img,
+        int(cx - neck_w / 2),
+        int(neck_top - cap_h),
+        int(cx + neck_w / 2),
+        int(neck_top),
+        cap_color,
+    )
+    # Specular highlight strip.
+    _fill_rect(
+        img,
+        int(cx - body_w * 0.30),
+        int(body_top + body_h * 0.1),
+        int(cx - body_w * 0.15),
+        int(base_y - body_h * 0.1),
+        np.clip(color + 0.25, 0.0, 1.0),
+    )
+    xmin = max(0.0, cx - body_w / 2)
+    xmax = min(float(w_img), cx + body_w / 2)
+    ymin = max(0.0, neck_top - cap_h)
+    ymax = min(float(h_img), base_y)
+    if xmax - xmin < 2.0 or ymax - ymin < 2.0:
+        return None
+    return (xmin, ymin, xmax, ymax)
+
+
+def draw_can(
+    img: np.ndarray,
+    cx: float,
+    base_y: float,
+    height: float,
+    rng: np.random.Generator,
+) -> Optional[BBox]:
+    """Draw a tin can standing on ``base_y`` centred at ``cx``.
+
+    Same contract as :func:`draw_bottle`.
+    """
+    h_img, w_img, _ = img.shape
+    width = height * rng.uniform(0.62, 0.75)
+    color = np.array(CAN_COLORS[rng.integers(len(CAN_COLORS))])
+    color = np.clip(color + rng.normal(0.0, 0.03, 3), 0.0, 1.0)
+    top_y = base_y - height
+    _fill_rect(
+        img,
+        int(cx - width / 2),
+        int(top_y),
+        int(cx + width / 2),
+        int(base_y),
+        color,
+    )
+    # Bright metallic lid.
+    lid = np.array((0.85, 0.85, 0.88))
+    _fill_ellipse(img, cx, top_y, width / 2, height * 0.10, lid)
+    # Label band around the middle.
+    band_color = np.clip(1.0 - color, 0.0, 1.0)
+    _fill_rect(
+        img,
+        int(cx - width / 2),
+        int(top_y + height * 0.38),
+        int(cx + width / 2),
+        int(top_y + height * 0.62),
+        band_color,
+    )
+    xmin = max(0.0, cx - width / 2)
+    xmax = min(float(w_img), cx + width / 2)
+    ymin = max(0.0, top_y - height * 0.10)
+    ymax = min(float(h_img), base_y)
+    if xmax - xmin < 2.0 or ymax - ymin < 2.0:
+        return None
+    return (xmin, ymin, xmax, ymax)
+
+
+def draw_background(img: np.ndarray, rng: np.random.Generator) -> None:
+    """Fill the canvas with a wall/floor scene plus low-contrast clutter."""
+    h, w, _ = img.shape
+    horizon = int(h * rng.uniform(0.55, 0.75))
+    wall = rng.uniform(0.45, 0.75)
+    floor = rng.uniform(0.25, 0.5)
+    tint = rng.normal(0.0, 0.02, 3)
+    img[:horizon] = np.clip(wall + tint, 0.0, 1.0)
+    img[horizon:] = np.clip(floor + tint * 0.5, 0.0, 1.0)
+    # Vertical shading gradient.
+    grad = np.linspace(-0.06, 0.06, h)[:, None, None]
+    np.clip(img + grad, 0.0, 1.0, out=img)
+    # Clutter: low-contrast rectangles (furniture, shadows, posters).
+    for _ in range(rng.integers(2, 6)):
+        cw = int(w * rng.uniform(0.05, 0.25))
+        ch = int(h * rng.uniform(0.05, 0.25))
+        x0 = int(rng.uniform(0, w - cw))
+        y0 = int(rng.uniform(0, h - ch))
+        shade = np.clip(
+            img[min(y0, h - 1), min(x0, w - 1)] + rng.normal(0.0, 0.10, 3), 0.0, 1.0
+        )
+        _fill_rect(img, x0, y0, x0 + cw, y0 + ch, shade)

@@ -1,0 +1,17 @@
+"""The simulated Crazyflie 2.1 nano-drone platform."""
+
+from repro.drone.dynamics import DroneDynamics, DroneState
+from repro.drone.controller import SetPoint, VelocityController
+from repro.drone.state_estimator import EstimatedState, StateEstimator
+from repro.drone.crazyflie import Crazyflie, CrazyflieConfig
+
+__all__ = [
+    "DroneDynamics",
+    "DroneState",
+    "SetPoint",
+    "VelocityController",
+    "EstimatedState",
+    "StateEstimator",
+    "Crazyflie",
+    "CrazyflieConfig",
+]

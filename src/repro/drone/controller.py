@@ -1,0 +1,59 @@
+"""Velocity set-point interface and the inner-loop controller model.
+
+The exploration policies command the drone exactly the way the paper's
+STM32 firmware does (Sec. III-B): a *set-point* of forward speed and yaw
+rate (plus an optional sideways speed used by the wall-following and
+spiral policies to regulate wall distance). The cascaded attitude/rate
+PIDs of the real Crazyflie are abstracted into a first-order velocity
+response implemented by :class:`VelocityController` +
+:class:`~repro.drone.dynamics.DroneDynamics`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SetPoint:
+    """A velocity set-point in the drone body frame.
+
+    Attributes:
+        forward: desired forward speed, m/s (+x body axis).
+        side: desired leftward speed, m/s (+y body axis).
+        yaw_rate: desired yaw rate, rad/s (counter-clockwise positive).
+    """
+
+    forward: float = 0.0
+    side: float = 0.0
+    yaw_rate: float = 0.0
+
+    @staticmethod
+    def hover() -> "SetPoint":
+        """The zero set-point."""
+        return SetPoint(0.0, 0.0, 0.0)
+
+
+@dataclass
+class VelocityController:
+    """Clamps set-points to the platform envelope before the dynamics.
+
+    Attributes:
+        max_speed: speed limit on each body axis, m/s.
+        max_yaw_rate: yaw-rate limit, rad/s.
+    """
+
+    max_speed: float = 1.5
+    max_yaw_rate: float = 3.5
+
+    def clamp(self, setpoint: SetPoint) -> SetPoint:
+        """Saturate a set-point to the platform limits."""
+
+        def _clip(v: float, limit: float) -> float:
+            return max(-limit, min(limit, v))
+
+        return SetPoint(
+            forward=_clip(setpoint.forward, self.max_speed),
+            side=_clip(setpoint.side, self.max_speed),
+            yaw_rate=_clip(setpoint.yaw_rate, self.max_yaw_rate),
+        )

@@ -1,0 +1,128 @@
+"""Planar kinematic model of the nano-drone with first-order velocity lag.
+
+The Crazyflie's inner control loops track velocity set-points with a
+settling time of a few hundred milliseconds; we model that closed-loop
+behaviour as a first-order response on each body axis and on the yaw
+rate. The drone cannot penetrate walls or obstacles: a blocked motion is
+resolved by axis decomposition (slide along the wall) and counted as a
+collision contact.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+
+from repro.errors import WorldError
+from repro.drone.controller import SetPoint
+from repro.geometry.vec import Vec2, normalize_angle
+from repro.world.room import Room
+
+#: Physical radius of the Crazyflie footprint including propellers, m.
+CRAZYFLIE_RADIUS_M = 0.07
+
+
+@dataclass(frozen=True)
+class DroneState:
+    """Ground-truth state of the drone."""
+
+    position: Vec2
+    heading: float
+    vx_body: float = 0.0  #: forward speed, m/s
+    vy_body: float = 0.0  #: leftward speed, m/s
+    yaw_rate: float = 0.0  #: rad/s
+    time: float = 0.0  #: simulation time, s
+
+    def velocity_world(self) -> Vec2:
+        """Body velocity rotated into the world frame."""
+        c, s = math.cos(self.heading), math.sin(self.heading)
+        return Vec2(
+            c * self.vx_body - s * self.vy_body,
+            s * self.vx_body + c * self.vy_body,
+        )
+
+    def speed(self) -> float:
+        """Magnitude of the planar velocity."""
+        return math.hypot(self.vx_body, self.vy_body)
+
+
+@dataclass
+class DroneDynamics:
+    """Integrates the drone state inside a room.
+
+    Attributes:
+        room: the world the drone flies in.
+        state: current ground-truth state.
+        velocity_tau: first-order time constant of the velocity response, s.
+        yaw_tau: time constant of the yaw-rate response, s.
+        radius: collision radius, m.
+        collision_count: number of control steps in which motion was
+            blocked by a wall or obstacle.
+    """
+
+    room: Room
+    state: DroneState
+    velocity_tau: float = 0.25
+    yaw_tau: float = 0.10
+    radius: float = CRAZYFLIE_RADIUS_M
+    collision_count: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        if not self.room.is_free(self.state.position, margin=self.radius):
+            raise WorldError(
+                f"initial position {self.state.position} is not free space"
+            )
+
+    def step(self, setpoint: SetPoint, dt: float) -> DroneState:
+        """Advance the simulation by ``dt`` seconds under a set-point.
+
+        Returns:
+            The new ground-truth state.
+        """
+        s = self.state
+        alpha_v = 1.0 - math.exp(-dt / self.velocity_tau)
+        alpha_w = 1.0 - math.exp(-dt / self.yaw_tau)
+        vx = s.vx_body + alpha_v * (setpoint.forward - s.vx_body)
+        vy = s.vy_body + alpha_v * (setpoint.side - s.vy_body)
+        wz = s.yaw_rate + alpha_w * (setpoint.yaw_rate - s.yaw_rate)
+
+        heading = normalize_angle(s.heading + wz * dt)
+        candidate = replace(
+            s, heading=heading, vx_body=vx, vy_body=vy, yaw_rate=wz
+        )
+        delta = candidate.velocity_world() * dt
+        new_pos, blocked = self._resolve_motion(s.position, delta)
+        if blocked:
+            self.collision_count += 1
+            # A blocked axis means the wall absorbed that velocity component.
+            vx, vy = self._body_velocity_after_contact(new_pos, s.position, heading, dt)
+        self.state = DroneState(
+            position=new_pos,
+            heading=heading,
+            vx_body=vx,
+            vy_body=vy,
+            yaw_rate=wz,
+            time=s.time + dt,
+        )
+        return self.state
+
+    def _resolve_motion(self, start: Vec2, delta: Vec2):
+        """Move by ``delta`` if free; otherwise slide along the free axis."""
+        target = start + delta
+        if self.room.is_free(target, margin=self.radius):
+            return target, False
+        x_only = Vec2(start.x + delta.x, start.y)
+        if self.room.is_free(x_only, margin=self.radius):
+            return x_only, True
+        y_only = Vec2(start.x, start.y + delta.y)
+        if self.room.is_free(y_only, margin=self.radius):
+            return y_only, True
+        return start, True
+
+    def _body_velocity_after_contact(
+        self, new_pos: Vec2, old_pos: Vec2, heading: float, dt: float
+    ):
+        """Effective body velocity given the position actually reached."""
+        actual = Vec2((new_pos.x - old_pos.x) / dt, (new_pos.y - old_pos.y) / dt)
+        c, s = math.cos(heading), math.sin(heading)
+        return c * actual.x + s * actual.y, -s * actual.x + c * actual.y

@@ -1,0 +1,66 @@
+"""Dead-reckoning state estimator fusing Flow-deck odometry and the gyro.
+
+Mirrors what the STM32 provides to the exploration policies: a heading
+estimate from gyro integration and a position estimate from integrating
+the body-frame flow velocities. Both drift; none of the paper's policies
+relies on globally consistent position, which is precisely why they work
+on this class of platform.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.geometry.vec import Vec2, normalize_angle
+from repro.sensors.flowdeck import OdometrySample
+
+
+@dataclass(frozen=True)
+class EstimatedState:
+    """The estimator's belief about the drone pose."""
+
+    position: Vec2
+    heading: float
+    vx_body: float
+    vy_body: float
+    yaw_rate: float
+    time: float
+
+
+class StateEstimator:
+    """Integrates odometry + gyro into a drifting pose estimate."""
+
+    def __init__(self, initial_position: Vec2 = Vec2(0.0, 0.0), initial_heading: float = 0.0):
+        self._position = initial_position
+        self._heading = initial_heading
+        self._vx = 0.0
+        self._vy = 0.0
+        self._yaw_rate = 0.0
+        self._time = 0.0
+
+    @property
+    def estimate(self) -> EstimatedState:
+        """Current belief."""
+        return EstimatedState(
+            position=self._position,
+            heading=self._heading,
+            vx_body=self._vx,
+            vy_body=self._vy,
+            yaw_rate=self._yaw_rate,
+            time=self._time,
+        )
+
+    def update(self, odometry: OdometrySample, gyro_yaw_rate: float, dt: float) -> EstimatedState:
+        """Fuse one odometry + gyro sample taken over the last ``dt`` s."""
+        self._heading = normalize_angle(self._heading + gyro_yaw_rate * dt)
+        self._yaw_rate = gyro_yaw_rate
+        self._vx = odometry.vx
+        self._vy = odometry.vy
+        c, s = math.cos(self._heading), math.sin(self._heading)
+        self._position = Vec2(
+            self._position.x + (c * odometry.vx - s * odometry.vy) * dt,
+            self._position.y + (s * odometry.vx + c * odometry.vy) * dt,
+        )
+        self._time += dt
+        return self.estimate

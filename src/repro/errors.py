@@ -1,0 +1,37 @@
+"""Exception hierarchy shared across the library."""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Raised for degenerate or inconsistent geometric inputs."""
+
+
+class WorldError(ReproError):
+    """Raised when a world/room description is invalid."""
+
+
+class SensorError(ReproError):
+    """Raised when a sensor is configured or sampled incorrectly."""
+
+
+class PolicyError(ReproError):
+    """Raised when an exploration policy is misused."""
+
+
+class ShapeError(ReproError):
+    """Raised on tensor shape mismatches in the numpy NN stack."""
+
+
+class QuantizationError(ReproError):
+    """Raised on invalid quantization parameters or un-calibrated models."""
+
+
+class DeploymentError(ReproError):
+    """Raised when a model violates the GAP8 deployment constraints."""
+
+
+class MissionError(ReproError):
+    """Raised when a mission configuration is inconsistent."""

@@ -1,0 +1,11 @@
+"""Evaluation metrics: COCO-style mAP and mission detection rate."""
+
+from repro.evaluation.map import MAPResult, average_precision, evaluate_map
+from repro.evaluation.detection_rate import aggregate_detection_rate
+
+__all__ = [
+    "MAPResult",
+    "average_precision",
+    "evaluate_map",
+    "aggregate_detection_rate",
+]

@@ -1,0 +1,134 @@
+"""COCO-style mean average precision.
+
+The paper reports mAP "as defined for the COCO dataset": AP averaged over
+IoU thresholds 0.50:0.05:0.95, averaged over classes. This module
+implements that metric with 101-point precision interpolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.vision.boxes import iou_matrix
+from repro.vision.ssd import Detection
+
+#: The COCO IoU threshold grid.
+COCO_IOU_THRESHOLDS = tuple(np.arange(0.50, 0.96, 0.05).round(2))
+
+
+@dataclass(frozen=True)
+class MAPResult:
+    """mAP evaluation output.
+
+    Attributes:
+        map_score: mAP@[.50:.95] averaged over classes.
+        map_50: mAP at IoU 0.50 only.
+        per_class: class id -> AP@[.50:.95].
+    """
+
+    map_score: float
+    map_50: float
+    per_class: Dict[int, float]
+
+
+def average_precision(recalls: np.ndarray, precisions: np.ndarray) -> float:
+    """COCO 101-point interpolated AP from a PR curve.
+
+    Args:
+        recalls: increasing recall values.
+        precisions: precision at each recall point.
+    """
+    if recalls.shape != precisions.shape:
+        raise ShapeError("recalls and precisions disagree")
+    if recalls.size == 0:
+        return 0.0
+    # Precision envelope (monotonically non-increasing from the right).
+    mprec = np.concatenate([[0.0], precisions, [0.0]])
+    mrec = np.concatenate([[0.0], recalls, [1.0]])
+    for i in range(mprec.size - 2, -1, -1):
+        mprec[i] = max(mprec[i], mprec[i + 1])
+    sample_points = np.linspace(0.0, 1.0, 101)
+    idx = np.searchsorted(mrec, sample_points, side="left")
+    idx = np.clip(idx, 0, mprec.size - 1)
+    return float(mprec[idx].mean())
+
+
+def _ap_single_class(
+    detections: List[Tuple[int, float, np.ndarray]],
+    gts: Dict[int, np.ndarray],
+    iou_threshold: float,
+) -> float:
+    """AP of one class at one IoU threshold.
+
+    Args:
+        detections: list of ``(image_id, score, box)`` sorted by -score.
+        gts: image id -> ``(G, 4)`` ground-truth corner boxes.
+        iou_threshold: match threshold.
+    """
+    n_gt = sum(boxes.shape[0] for boxes in gts.values())
+    if n_gt == 0:
+        return 0.0
+    matched = {img: np.zeros(boxes.shape[0], dtype=bool) for img, boxes in gts.items()}
+    tp = np.zeros(len(detections))
+    fp = np.zeros(len(detections))
+    for i, (img, _score, box) in enumerate(detections):
+        gt_boxes = gts.get(img)
+        if gt_boxes is None or gt_boxes.shape[0] == 0:
+            fp[i] = 1.0
+            continue
+        ious = iou_matrix(box[None, :], gt_boxes)[0]
+        best = int(np.argmax(ious))
+        if ious[best] >= iou_threshold and not matched[img][best]:
+            matched[img][best] = True
+            tp[i] = 1.0
+        else:
+            fp[i] = 1.0
+    cum_tp = np.cumsum(tp)
+    cum_fp = np.cumsum(fp)
+    recalls = cum_tp / n_gt
+    precisions = cum_tp / np.maximum(cum_tp + cum_fp, 1e-12)
+    return average_precision(recalls, precisions)
+
+
+def evaluate_map(
+    predictions: Sequence[Sequence[Detection]],
+    gt_boxes: Sequence[np.ndarray],
+    gt_labels: Sequence[np.ndarray],
+    num_classes: int = 2,
+    iou_thresholds: Sequence[float] = COCO_IOU_THRESHOLDS,
+) -> MAPResult:
+    """Evaluate detections against ground truth over a whole dataset.
+
+    Args:
+        predictions: per-image detection lists (one entry per image).
+        gt_boxes: per-image ``(G_i, 4)`` normalized corner boxes.
+        gt_labels: per-image ``(G_i,)`` zero-based class ids.
+        num_classes: number of foreground classes.
+        iou_thresholds: thresholds to average over.
+    """
+    if not len(predictions) == len(gt_boxes) == len(gt_labels):
+        raise ShapeError("predictions and ground truth counts disagree")
+    per_class: Dict[int, float] = {}
+    per_class_50: Dict[int, float] = {}
+    for cls in range(num_classes):
+        detections = []
+        for img_id, dets in enumerate(predictions):
+            for d in dets:
+                if d.label == cls:
+                    detections.append((img_id, d.score, np.asarray(d.box, dtype=np.float64)))
+        detections.sort(key=lambda t: -t[1])
+        gts = {}
+        for img_id, (boxes, labels) in enumerate(zip(gt_boxes, gt_labels)):
+            boxes = np.asarray(boxes, dtype=np.float64).reshape(-1, 4)
+            labels = np.asarray(labels, dtype=int).reshape(-1)
+            gts[img_id] = boxes[labels == cls]
+        aps = [_ap_single_class(detections, gts, thr) for thr in iou_thresholds]
+        per_class[cls] = float(np.mean(aps)) if aps else 0.0
+        per_class_50[cls] = _ap_single_class(detections, gts, 0.5)
+    map_score = float(np.mean(list(per_class.values()))) if per_class else 0.0
+    map_50 = float(np.mean(list(per_class_50.values()))) if per_class_50 else 0.0
+    return MAPResult(map_score=map_score, map_50=map_50, per_class=per_class)

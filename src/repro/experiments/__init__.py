@@ -1,0 +1,12 @@
+"""Regenerators for every table and figure of the paper's evaluation.
+
+Each module exposes ``run(scale)`` returning a structured result plus a
+``format_*`` helper printing the same rows/series the paper reports.
+``scale`` is a :class:`~repro.experiments.config.ExperimentScale`;
+:func:`~repro.experiments.config.default_scale` picks the fast smoke
+configuration unless ``REPRO_FULL=1`` is set.
+"""
+
+from repro.experiments.config import ExperimentScale, FULL_SCALE, SMOKE_SCALE, default_scale
+
+__all__ = ["ExperimentScale", "FULL_SCALE", "SMOKE_SCALE", "default_scale"]

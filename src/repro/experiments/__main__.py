@@ -1,0 +1,60 @@
+"""CLI entry: regenerate any of the paper's tables/figures.
+
+Usage:
+    python -m repro.experiments list
+    python -m repro.experiments table2 fig5
+    python -m repro.experiments all --full
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import FULL_SCALE, SMOKE_SCALE
+from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
+
+_EXPERIMENTS = {
+    "table1": lambda s: table1.format_table(table1.run(s)),
+    "table2": lambda s: table2.format_table(table2.run(s)),
+    "table3": lambda s: table3.format_table(table3.run(s)),
+    "table4": lambda s: table4.format_table(table4.run(s)),
+    "fig3": lambda s: fig3.format_maps(fig3.run(s)),
+    "fig5": lambda s: fig5.format_table(fig5.run(s)),
+    "fig6": lambda s: fig6.format_figure(fig6.run(s)),
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments", description=__doc__
+    )
+    parser.add_argument(
+        "names",
+        nargs="+",
+        help="experiment names (table1..table4, fig3, fig5, fig6), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--full", action="store_true", help="paper-scale runs (slow)"
+    )
+    args = parser.parse_args(argv)
+    if args.names == ["list"]:
+        for name in _EXPERIMENTS:
+            print(name)
+        return 0
+    names = list(_EXPERIMENTS) if args.names == ["all"] else args.names
+    unknown = [n for n in names if n not in _EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {', '.join(unknown)}")
+    scale = FULL_SCALE if args.full else SMOKE_SCALE
+    for name in names:
+        start = time.time()
+        output = _EXPERIMENTS[name](scale)
+        print(f"\n===== {name} ({time.time() - start:.0f}s) =====")
+        print(output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

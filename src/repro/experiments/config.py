@@ -1,0 +1,61 @@
+"""Scale configuration shared by every experiment regenerator."""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """Knobs trading fidelity for runtime.
+
+    Attributes:
+        n_runs: flights per configuration (paper: 5).
+        flight_time_s: flight duration (paper: 180 s).
+        train_images: web-domain training images.
+        finetune_images: onboard-domain fine-tuning images.
+        test_images: test images per domain.
+        pretrain_epochs: web training epochs.
+        finetune_epochs: onboard fine-tuning epochs.
+        batch_size: training batch size.
+        widths: SSD width multipliers to evaluate.
+        name: label recorded in EXPERIMENTS.md.
+    """
+
+    n_runs: int = 2
+    flight_time_s: float = 120.0
+    train_images: int = 120
+    finetune_images: int = 48
+    test_images: int = 48
+    pretrain_epochs: int = 5
+    finetune_epochs: int = 3
+    batch_size: int = 8
+    widths: tuple = (1.0, 0.75, 0.5)
+    name: str = "smoke"
+
+
+SMOKE_SCALE = ExperimentScale()
+
+FULL_SCALE = ExperimentScale(
+    n_runs=5,
+    flight_time_s=180.0,
+    train_images=360,
+    finetune_images=96,
+    test_images=96,
+    pretrain_epochs=12,
+    finetune_epochs=6,
+    batch_size=8,
+    widths=(1.0, 0.75, 0.5),
+    name="full",
+)
+
+
+def default_scale() -> ExperimentScale:
+    """SMOKE unless the environment asks for the paper-scale run."""
+    return FULL_SCALE if os.environ.get("REPRO_FULL") == "1" else SMOKE_SCALE
+
+
+def quick(scale: ExperimentScale, **overrides) -> ExperimentScale:
+    """Copy with overrides (keyword-only convenience)."""
+    return replace(scale, **overrides)

@@ -1,0 +1,53 @@
+"""Fig. 3: occupancy heatmaps of the four exploration policies.
+
+One 3-minute flight at 0.5 m/s per policy in the paper room; occupancy
+time per 0.5 m cell, rendered as ASCII (the paper caps the color scale at
+18 s).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.mapping.occupancy import OccupancyGrid
+from repro.mission.explorer import ExplorationMission
+from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
+from repro.world import paper_room
+
+
+@dataclass
+class Fig3Result:
+    grids: Dict[str, OccupancyGrid]
+    coverage: Dict[str, float]
+    scale_name: str
+
+
+def run(scale: ExperimentScale = None, speed: float = 0.5, seed: int = 7) -> Fig3Result:
+    """Fly each policy once and collect its occupancy grid."""
+    scale = scale or default_scale()
+    room = paper_room()
+    grids = {}
+    coverage = {}
+    for name in POLICY_NAMES:
+        policy = make_policy(name, PolicyConfig(cruise_speed=speed))
+        mission = ExplorationMission(room, policy, flight_time_s=scale.flight_time_s)
+        result = mission.run(seed=seed)
+        grids[name] = result.grid
+        coverage[name] = result.coverage
+    return Fig3Result(grids=grids, coverage=coverage, scale_name=scale.name)
+
+
+def format_maps(result: Fig3Result, cap_seconds: float = 18.0) -> str:
+    """ASCII heatmaps, one block per policy ('.' = never visited)."""
+    blocks = []
+    for name, grid in result.grids.items():
+        blocks.append(
+            f"[{name}] coverage {result.coverage[name]:.0%} "
+            f"(occupancy time capped at {cap_seconds:.0f}s)\n"
+            + grid.render_ascii(cap_seconds)
+        )
+    return "\n\n".join(blocks)

@@ -1,0 +1,81 @@
+"""Fig. 5: mean coverage area per policy and flight speed.
+
+12 configurations (4 policies x 3 speeds), ``n_runs`` flights of 3 min
+each, reporting the mean coverage percentage -- the paper's bar chart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import ascii_table
+from repro.mission.explorer import ExplorationMission
+from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
+from repro.world import paper_room
+
+#: The paper's three mean flight speeds, m/s.
+PAPER_SPEEDS = (0.1, 0.5, 1.0)
+
+
+@dataclass
+class Fig5Result:
+    coverage: Dict[Tuple[str, float], float]  #: (policy, speed) -> mean coverage
+    stddev: Dict[Tuple[str, float], float]
+    n_runs: int
+    scale_name: str
+
+    def best_configuration(self) -> Tuple[str, float]:
+        """(policy, speed) with the highest mean coverage."""
+        return max(self.coverage, key=self.coverage.get)
+
+
+def run(
+    scale: ExperimentScale = None,
+    speeds: Tuple[float, ...] = PAPER_SPEEDS,
+    seed: int = 100,
+) -> Fig5Result:
+    """Sweep every policy x speed configuration."""
+    scale = scale or default_scale()
+    room = paper_room()
+    coverage = {}
+    stddev = {}
+    for name in POLICY_NAMES:
+        for speed in speeds:
+            scores: List[float] = []
+            for run_idx in range(scale.n_runs):
+                policy = make_policy(name, PolicyConfig(cruise_speed=speed))
+                mission = ExplorationMission(
+                    room, policy, flight_time_s=scale.flight_time_s
+                )
+                scores.append(mission.run(seed=seed + run_idx).coverage)
+            coverage[(name, speed)] = float(np.mean(scores))
+            stddev[(name, speed)] = float(np.std(scores))
+    return Fig5Result(
+        coverage=coverage, stddev=stddev, n_runs=scale.n_runs, scale_name=scale.name
+    )
+
+
+def format_table(result: Fig5Result) -> str:
+    speeds = sorted({s for (_, s) in result.coverage})
+    headers = ["Policy"] + [f"{s:g} m/s" for s in speeds]
+    rows = []
+    for name in POLICY_NAMES:
+        rows.append(
+            [name]
+            + [
+                f"{result.coverage[(name, s)]:.0%} (±{result.stddev[(name, s)]:.0%})"
+                for s in speeds
+            ]
+        )
+    return ascii_table(
+        headers,
+        rows,
+        title=(
+            f"Fig. 5 (scale={result.scale_name}, {result.n_runs} runs): "
+            "mean coverage area"
+        ),
+    )

@@ -1,0 +1,41 @@
+"""ASCII table/series rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:
+    """Render a padded ASCII table."""
+    cols = len(headers)
+    for row in rows:
+        if len(row) != cols:
+            raise ValueError("row width disagrees with headers")
+    widths = [
+        max(len(str(headers[c])), max((len(str(r[c])) for r in rows), default=0))
+        for c in range(cols)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(str(v).ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_series(times: Sequence[float], values: Sequence[float], width: int = 60, label: str = "") -> str:
+    """Render a (time, value) series as a coarse ASCII sparkline block."""
+    if len(times) != len(values):
+        raise ValueError("times and values disagree")
+    if not times:
+        return label
+    ramp = " .:-=+*#%@"
+    n = min(width, len(values))
+    idx = [int(i * (len(values) - 1) / max(n - 1, 1)) for i in range(n)]
+    vmax = max(values) or 1.0
+    chars = [ramp[min(len(ramp) - 1, int(values[i] / vmax * (len(ramp) - 1)))] for i in idx]
+    header = f"{label} (0..{times[-1]:.0f}s, peak {vmax:.2f})" if label else ""
+    return (header + "\n" if header else "") + "".join(chars)

@@ -1,0 +1,143 @@
+"""Table I: mAP of the SSD CNNs across domains, fine-tuning and precision.
+
+Reproduces the four-row structure of the paper's Table I for each width
+multiplier:
+
+1. train on the web domain, test on the web domain (float32);
+2. same weights tested on the onboard (Himax) domain -- the domain gap;
+3. after fine-tuning (with QAT) on the onboard domain (float32);
+4. the int8 conversion of the fine-tuned model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.datasets import (
+    make_himax_like,
+    make_openimages_like,
+    rebalance_with_translation,
+)
+from repro.datasets.base import DetectionDataset
+from repro.evaluation import evaluate_map
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import ascii_table
+from repro.quantization import QATWeightQuantizer, quantize_detector
+from repro.vision import SSDDetector, tiny_spec
+from repro.vision.training import (
+    Trainer,
+    paper_finetune_config,
+    paper_pretrain_config,
+)
+
+
+@dataclass
+class Table1Row:
+    """One (testing dataset, fine-tuning, format) row for all widths."""
+
+    testing_dataset: str
+    finetuned: bool
+    format: str
+    map_by_width: Dict[float, float]
+
+
+@dataclass
+class Table1Result:
+    """All rows plus the trained models for reuse by other experiments."""
+
+    rows: List[Table1Row]
+    detectors: Dict[float, SSDDetector]
+    int8_detectors: Dict[float, SSDDetector]
+    scale_name: str
+
+    def map_int8_himax(self) -> Dict[float, float]:
+        """The int8 onboard-domain mAPs (feeds the Table III simulation)."""
+        for row in self.rows:
+            if row.format == "int8" and row.finetuned:
+                return dict(row.map_by_width)
+        return {}
+
+
+def _evaluate(model: SSDDetector, dataset: DetectionDataset, batch: int = 16) -> float:
+    preds = []
+    for start in range(0, len(dataset), batch):
+        images = np.stack(
+            [dataset[i].image for i in range(start, min(start + batch, len(dataset)))]
+        )
+        preds.extend(model.predict(images, score_threshold=0.3))
+    result = evaluate_map(
+        preds, [d.boxes for d in dataset], [d.labels for d in dataset]
+    )
+    return result.map_score
+
+
+def run(scale: ExperimentScale = None, seed: int = 0) -> Table1Result:
+    """Train, fine-tune, quantize and evaluate all width multipliers."""
+    scale = scale or default_scale()
+    hw = (48, 64)
+    web_train = rebalance_with_translation(
+        make_openimages_like(scale.train_images, hw=hw, seed=seed), seed=seed + 1
+    )
+    web_test = make_openimages_like(scale.test_images, hw=hw, seed=seed + 2)
+    himax_train = make_himax_like(scale.finetune_images, hw=hw, seed=seed + 3)
+    himax_test = make_himax_like(scale.test_images, hw=hw, seed=seed + 4)
+
+    maps: Dict[Tuple[str, bool, str], Dict[float, float]] = {
+        ("OpenImages", False, "float32"): {},
+        ("Himax", False, "float32"): {},
+        ("Himax", True, "float32"): {},
+        ("Himax", True, "int8"): {},
+    }
+    detectors: Dict[float, SSDDetector] = {}
+    int8_detectors: Dict[float, SSDDetector] = {}
+    for width in scale.widths:
+        det = SSDDetector(tiny_spec(width), rng=np.random.default_rng(seed + 10))
+        Trainer(
+            det,
+            paper_pretrain_config(scale.pretrain_epochs, scale.batch_size),
+        ).fit(web_train)
+        maps[("OpenImages", False, "float32")][width] = _evaluate(det, web_test)
+        maps[("Himax", False, "float32")][width] = _evaluate(det, himax_test)
+
+        Trainer(
+            det,
+            paper_finetune_config(scale.finetune_epochs, scale.batch_size),
+            qat=QATWeightQuantizer(bits=8),
+        ).fit(himax_train)
+        maps[("Himax", True, "float32")][width] = _evaluate(det, himax_test)
+
+        calib = np.stack([himax_train[i].image for i in range(min(16, len(himax_train)))])
+        qdet = quantize_detector(det, calib)
+        maps[("Himax", True, "int8")][width] = _evaluate(qdet, himax_test)
+        detectors[width] = det
+        int8_detectors[width] = qdet
+
+    rows = [
+        Table1Row(ds, ft, fmt, maps[(ds, ft, fmt)]) for (ds, ft, fmt) in maps
+    ]
+    return Table1Result(
+        rows=rows, detectors=detectors, int8_detectors=int8_detectors,
+        scale_name=scale.name,
+    )
+
+
+def format_table(result: Table1Result) -> str:
+    """Render the paper's Table I layout."""
+    widths = sorted(
+        {w for row in result.rows for w in row.map_by_width}, reverse=True
+    )
+    headers = ["Testing dataset", "Fine-tuning", "Format"] + [
+        f"SSD {w:g}x" for w in widths
+    ]
+    rows = []
+    for row in result.rows:
+        rows.append(
+            [row.testing_dataset, "yes" if row.finetuned else "no", row.format]
+            + [f"{row.map_by_width.get(w, float('nan')):.0%}" for w in widths]
+        )
+    return ascii_table(
+        headers, rows, title=f"Table I (scale={result.scale_name}): mAP of the SSD CNNs"
+    )

@@ -1,0 +1,112 @@
+"""Table III: closed-loop detection rate (6 objects, multiple runs).
+
+Every combination of the two best SSDs (1.0x, 0.75x), the four policies
+and the three flight speeds, each averaged over ``n_runs`` flights with
+the paper's object layout. Detection uses the calibrated per-frame model
+fed by the Table I/II characteristics (mAP, FPS) of each SSD.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.evaluation.detection_rate import aggregate_detection_rate
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.fig5 import PAPER_SPEEDS
+from repro.experiments.reporting import ascii_table
+from repro.mission.closed_loop import ClosedLoopMission
+from repro.mission.detector_model import (
+    CalibratedDetectorModel,
+    DetectorOperatingPoint,
+    paper_operating_points,
+)
+from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
+from repro.world import paper_object_layout, paper_room
+
+
+@dataclass
+class Table3Result:
+    #: (ssd_width_key, policy, speed) -> mean detection rate
+    rates: Dict[Tuple[str, str, float], float]
+    stddev: Dict[Tuple[str, str, float], float]
+    n_runs: int
+    scale_name: str
+
+    def best_configuration(self) -> Tuple[str, str, float]:
+        return max(self.rates, key=self.rates.get)
+
+
+def run(
+    scale: ExperimentScale = None,
+    operating_points: Optional[Dict[str, DetectorOperatingPoint]] = None,
+    widths: Tuple[str, ...] = ("1.0", "0.75"),
+    speeds: Tuple[float, ...] = PAPER_SPEEDS,
+    seed: int = 500,
+) -> Table3Result:
+    """Sweep SSD x policy x speed.
+
+    Args:
+        scale: experiment scale.
+        operating_points: SSD characteristics; defaults to the paper's
+            Table I/II values. Pass the measured Table 1 results to close
+            the loop end-to-end on this library's own numbers.
+        widths: which SSDs to fly (the paper flies the best two).
+        speeds: mean flight speeds.
+        seed: base RNG seed.
+    """
+    scale = scale or default_scale()
+    points = operating_points or paper_operating_points()
+    room = paper_room()
+    objects = paper_object_layout()
+    rates = {}
+    stddev = {}
+    for width in widths:
+        op = points[width]
+        channel = CalibratedDetectorModel(op)
+        for policy_name in POLICY_NAMES:
+            for speed in speeds:
+                results = []
+                for run_idx in range(scale.n_runs):
+                    policy = make_policy(policy_name, PolicyConfig(cruise_speed=speed))
+                    mission = ClosedLoopMission(
+                        room,
+                        objects,
+                        policy,
+                        channel,
+                        op,
+                        flight_time_s=scale.flight_time_s,
+                    )
+                    results.append(mission.run(seed=seed + run_idx))
+                mean, std = aggregate_detection_rate(results)
+                rates[(width, policy_name, speed)] = mean
+                stddev[(width, policy_name, speed)] = std
+    return Table3Result(
+        rates=rates, stddev=stddev, n_runs=scale.n_runs, scale_name=scale.name
+    )
+
+
+def format_table(result: Table3Result) -> str:
+    widths = sorted({w for (w, _, _) in result.rates}, key=float, reverse=True)
+    speeds = sorted({s for (_, _, s) in result.rates})
+    headers = ["SSD", "Speed [m/s]"] + list(POLICY_NAMES)
+    rows = []
+    for width in widths:
+        for speed in speeds:
+            rows.append(
+                [f"{width}x", f"{speed:g}"]
+                + [
+                    f"{result.rates[(width, p, speed)]:.0%}"
+                    for p in POLICY_NAMES
+                ]
+            )
+    return ascii_table(
+        headers,
+        rows,
+        title=(
+            f"Table III (scale={result.scale_name}, {result.n_runs} runs): "
+            "average detection rate, 6 objects"
+        ),
+    )

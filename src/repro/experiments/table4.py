@@ -1,0 +1,42 @@
+"""Table IV: power breakdown of the robotic platform."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.config import ExperimentScale, default_scale
+from repro.experiments.reporting import ascii_table
+from repro.hw import AIDeckPowerModel, GAPFlowDeployer
+from repro.hw.power import PlatformPowerBreakdown, platform_power_breakdown
+from repro.vision import SSDDetector, full_scale_spec
+
+
+@dataclass
+class Table4Result:
+    breakdown: PlatformPowerBreakdown
+    ai_deck_w: float
+    scale_name: str
+
+
+def run(scale: ExperimentScale = None, width: float = 1.0) -> Table4Result:
+    """Power breakdown with the given SSD running on the AI-deck."""
+    scale = scale or default_scale()
+    plan = GAPFlowDeployer().plan(SSDDetector(full_scale_spec(width)))
+    ai_deck_w = AIDeckPowerModel().power_w(plan.performance)
+    breakdown = platform_power_breakdown(ai_deck_w)
+    return Table4Result(breakdown=breakdown, ai_deck_w=ai_deck_w, scale_name=scale.name)
+
+
+def format_table(result: Table4Result) -> str:
+    names = list(result.breakdown.components_w)
+    pcts = result.breakdown.percentages()
+    headers = [""] + names + ["Total"]
+    power_row = ["Power [W]"] + [
+        f"{result.breakdown.components_w[n]:.3f}" for n in names
+    ] + [f"{result.breakdown.total_w:.2f}"]
+    pct_row = ["Percentage"] + [f"{pcts[n]:.2f}%" for n in names] + ["100%"]
+    return ascii_table(
+        headers,
+        [power_row, pct_row],
+        title="Table IV: power breakdown of the robotic platform",
+    )

@@ -1,0 +1,33 @@
+"""2-D geometry primitives and ray casting.
+
+Everything in the simulator that touches space goes through this package:
+the room walls and obstacles are :class:`~repro.geometry.segments.Segment`
+collections, the ToF sensors and the camera visibility checks are rays cast
+against them with :class:`~repro.geometry.raycast.RayCaster`.
+"""
+
+from repro.geometry.vec import (
+    Vec2,
+    angle_diff,
+    heading_to_unit,
+    normalize_angle,
+    rotate,
+    unit_to_heading,
+)
+from repro.geometry.segments import Segment, ray_segment_intersection
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.raycast import RayCaster
+
+__all__ = [
+    "Vec2",
+    "angle_diff",
+    "heading_to_unit",
+    "normalize_angle",
+    "rotate",
+    "unit_to_heading",
+    "Segment",
+    "ray_segment_intersection",
+    "AABB",
+    "Circle",
+    "RayCaster",
+]

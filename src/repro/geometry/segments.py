@@ -1,0 +1,78 @@
+"""Line segments and ray/segment intersection.
+
+Walls and obstacle boundaries are stored as segments; the single-beam ToF
+sensors are rays cast against them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import GeometryError
+from repro.geometry.vec import Vec2
+
+_EPS = 1e-12
+
+
+@dataclass(frozen=True)
+class Segment:
+    """Segment between two endpoints ``a`` and ``b``."""
+
+    a: Vec2
+    b: Vec2
+
+    def __post_init__(self) -> None:
+        if self.a.distance_to(self.b) < _EPS:
+            raise GeometryError(f"degenerate segment at {self.a}")
+
+    def length(self) -> float:
+        """Segment length."""
+        return self.a.distance_to(self.b)
+
+    def direction(self) -> Vec2:
+        """Unit vector from ``a`` to ``b``."""
+        return (self.b - self.a).normalized()
+
+    def midpoint(self) -> Vec2:
+        """Midpoint of the segment."""
+        return Vec2((self.a.x + self.b.x) / 2.0, (self.a.y + self.b.y) / 2.0)
+
+    def point_at(self, t: float) -> Vec2:
+        """Point ``a + t * (b - a)`` for ``t`` in ``[0, 1]``."""
+        return Vec2(
+            self.a.x + t * (self.b.x - self.a.x),
+            self.a.y + t * (self.b.y - self.a.y),
+        )
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Euclidean distance from ``p`` to the closest point on the segment."""
+        d = self.b - self.a
+        t = (p - self.a).dot(d) / d.norm_sq()
+        t = min(1.0, max(0.0, t))
+        return self.point_at(t).distance_to(p)
+
+
+def ray_segment_intersection(
+    origin: Vec2, heading: float, segment: Segment
+) -> Optional[float]:
+    """Distance from ``origin`` along ``heading`` to ``segment``.
+
+    Returns:
+        The non-negative distance at which the ray first meets the segment,
+        or ``None`` if the ray misses it.
+    """
+    dx, dy = math.cos(heading), math.sin(heading)
+    ex = segment.b.x - segment.a.x
+    ey = segment.b.y - segment.a.y
+    denom = dx * ey - dy * ex
+    if abs(denom) < _EPS:
+        return None  # ray parallel to the segment
+    ox = segment.a.x - origin.x
+    oy = segment.a.y - origin.y
+    t = (ox * ey - oy * ex) / denom  # distance along the ray
+    u = (ox * dy - oy * dx) / denom  # parameter along the segment
+    if t < 0.0 or u < -_EPS or u > 1.0 + _EPS:
+        return None
+    return t

@@ -1,0 +1,101 @@
+"""Axis-aligned boxes and circles used for obstacles and collision checks."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import GeometryError
+from repro.geometry.segments import Segment
+from repro.geometry.vec import Vec2
+
+
+@dataclass(frozen=True)
+class AABB:
+    """Axis-aligned bounding box ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmax <= self.xmin or self.ymax <= self.ymin:
+            raise GeometryError(
+                f"empty AABB ({self.xmin}, {self.ymin}, {self.xmax}, {self.ymax})"
+            )
+
+    @property
+    def width(self) -> float:
+        return self.xmax - self.xmin
+
+    @property
+    def height(self) -> float:
+        return self.ymax - self.ymin
+
+    @property
+    def center(self) -> Vec2:
+        return Vec2((self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0)
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    def contains(self, p: Vec2, margin: float = 0.0) -> bool:
+        """True if ``p`` lies inside the box shrunk by ``margin`` on each side."""
+        return (
+            self.xmin + margin <= p.x <= self.xmax - margin
+            and self.ymin + margin <= p.y <= self.ymax - margin
+        )
+
+    def boundary_segments(self) -> List[Segment]:
+        """The four edges as segments, counter-clockwise from the bottom."""
+        bl = Vec2(self.xmin, self.ymin)
+        br = Vec2(self.xmax, self.ymin)
+        tr = Vec2(self.xmax, self.ymax)
+        tl = Vec2(self.xmin, self.ymax)
+        return [Segment(bl, br), Segment(br, tr), Segment(tr, tl), Segment(tl, bl)]
+
+    def distance_to_point(self, p: Vec2) -> float:
+        """Distance from ``p`` to the box boundary (0 if on it, >0 outside/inside)."""
+        return min(s.distance_to_point(p) for s in self.boundary_segments())
+
+    def inflate(self, amount: float) -> "AABB":
+        """Grow (or shrink for negative ``amount``) the box on every side."""
+        return AABB(
+            self.xmin - amount,
+            self.ymin - amount,
+            self.xmax + amount,
+            self.ymax + amount,
+        )
+
+
+@dataclass(frozen=True)
+class Circle:
+    """Circle used for cylindrical obstacles and the drone's footprint."""
+
+    center: Vec2
+    radius: float
+
+    def __post_init__(self) -> None:
+        if self.radius <= 0.0:
+            raise GeometryError(f"non-positive circle radius {self.radius}")
+
+    def contains(self, p: Vec2) -> bool:
+        return self.center.distance_to(p) <= self.radius
+
+    def boundary_segments(self, sides: int = 16) -> List[Segment]:
+        """Polygonal approximation of the boundary with ``sides`` segments."""
+        if sides < 3:
+            raise GeometryError("a circle approximation needs >= 3 sides")
+        points = []
+        for i in range(sides):
+            theta = 2.0 * math.pi * i / sides
+            points.append(
+                Vec2(
+                    self.center.x + self.radius * math.cos(theta),
+                    self.center.y + self.radius * math.sin(theta),
+                )
+            )
+        return [Segment(points[i], points[(i + 1) % sides]) for i in range(sides)]

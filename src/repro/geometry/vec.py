@@ -1,0 +1,110 @@
+"""Plain 2-D vector and angle helpers.
+
+Angles follow the usual robotics convention: radians, measured counter-
+clockwise from the +x axis, and normalized to ``(-pi, pi]`` by
+:func:`normalize_angle`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+TWO_PI = 2.0 * math.pi
+
+
+@dataclass(frozen=True)
+class Vec2:
+    """Immutable 2-D vector with the handful of operations the sim needs."""
+
+    x: float
+    y: float
+
+    def __add__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x + other.x, self.y + other.y)
+
+    def __sub__(self, other: "Vec2") -> "Vec2":
+        return Vec2(self.x - other.x, self.y - other.y)
+
+    def __mul__(self, scalar: float) -> "Vec2":
+        return Vec2(self.x * scalar, self.y * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Vec2":
+        return Vec2(-self.x, -self.y)
+
+    def dot(self, other: "Vec2") -> float:
+        """Dot product."""
+        return self.x * other.x + self.y * other.y
+
+    def cross(self, other: "Vec2") -> float:
+        """2-D scalar cross product (z component of the 3-D cross)."""
+        return self.x * other.y - self.y * other.x
+
+    def norm(self) -> float:
+        """Euclidean length."""
+        return math.hypot(self.x, self.y)
+
+    def norm_sq(self) -> float:
+        """Squared Euclidean length (cheaper than ``norm() ** 2``)."""
+        return self.x * self.x + self.y * self.y
+
+    def normalized(self) -> "Vec2":
+        """Unit vector in the same direction.
+
+        Raises:
+            ZeroDivisionError: for the zero vector.
+        """
+        n = self.norm()
+        if n == 0.0:
+            raise ZeroDivisionError("cannot normalize the zero vector")
+        return Vec2(self.x / n, self.y / n)
+
+    def distance_to(self, other: "Vec2") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def heading(self) -> float:
+        """Angle of the vector w.r.t. the +x axis, in ``(-pi, pi]``."""
+        return math.atan2(self.y, self.x)
+
+    def as_array(self) -> np.ndarray:
+        """Copy into a ``(2,)`` float64 numpy array."""
+        return np.array([self.x, self.y], dtype=np.float64)
+
+    @staticmethod
+    def from_array(arr) -> "Vec2":
+        """Build from any length-2 sequence."""
+        return Vec2(float(arr[0]), float(arr[1]))
+
+
+def normalize_angle(angle: float) -> float:
+    """Wrap ``angle`` (radians) into ``(-pi, pi]``."""
+    wrapped = math.fmod(angle + math.pi, TWO_PI)
+    if wrapped <= 0.0:
+        wrapped += TWO_PI
+    return wrapped - math.pi
+
+
+def angle_diff(a: float, b: float) -> float:
+    """Smallest signed difference ``a - b`` wrapped into ``(-pi, pi]``."""
+    return normalize_angle(a - b)
+
+
+def heading_to_unit(heading: float) -> Vec2:
+    """Unit vector pointing along ``heading``."""
+    return Vec2(math.cos(heading), math.sin(heading))
+
+
+def unit_to_heading(v: Vec2) -> float:
+    """Inverse of :func:`heading_to_unit` for non-zero vectors."""
+    return v.heading()
+
+
+def rotate(v: Vec2, angle: float) -> Vec2:
+    """Rotate ``v`` counter-clockwise by ``angle`` radians."""
+    c, s = math.cos(angle), math.sin(angle)
+    return Vec2(c * v.x - s * v.y, s * v.x + c * v.y)

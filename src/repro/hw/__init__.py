@@ -1,0 +1,37 @@
+"""Hardware cost, memory, and power models of the paper's platform.
+
+- :mod:`repro.hw.cost` -- per-layer MAC/parameter accounting of a detector.
+- :mod:`repro.hw.gap8` -- GAP8 SoC cycle/throughput model (Table II).
+- :mod:`repro.hw.memory` -- L1/L2/HyperRAM tiling checker.
+- :mod:`repro.hw.deploy` -- GAPflow-like deployment planner (250 kB L2 rule).
+- :mod:`repro.hw.power` -- AI-deck and whole-platform power (Table IV).
+- :mod:`repro.hw.stm32` -- host-MCU load model for the policies.
+"""
+
+from repro.hw.cost import CostReport, LayerCost, trace_detector
+from repro.hw.gap8 import GAP8Config, GAP8PerformanceModel, PerformanceEstimate
+from repro.hw.memory import MemoryReport, analyze_memory
+from repro.hw.deploy import DeploymentPlan, GAPFlowDeployer
+from repro.hw.power import (
+    AIDeckPowerModel,
+    PlatformPowerBreakdown,
+    platform_power_breakdown,
+)
+from repro.hw.stm32 import STM32LoadModel
+
+__all__ = [
+    "CostReport",
+    "LayerCost",
+    "trace_detector",
+    "GAP8Config",
+    "GAP8PerformanceModel",
+    "PerformanceEstimate",
+    "MemoryReport",
+    "analyze_memory",
+    "DeploymentPlan",
+    "GAPFlowDeployer",
+    "AIDeckPowerModel",
+    "PlatformPowerBreakdown",
+    "platform_power_breakdown",
+    "STM32LoadModel",
+]

@@ -1,0 +1,55 @@
+"""Battery and mission-endurance model.
+
+The Crazyflie 2.1 ships a 250 mAh / 3.7 V LiPo; with the paper's 8.02 W
+platform draw (Table IV) that yields the familiar ~6-7 minute flight
+time, which is why every evaluation run lasts 3 minutes -- one flight per
+battery with margin. This model makes that arithmetic explicit and lets
+missions check feasibility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Stock Crazyflie 2.1 battery.
+CRAZYFLIE_BATTERY_WH = 0.250 * 3.7  # 250 mAh at 3.7 V nominal
+
+
+@dataclass(frozen=True)
+class Battery:
+    """A LiPo battery with a usable-energy fraction.
+
+    Attributes:
+        capacity_wh: nameplate energy.
+        usable_fraction: fraction extractable before the low-voltage
+            cutoff (LiPos under high discharge deliver ~85%).
+    """
+
+    capacity_wh: float = CRAZYFLIE_BATTERY_WH
+    usable_fraction: float = 0.85
+
+    def __post_init__(self) -> None:
+        if self.capacity_wh <= 0.0:
+            raise ReproError("battery capacity must be positive")
+        if not 0.0 < self.usable_fraction <= 1.0:
+            raise ReproError("usable fraction must be in (0, 1]")
+
+    @property
+    def usable_wh(self) -> float:
+        return self.capacity_wh * self.usable_fraction
+
+    def endurance_s(self, platform_power_w: float) -> float:
+        """Flight time at a constant platform draw, seconds."""
+        if platform_power_w <= 0.0:
+            raise ReproError("platform power must be positive")
+        return self.usable_wh * 3600.0 / platform_power_w
+
+    def supports_mission(
+        self, platform_power_w: float, mission_time_s: float, reserve: float = 0.2
+    ) -> bool:
+        """True if the mission fits with a ``reserve`` fraction left over."""
+        if not 0.0 <= reserve < 1.0:
+            raise ReproError("reserve must be in [0, 1)")
+        return mission_time_s <= self.endurance_s(platform_power_w) * (1.0 - reserve)

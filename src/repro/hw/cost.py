@@ -1,0 +1,170 @@
+"""Per-layer MAC and parameter accounting for the SSD detectors.
+
+Walks the actual module tree of an :class:`~repro.vision.ssd.SSDDetector`
+propagating activation shapes analytically (no data is run), producing
+the numbers behind Table II: parameters, multiply-accumulate operations,
+and the per-layer breakdown the cycle and memory models consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.errors import ShapeError
+from repro.nn.act import ReLU, ReLU6
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.functional import conv_output_size
+from repro.nn.module import Module, Sequential
+from repro.nn.norm import BatchNorm2d
+from repro.vision.mobilenetv2 import InvertedResidual
+from repro.vision.ssd import SSDDetector
+
+Shape = Tuple[int, int, int]  # (C, H, W)
+
+
+@dataclass(frozen=True)
+class LayerCost:
+    """Cost of one compute layer.
+
+    Attributes:
+        name: dotted path inside the detector.
+        kind: ``"conv"`` (dense kxk, k>1), ``"pointwise"`` (1x1) or
+            ``"depthwise"``.
+        macs: multiply-accumulates for one input image.
+        params: weight + bias scalar count.
+        in_shape: ``(C, H, W)`` input activation shape.
+        out_shape: ``(C, H, W)`` output activation shape.
+    """
+
+    name: str
+    kind: str
+    macs: int
+    params: int
+    in_shape: Shape
+    out_shape: Shape
+
+    @property
+    def in_bytes_int8(self) -> int:
+        c, h, w = self.in_shape
+        return c * h * w
+
+    @property
+    def out_bytes_int8(self) -> int:
+        c, h, w = self.out_shape
+        return c * h * w
+
+    @property
+    def weight_bytes_int8(self) -> int:
+        return self.params
+
+
+@dataclass
+class CostReport:
+    """Aggregate cost of a detector."""
+
+    name: str
+    input_hw: Tuple[int, int]
+    layers: List[LayerCost]
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_params(self) -> int:
+        return sum(layer.params for layer in self.layers)
+
+    def macs_by_kind(self) -> dict:
+        """MAC totals keyed by layer kind."""
+        out: dict = {}
+        for layer in self.layers:
+            out[layer.kind] = out.get(layer.kind, 0) + layer.macs
+        return out
+
+
+def _conv_cost(name: str, conv: Conv2d, in_shape: Shape) -> Tuple[LayerCost, Shape]:
+    c, h, w = in_shape
+    if c != conv.in_channels:
+        raise ShapeError(f"{name}: expected {conv.in_channels} channels, got {c}")
+    out_h = conv_output_size(h, conv.kernel_size, conv.stride, conv.padding)
+    out_w = conv_output_size(w, conv.kernel_size, conv.stride, conv.padding)
+    macs = conv.macs(out_h, out_w)
+    params = conv.weight.size + (conv.bias.size if conv.bias is not None else 0)
+    kind = "pointwise" if conv.kernel_size == 1 else "conv"
+    out_shape = (conv.out_channels, out_h, out_w)
+    return LayerCost(name, kind, macs, params, in_shape, out_shape), out_shape
+
+
+def _dw_cost(
+    name: str, conv: DepthwiseConv2d, in_shape: Shape
+) -> Tuple[LayerCost, Shape]:
+    c, h, w = in_shape
+    if c != conv.channels:
+        raise ShapeError(f"{name}: expected {conv.channels} channels, got {c}")
+    out_h = conv_output_size(h, conv.kernel_size, conv.stride, conv.padding)
+    out_w = conv_output_size(w, conv.kernel_size, conv.stride, conv.padding)
+    macs = conv.macs(out_h, out_w)
+    params = conv.weight.size + (conv.bias.size if conv.bias is not None else 0)
+    out_shape = (c, out_h, out_w)
+    return LayerCost(name, "depthwise", macs, params, in_shape, out_shape), out_shape
+
+
+def _trace_module(name: str, module: Module, in_shape: Shape, out: List[LayerCost]) -> Shape:
+    """Recursively trace shapes and costs; returns the output shape."""
+    if isinstance(module, Conv2d):
+        cost, shape = _conv_cost(name, module, in_shape)
+        out.append(cost)
+        return shape
+    if isinstance(module, DepthwiseConv2d):
+        cost, shape = _dw_cost(name, module, in_shape)
+        out.append(cost)
+        return shape
+    if isinstance(module, BatchNorm2d):
+        # BN parameters fold into the conv at deployment; count them so
+        # float param totals match the built model, with zero MACs.
+        out.append(
+            LayerCost(name, "norm", 0, module.gamma.size + module.beta.size, in_shape, in_shape)
+        )
+        return in_shape
+    if isinstance(module, (ReLU, ReLU6)):
+        return in_shape
+    if isinstance(module, Sequential):
+        shape = in_shape
+        for i in range(len(module)):
+            shape = _trace_module(f"{name}.{i}", module[i], shape, out)
+        return shape
+    if isinstance(module, InvertedResidual):
+        shape = in_shape
+        if module.expand is not None:
+            shape = _trace_module(f"{name}.expand", module.expand, shape, out)
+        shape = _trace_module(f"{name}.depthwise", module.depthwise, shape, out)
+        shape = _trace_module(f"{name}.project", module.project, shape, out)
+        return shape
+    raise ShapeError(f"{name}: cannot trace module type {type(module).__name__}")
+
+
+def trace_detector(detector: SSDDetector) -> CostReport:
+    """Full per-layer cost report of a detector at its spec resolution."""
+    spec = detector.spec
+    layers: List[LayerCost] = []
+    shape: Shape = (3, spec.input_hw[0], spec.input_hw[1])
+    backbone = detector.backbone
+    shape = _trace_module("backbone.stem", backbone.stem, shape, layers)
+    feature_shapes: List[Shape] = []
+    for i, bname in enumerate(backbone._block_names):
+        shape = _trace_module(
+            f"backbone.{bname}", backbone._children[bname], shape, layers
+        )
+        if i in backbone.tap_indices:
+            feature_shapes.append(shape)
+    shape = _trace_module("backbone.head_conv", backbone.head_conv, shape, layers)
+    feature_shapes.append(shape)
+    for ename in detector._extra_names:
+        shape = _trace_module(ename, detector._children[ename], shape, layers)
+        feature_shapes.append(shape)
+    for i, feat_shape in enumerate(feature_shapes):
+        for head_name in (f"conf_head{i}", f"loc_head{i}"):
+            head = detector._children[head_name]
+            _trace_module(f"{head_name}", head.net, feat_shape, layers)
+    return CostReport(name=spec.name, input_hw=spec.input_hw, layers=layers)

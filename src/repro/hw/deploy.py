@@ -1,0 +1,63 @@
+"""GAPflow-like deployment planner.
+
+The paper uses GreenWaves' GAPflow toolset to generate the C code of the
+detector, "constraining the L2 buffer size to 250 kB". This module plays
+that role for the simulated platform: given a detector it produces a
+:class:`DeploymentPlan` (cost report + memory layout + performance
+estimate) or raises :class:`~repro.errors.DeploymentError` when the
+network cannot be deployed under the constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hw.cost import CostReport, trace_detector
+from repro.hw.gap8 import GAP8Config, GAP8PerformanceModel, PerformanceEstimate
+from repro.hw.memory import DEFAULT_L2_BUFFER_BYTES, MemoryReport, analyze_memory
+from repro.vision.ssd import SSDDetector
+
+
+@dataclass
+class DeploymentPlan:
+    """Everything needed to judge an onboard deployment."""
+
+    cost: CostReport
+    memory: MemoryReport
+    performance: PerformanceEstimate
+
+    def summary(self) -> str:
+        """Human-readable one-network summary."""
+        c, m, p = self.cost, self.memory, self.performance
+        return (
+            f"{c.name}: {c.total_params / 1e6:.2f} M params, "
+            f"{c.total_macs / 1e6:.0f} MMAC, "
+            f"{p.efficiency_mac_per_cycle:.1f} MAC/cyc, {p.fps:.1f} FPS, "
+            f"weights in {m.weights_location} ({m.weight_bytes / 1e6:.2f} MB), "
+            f"max {m.max_tiles} tiles/layer"
+        )
+
+
+class GAPFlowDeployer:
+    """Plans int8 deployments onto the GAP8.
+
+    Args:
+        config: SoC clocks.
+        l2_buffer_bytes: activation-buffer budget (250 kB in the paper).
+    """
+
+    def __init__(
+        self,
+        config: GAP8Config = GAP8Config(),
+        l2_buffer_bytes: int = DEFAULT_L2_BUFFER_BYTES,
+    ):
+        self.config = config
+        self.l2_buffer_bytes = l2_buffer_bytes
+        self._performance_model = GAP8PerformanceModel(config)
+
+    def plan(self, detector: SSDDetector) -> DeploymentPlan:
+        """Produce a deployment plan or raise ``DeploymentError``."""
+        cost = trace_detector(detector)
+        memory = analyze_memory(cost, self.l2_buffer_bytes)
+        performance = self._performance_model.estimate(cost)
+        return DeploymentPlan(cost=cost, memory=memory, performance=performance)

@@ -1,0 +1,114 @@
+"""GAP8 SoC performance model (Table II).
+
+GAP8 runs the CNN on an 8-core RISC-V cluster. The paper's operating
+point is 1.2 V, 160 MHz cluster clock, 250 MHz fabric/peripheral clock,
+and reports overall efficiencies of 5.3-5.9 MAC/cycle. The model here
+assigns each layer kind a peak efficiency (8-way parallelism times the
+per-core SIMD MACs, derated by the kernel's memory behaviour) plus a
+fixed per-layer overhead for tiling/DMA setup, and derives throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.errors import ReproError
+from repro.hw.cost import CostReport
+
+#: Paper operating point.
+DEFAULT_CLUSTER_FREQ_HZ = 160e6
+DEFAULT_FABRIC_FREQ_HZ = 250e6
+DEFAULT_VOLTAGE_V = 1.2
+
+#: Peak MAC/cycle per layer kind on the 8-core cluster. Pointwise (1x1)
+#: convolutions vectorize best; depthwise kernels are memory bound.
+DEFAULT_EFFICIENCY: Dict[str, float] = {
+    "conv": 6.4,
+    "pointwise": 6.6,
+    "depthwise": 2.1,
+    "norm": 1.0,  # folded away at deployment; zero MACs anyway
+}
+
+#: Cluster-cycle overhead per layer: DMA programming, tile loop setup,
+#: and the residual/concat glue the autotiler emits.
+DEFAULT_LAYER_OVERHEAD_CYCLES = 30_000
+
+
+@dataclass(frozen=True)
+class GAP8Config:
+    """Clock/voltage configuration of the SoC."""
+
+    cluster_freq_hz: float = DEFAULT_CLUSTER_FREQ_HZ
+    fabric_freq_hz: float = DEFAULT_FABRIC_FREQ_HZ
+    voltage_v: float = DEFAULT_VOLTAGE_V
+    n_cores: int = 8
+
+    def __post_init__(self) -> None:
+        if self.cluster_freq_hz <= 0 or self.fabric_freq_hz <= 0:
+            raise ReproError("clock frequencies must be positive")
+
+
+@dataclass(frozen=True)
+class PerformanceEstimate:
+    """Estimated on-device execution of one network.
+
+    Attributes:
+        name: network name.
+        macs: total multiply-accumulates per frame.
+        cycles: estimated cluster cycles per frame.
+        efficiency_mac_per_cycle: overall MAC/cycle (the paper's metric).
+        latency_s: seconds per frame.
+        fps: frames per second.
+    """
+
+    name: str
+    macs: int
+    cycles: float
+    efficiency_mac_per_cycle: float
+    latency_s: float
+    fps: float
+
+
+class GAP8PerformanceModel:
+    """Maps a :class:`~repro.hw.cost.CostReport` to cycles and FPS.
+
+    Args:
+        config: SoC clocks.
+        efficiency: peak MAC/cycle per layer kind.
+        layer_overhead_cycles: fixed cost per compute layer.
+    """
+
+    def __init__(
+        self,
+        config: GAP8Config = GAP8Config(),
+        efficiency: Dict[str, float] = None,
+        layer_overhead_cycles: int = DEFAULT_LAYER_OVERHEAD_CYCLES,
+    ):
+        self.config = config
+        self.efficiency = dict(DEFAULT_EFFICIENCY if efficiency is None else efficiency)
+        self.layer_overhead_cycles = layer_overhead_cycles
+
+    def layer_cycles(self, kind: str, macs: int) -> float:
+        """Cycles for one layer of the given kind."""
+        if macs == 0:
+            return 0.0
+        try:
+            eff = self.efficiency[kind]
+        except KeyError:
+            raise ReproError(f"no efficiency entry for layer kind {kind!r}") from None
+        return macs / eff + self.layer_overhead_cycles
+
+    def estimate(self, report: CostReport) -> PerformanceEstimate:
+        """Whole-network estimate from a per-layer cost report."""
+        cycles = sum(self.layer_cycles(l.kind, l.macs) for l in report.layers)
+        macs = report.total_macs
+        latency = cycles / self.config.cluster_freq_hz
+        return PerformanceEstimate(
+            name=report.name,
+            macs=macs,
+            cycles=cycles,
+            efficiency_mac_per_cycle=macs / cycles if cycles else 0.0,
+            latency_s=latency,
+            fps=1.0 / latency if latency else float("inf"),
+        )

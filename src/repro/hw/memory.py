@@ -1,0 +1,103 @@
+"""Memory-hierarchy analysis of a deployed network.
+
+GAP8's memory system (Sec. III-A): 64 kB of shared L1 scratchpad,
+512 kB of on-chip L2, plus the AI-deck's 8 MB HyperRAM and 64 MB
+HyperFlash. The paper constrains the GAPflow-generated code to a 250 kB
+L2 activation buffer. This module checks where weights live and whether
+every layer's activations can be tiled through the L2 buffer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import DeploymentError
+from repro.hw.cost import CostReport, LayerCost
+
+L1_BYTES = 64 * 1024
+L2_BYTES = 512 * 1024
+HYPERRAM_BYTES = 8 * 1024 * 1024
+HYPERFLASH_BYTES = 64 * 1024 * 1024
+
+#: The GAPflow L2 activation-buffer budget used by the paper.
+DEFAULT_L2_BUFFER_BYTES = 250 * 1024
+
+
+@dataclass(frozen=True)
+class LayerTiling:
+    """How one layer's activations stream through the L2 buffer.
+
+    Attributes:
+        name: layer name.
+        working_set_bytes: int8 bytes of input + output for a full frame.
+        n_tiles: horizontal stripes needed to fit the L2 buffer.
+    """
+
+    name: str
+    working_set_bytes: int
+    n_tiles: int
+
+
+@dataclass
+class MemoryReport:
+    """Deployment memory picture of one network."""
+
+    name: str
+    weight_bytes: int
+    weights_location: str  #: "L2", "HyperRAM" or "HyperFlash"
+    peak_activation_bytes: int
+    tilings: List[LayerTiling]
+
+    @property
+    def max_tiles(self) -> int:
+        return max((t.n_tiles for t in self.tilings), default=1)
+
+
+def _tile_layer(layer: LayerCost, l2_buffer: int) -> LayerTiling:
+    working = layer.in_bytes_int8 + layer.out_bytes_int8
+    if working <= l2_buffer:
+        return LayerTiling(layer.name, working, 1)
+    # Tile over output rows; every tile needs its input rows (plus halo,
+    # ignored at this granularity) and output rows resident.
+    _, h_out, _ = layer.out_shape
+    per_row = working / max(h_out, 1)
+    rows_per_tile = max(1, int(l2_buffer / per_row))
+    n_tiles = (h_out + rows_per_tile - 1) // rows_per_tile
+    if per_row > l2_buffer:
+        raise DeploymentError(
+            f"{layer.name}: a single activation row ({per_row:.0f} B) exceeds "
+            f"the {l2_buffer} B L2 buffer"
+        )
+    return LayerTiling(layer.name, working, n_tiles)
+
+
+def analyze_memory(
+    report: CostReport, l2_buffer_bytes: int = DEFAULT_L2_BUFFER_BYTES
+) -> MemoryReport:
+    """Check an int8 deployment of ``report`` against the GAP8 memories.
+
+    Raises:
+        DeploymentError: when a layer cannot be tiled or weights exceed
+            the HyperFlash.
+    """
+    weight_bytes = sum(l.weight_bytes_int8 for l in report.layers)
+    if weight_bytes <= L2_BYTES - l2_buffer_bytes:
+        location = "L2"
+    elif weight_bytes <= HYPERRAM_BYTES:
+        location = "HyperRAM"
+    elif weight_bytes <= HYPERFLASH_BYTES:
+        location = "HyperFlash"
+    else:
+        raise DeploymentError(
+            f"{report.name}: {weight_bytes} B of weights exceed the 64 MB HyperFlash"
+        )
+    tilings = [_tile_layer(l, l2_buffer_bytes) for l in report.layers if l.macs > 0]
+    peak = max((t.working_set_bytes for t in tilings), default=0)
+    return MemoryReport(
+        name=report.name,
+        weight_bytes=weight_bytes,
+        weights_location=location,
+        peak_activation_bytes=peak,
+        tilings=tilings,
+    )

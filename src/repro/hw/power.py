@@ -1,0 +1,127 @@
+"""Power models: the AI-deck and the whole-platform breakdown (Table IV).
+
+The paper measures 134.5 mW for the AI-deck running SSD-MbV2-1.0 and a
+peak of 143.5 mW for the 0.75x model (whose kernels utilize memory
+bandwidth and compute logic best), and the Table IV breakdown: motors
+7.32 W (91.31%), Crazyflie electronics 0.277 W, AI-deck 0.134 W,
+Multi-ranger 0.286 W -- 8.02 W total.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.errors import ReproError
+from repro.hw.gap8 import DEFAULT_EFFICIENCY, PerformanceEstimate
+
+#: Crazyflie 2.1 airframe mass, kg (27 g).
+CRAZYFLIE_MASS_KG = 0.027
+
+#: Measured constants of the paper's platform, watts.
+CF_ELECTRONICS_W = 0.277
+MULTIRANGER_W = 0.286
+
+#: Rotor geometry of the Crazyflie (four 46 mm propellers).
+ROTOR_RADIUS_M = 0.023
+N_ROTORS = 4
+AIR_DENSITY = 1.225
+GRAVITY = 9.81
+
+
+@dataclass
+class AIDeckPowerModel:
+    """AI-deck power as a function of cluster utilization.
+
+    Power splits into a constant part (camera, SoC fabric, HyperRAM
+    refresh) and an activity part proportional to how hard the kernels
+    drive the cluster's compute and memory (approximated by the achieved
+    MAC/cycle relative to the peak).
+
+    Attributes:
+        idle_w: constant part.
+        active_w: additional power at 100% utilization.
+        peak_efficiency: MAC/cycle at which utilization is 1.
+    """
+
+    idle_w: float = 0.040
+    active_w: float = 0.115
+    peak_efficiency: float = max(DEFAULT_EFFICIENCY.values())
+
+    def utilization(self, estimate: PerformanceEstimate) -> float:
+        """Cluster utilization implied by the achieved efficiency."""
+        return min(1.0, estimate.efficiency_mac_per_cycle / self.peak_efficiency)
+
+    def power_w(self, estimate: PerformanceEstimate) -> float:
+        """Total AI-deck power while running the given network."""
+        return self.idle_w + self.active_w * self.utilization(estimate)
+
+    def energy_per_frame_j(self, estimate: PerformanceEstimate) -> float:
+        """Energy per processed frame."""
+        return self.power_w(estimate) * estimate.latency_s
+
+
+def hover_motor_power_w(
+    total_mass_kg: float,
+    figure_of_merit: float = 0.146,
+) -> float:
+    """Hover power from actuator-disk theory.
+
+    ``P = T^1.5 / sqrt(2 rho A) / FoM`` with the thrust equal to the
+    weight. The default figure of merit is calibrated so a 27 g
+    Crazyflie draws the paper's measured 7.32 W; tiny propellers really
+    are this inefficient.
+
+    Args:
+        total_mass_kg: all-up mass.
+        figure_of_merit: rotor efficiency in (0, 1].
+    """
+    if total_mass_kg <= 0.0:
+        raise ReproError("mass must be positive")
+    if not 0.0 < figure_of_merit <= 1.0:
+        raise ReproError("figure of merit must be in (0, 1]")
+    thrust = total_mass_kg * GRAVITY
+    disk_area = N_ROTORS * math.pi * ROTOR_RADIUS_M**2
+    ideal = thrust**1.5 / math.sqrt(2.0 * AIR_DENSITY * disk_area)
+    return ideal / figure_of_merit
+
+
+@dataclass(frozen=True)
+class PlatformPowerBreakdown:
+    """Table IV: power per component and its share of the total."""
+
+    components_w: Dict[str, float]
+
+    @property
+    def total_w(self) -> float:
+        return sum(self.components_w.values())
+
+    def percentages(self) -> Dict[str, float]:
+        """Share of the total per component, in percent."""
+        total = self.total_w
+        return {k: 100.0 * v / total for k, v in self.components_w.items()}
+
+
+def platform_power_breakdown(
+    ai_deck_w: float,
+    total_mass_kg: float = CRAZYFLIE_MASS_KG,
+    cf_electronics_w: float = CF_ELECTRONICS_W,
+    multiranger_w: float = MULTIRANGER_W,
+) -> PlatformPowerBreakdown:
+    """The paper's Table IV for a given AI-deck draw.
+
+    Args:
+        ai_deck_w: AI-deck power (from :class:`AIDeckPowerModel`).
+        total_mass_kg: all-up mass for the hover-power model.
+        cf_electronics_w: Crazyflie MCU + sensors power.
+        multiranger_w: ToF deck power.
+    """
+    return PlatformPowerBreakdown(
+        components_w={
+            "Motors": hover_motor_power_w(total_mass_kg),
+            "CF electronics": cf_electronics_w,
+            "AI-deck": ai_deck_w,
+            "Multi-ranger": multiranger_w,
+        }
+    )

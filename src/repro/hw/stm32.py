@@ -1,0 +1,64 @@
+"""STM32F405 host-MCU load model.
+
+The paper maps the flight controller and the exploration policy onto the
+single-core STM32F405 (<100 MMAC/s class, 168 MHz). The policies are
+state machines over three ToF ranges, so their compute cost is trivially
+small -- which is exactly the design point the paper argues for. This
+model quantifies that: even the heaviest policy leaves >99% of the MCU
+for the flight stack.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+STM32_FREQ_HZ = 168e6
+
+#: Estimated cycles per policy update (comparisons, a little trig, and
+#: the set-point arithmetic). The rotate-and-measure scan bookkeeping is
+#: the heaviest.
+POLICY_CYCLES_PER_TICK = {
+    "pseudo-random": 900,
+    "wall-following": 1_100,
+    "spiral": 1_400,
+    "rotate-and-measure": 1_700,
+}
+
+#: Cycles per 50 Hz flight-controller iteration (state estimation + PID
+#: cascade), a typical figure for the Crazyflie firmware.
+FLIGHT_STACK_CYCLES_PER_TICK = 220_000
+
+
+@dataclass(frozen=True)
+class STM32LoadModel:
+    """CPU-load accounting of the host MCU.
+
+    Attributes:
+        control_rate_hz: flight-stack iteration rate.
+        policy_rate_hz: policy update rate (the ToF rate, 20 Hz).
+    """
+
+    control_rate_hz: float = 50.0
+    policy_rate_hz: float = 20.0
+
+    def policy_load(self, policy_name: str) -> float:
+        """Fraction of the MCU consumed by the exploration policy."""
+        try:
+            cycles = POLICY_CYCLES_PER_TICK[policy_name]
+        except KeyError:
+            raise ReproError(f"unknown policy {policy_name!r}") from None
+        return cycles * self.policy_rate_hz / STM32_FREQ_HZ
+
+    def flight_stack_load(self) -> float:
+        """Fraction of the MCU consumed by the flight controller."""
+        return FLIGHT_STACK_CYCLES_PER_TICK * self.control_rate_hz / STM32_FREQ_HZ
+
+    def total_load(self, policy_name: str) -> float:
+        """Combined utilization; must stay below 1 with ample margin."""
+        return self.policy_load(policy_name) + self.flight_stack_load()
+
+    def headroom(self, policy_name: str) -> float:
+        """Unused fraction of the MCU."""
+        return 1.0 - self.total_load(policy_name)

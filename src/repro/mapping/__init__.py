@@ -1,0 +1,13 @@
+"""Occupancy mapping and coverage metrics (paper Sec. III-C / IV-B)."""
+
+from repro.mapping.occupancy import CELL_SIZE_M, OccupancyGrid
+from repro.mapping.mocap import MotionCaptureTracker, TrackedSample
+from repro.mapping.coverage import CoverageSeries
+
+__all__ = [
+    "CELL_SIZE_M",
+    "OccupancyGrid",
+    "MotionCaptureTracker",
+    "TrackedSample",
+    "CoverageSeries",
+]

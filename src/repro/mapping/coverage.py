@@ -1,0 +1,58 @@
+"""Coverage-over-time series, as plotted in the paper's Fig. 6."""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+class CoverageSeries:
+    """A (time, coverage) trace of one flight."""
+
+    def __init__(self):
+        self._times: List[float] = []
+        self._coverage: List[float] = []
+
+    def append(self, time: float, coverage: float) -> None:
+        """Record the coverage fraction at ``time`` seconds."""
+        if self._times and time < self._times[-1]:
+            raise ValueError("time must be non-decreasing")
+        self._times.append(time)
+        self._coverage.append(coverage)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.array(self._times, dtype=np.float64)
+
+    @property
+    def coverage(self) -> np.ndarray:
+        return np.array(self._coverage, dtype=np.float64)
+
+    def at(self, time: float) -> float:
+        """Coverage at ``time`` (step interpolation; 0 before the first sample)."""
+        if not self._times:
+            return 0.0
+        idx = int(np.searchsorted(self._times, time, side="right")) - 1
+        if idx < 0:
+            return 0.0
+        return self._coverage[idx]
+
+    def final(self) -> float:
+        """Coverage at the end of the flight."""
+        return self._coverage[-1] if self._coverage else 0.0
+
+    @staticmethod
+    def mean_and_variance(
+        series: Sequence["CoverageSeries"], grid_times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Mean and variance of several runs resampled on ``grid_times``.
+
+        This is how Fig. 6 aggregates the five pseudo-random runs.
+        """
+        if not series:
+            raise ValueError("need at least one series")
+        values = np.array(
+            [[s.at(t) for t in grid_times] for s in series], dtype=np.float64
+        )
+        return values.mean(axis=0), values.var(axis=0)

@@ -1,0 +1,78 @@
+"""Motion-capture tracker substitute.
+
+The paper tracks the drone with a mocap system at 50 Hz and computes all
+coverage statistics offline from that trace. Here the tracker samples the
+simulator's ground-truth state at the same rate and feeds the occupancy
+grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.drone.dynamics import DroneState
+from repro.geometry.vec import Vec2
+from repro.mapping.occupancy import OccupancyGrid
+from repro.world.room import Room
+
+#: Tracking rate of the paper's motion-capture system, Hz.
+MOCAP_RATE_HZ = 50.0
+
+
+@dataclass(frozen=True)
+class TrackedSample:
+    """One mocap sample."""
+
+    time: float
+    position: Vec2
+    heading: float
+
+
+class MotionCaptureTracker:
+    """Records the ground-truth trajectory and updates an occupancy grid.
+
+    Args:
+        room: room being tracked (defines the grid).
+        rate_hz: sampling rate; samples arriving faster are ignored.
+        cell_size: occupancy-grid cell size.
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        rate_hz: float = MOCAP_RATE_HZ,
+        cell_size: Optional[float] = None,
+    ):
+        self.rate_hz = rate_hz
+        kwargs = {} if cell_size is None else {"cell_size": cell_size}
+        self.grid = OccupancyGrid(room, **kwargs)
+        self._samples: List[TrackedSample] = []
+        self._period = 1.0 / rate_hz
+        self._last_time: Optional[float] = None
+
+    @property
+    def samples(self) -> List[TrackedSample]:
+        """The recorded trajectory (copy)."""
+        return list(self._samples)
+
+    def observe(self, state: DroneState) -> bool:
+        """Offer the current ground-truth state to the tracker.
+
+        Returns:
+            True if a sample was recorded (i.e. at least one tracking
+            period elapsed since the previous sample).
+        """
+        if self._last_time is not None and state.time - self._last_time < self._period - 1e-9:
+            return False
+        dt = self._period if self._last_time is not None else 0.0
+        self._last_time = state.time
+        self._samples.append(
+            TrackedSample(time=state.time, position=state.position, heading=state.heading)
+        )
+        self.grid.record(state.position, dt)
+        return True
+
+    def coverage(self) -> float:
+        """Fraction of grid cells visited so far."""
+        return self.grid.coverage()

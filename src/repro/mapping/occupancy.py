@@ -1,0 +1,104 @@
+"""Occupancy grid over the room, as used for Fig. 3 and Fig. 5.
+
+The paper discretizes the 6.5 m x 5.5 m room into 0.5 m x 0.5 m cells
+(143 cells), marks a cell *visited* when the drone's centre of mass falls
+into it, and plots the occupancy *time* per cell as a heatmap capped at
+18 s.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import WorldError
+from repro.geometry.vec import Vec2
+from repro.world.room import Room
+
+#: Cell edge length used throughout the paper, metres.
+CELL_SIZE_M = 0.5
+
+
+class OccupancyGrid:
+    """Visit counts and occupancy time on a regular grid.
+
+    Args:
+        room: the room to discretize.
+        cell_size: cell edge length in metres.
+    """
+
+    def __init__(self, room: Room, cell_size: float = CELL_SIZE_M):
+        if cell_size <= 0.0:
+            raise WorldError("cell size must be positive")
+        self.room = room
+        self.cell_size = cell_size
+        self.nx = int(math.ceil(room.width / cell_size))
+        self.ny = int(math.ceil(room.length / cell_size))
+        self._time = np.zeros((self.ny, self.nx), dtype=np.float64)
+        self._visited = np.zeros((self.ny, self.nx), dtype=bool)
+
+    @property
+    def n_cells(self) -> int:
+        """Total number of cells (143 for the paper room at 0.5 m)."""
+        return self.nx * self.ny
+
+    def cell_of(self, p: Vec2) -> Tuple[int, int]:
+        """Grid indices ``(ix, iy)`` of the cell containing ``p``.
+
+        Positions on the far walls are clamped into the last cell so the
+        drone touching a wall still counts inside the room.
+        """
+        ix = min(self.nx - 1, max(0, int(p.x / self.cell_size)))
+        iy = min(self.ny - 1, max(0, int(p.y / self.cell_size)))
+        return ix, iy
+
+    def record(self, p: Vec2, dt: float) -> None:
+        """Account a dwell of ``dt`` seconds at position ``p``."""
+        ix, iy = self.cell_of(p)
+        self._time[iy, ix] += dt
+        self._visited[iy, ix] = True
+
+    @property
+    def visited_mask(self) -> np.ndarray:
+        """Boolean ``(ny, nx)`` array of visited cells (copy)."""
+        return self._visited.copy()
+
+    @property
+    def occupancy_time(self) -> np.ndarray:
+        """Seconds spent per cell, ``(ny, nx)`` (copy)."""
+        return self._time.copy()
+
+    def visited_count(self) -> int:
+        """Number of visited cells."""
+        return int(self._visited.sum())
+
+    def coverage(self) -> float:
+        """Fraction of cells visited, in ``[0, 1]``."""
+        return self.visited_count() / self.n_cells
+
+    def heatmap(self, cap_seconds: float = 18.0) -> np.ndarray:
+        """Occupancy time clipped to ``cap_seconds`` (the paper's Fig. 3 cap)."""
+        return np.clip(self._time, 0.0, cap_seconds)
+
+    def render_ascii(self, cap_seconds: float = 18.0) -> str:
+        """ASCII rendition of the heatmap (black = never visited).
+
+        Rows are printed north-up (largest y first), matching the usual
+        plot orientation.
+        """
+        ramp = " .:-=+*#%@"
+        capped = self.heatmap(cap_seconds)
+        lines = []
+        for iy in range(self.ny - 1, -1, -1):
+            row = []
+            for ix in range(self.nx):
+                if not self._visited[iy, ix]:
+                    row.append(".")
+                else:
+                    level = capped[iy, ix] / cap_seconds
+                    idx = min(len(ramp) - 1, 1 + int(level * (len(ramp) - 2)))
+                    row.append(ramp[idx])
+            lines.append("".join(row))
+        return "\n".join(lines)

@@ -1,0 +1,230 @@
+"""Per-frame detection model used by the closed-loop mission.
+
+Running the full numpy SSD on every camera frame of a 3-minute flight for
+all 24 Table-III configurations x 5 runs would take hours on a laptop, so
+the closed-loop benchmark uses a *calibrated* per-frame detection model:
+the probability that one camera frame containing a visible object produces
+a successful detection. The model is
+
+    p_frame = p_base(mAP) * f_size(bbox) * f_blur(motion)
+
+- ``p_base`` grows with the detector's mAP (the accuracy term that makes
+  SSD-MbV2-1.0 beat 0.75x in Table III),
+- ``f_size`` discounts small/far objects (few pixels on the QVGA sensor),
+- ``f_blur`` discounts fast translation/rotation (motion blur at the
+  Himax exposure time), which is what makes 1 m/s flights worse than
+  0.5 m/s despite better coverage.
+
+The number of frames an object stays in view times ``p_frame`` then
+produces the familiar ``1 - (1 - p)^n`` detection behaviour: high
+throughput helps only while per-frame accuracy is high enough, exactly
+the trade-off Sec. IV-C discusses. The rendered-frame path
+(:mod:`repro.vision.pipeline`) implements the same interface with a real
+CNN for validation at small scale.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.drone.dynamics import DroneState
+from repro.errors import MissionError
+from repro.sensors.camera import HIMAX_INTRINSICS, ObjectObservation
+
+#: Exposure time of the Himax sensor used for the blur model, seconds.
+#: Indoor scenes need long exposures on this tiny sensor.
+HIMAX_EXPOSURE_S = 0.020
+
+
+@dataclass(frozen=True)
+class DetectorOperatingPoint:
+    """The characteristics of one deployed SSD variant.
+
+    Attributes:
+        name: e.g. ``"SSD-MbV2-1.0"``.
+        fps: onboard inference throughput, frames per second (Table II).
+        map_score: mean average precision on the onboard-domain test set,
+            in ``[0, 1]`` (Table I, int8 row).
+    """
+
+    name: str
+    fps: float
+    map_score: float
+
+    def __post_init__(self) -> None:
+        if self.fps <= 0.0:
+            raise MissionError("fps must be positive")
+        if not 0.0 <= self.map_score <= 1.0:
+            raise MissionError("mAP must be in [0, 1]")
+
+
+class DetectionChannel(abc.ABC):
+    """Anything that can turn camera observations into detections."""
+
+    @abc.abstractmethod
+    def detect(
+        self,
+        observations: Sequence[ObjectObservation],
+        state: DroneState,
+        rng: np.random.Generator,
+    ) -> List[ObjectObservation]:
+        """Subset of ``observations`` successfully detected in this frame."""
+
+    def reset(self) -> None:
+        """Clear per-flight state; called by the mission at take-off."""
+
+
+class CalibratedDetectorModel(DetectionChannel):
+    """The calibrated per-frame probability model described above.
+
+    Consecutive frames of the same viewpoint are *correlated*: a detector
+    that misses an object from a given pose keeps missing it on the next
+    nearly-identical frame. The model therefore rolls a new Bernoulli
+    trial for an object only when the viewing geometry has changed
+    appreciably since that object's last trial (or a timeout elapses).
+    This is what makes detector *accuracy* matter more than raw
+    throughput -- the regime the paper identifies in Sec. IV-C -- while
+    low frame rates still hurt at high flight speed, where the drone can
+    sweep past an object between two frames.
+
+    Args:
+        operating_point: the SSD variant being simulated.
+        size_ref: bounding-box height fraction at which ``f_size``
+            saturates to 1 (objects taller than ``size_ref * image_height``
+            pixels are "easy").
+        blur_ref_px: motion blur (pixels smeared during the exposure) at
+            which ``f_blur`` halves.
+        accuracy_gamma: exponent mapping mAP to the per-frame base
+            probability; >1 penalises low-mAP models super-linearly.
+        rotation_blur_weight: extra weight of yaw rate in the blur model
+            (the rolling-shutter Himax smears badly while spinning, which
+            is what caps the rotate-and-measure policy's detections).
+        retrial_distance_m: drone displacement that decorrelates a view.
+        retrial_bearing_rad: bearing change that decorrelates a view.
+        retrial_timeout_s: a new trial is granted after this long even
+            from an unchanged pose (sensor noise decorrelates slowly).
+    """
+
+    def __init__(
+        self,
+        operating_point: DetectorOperatingPoint,
+        size_ref: float = 0.15,
+        blur_ref_px: float = 8.0,
+        accuracy_gamma: float = 1.2,
+        rotation_blur_weight: float = 2.5,
+        retrial_distance_m: float = 0.35,
+        retrial_bearing_rad: float = 0.2,
+        retrial_timeout_s: float = 2.5,
+    ):
+        if size_ref <= 0.0 or blur_ref_px <= 0.0 or accuracy_gamma <= 0.0:
+            raise MissionError("model constants must be positive")
+        self.operating_point = operating_point
+        self.size_ref = size_ref
+        self.blur_ref_px = blur_ref_px
+        self.accuracy_gamma = accuracy_gamma
+        self.rotation_blur_weight = rotation_blur_weight
+        self.retrial_distance_m = retrial_distance_m
+        self.retrial_bearing_rad = retrial_bearing_rad
+        self.retrial_timeout_s = retrial_timeout_s
+        self._last_trial: dict = {}
+
+    def reset(self) -> None:
+        self._last_trial = {}
+
+    def base_probability(self) -> float:
+        """Accuracy term: per-frame probability for an easy, static object."""
+        return float(self.operating_point.map_score**self.accuracy_gamma)
+
+    def size_factor(self, observation: ObjectObservation) -> float:
+        """Discount for small apparent size."""
+        xmin, ymin, xmax, ymax = observation.bbox
+        height_frac = (ymax - ymin) / HIMAX_INTRINSICS.height_px
+        return float(min(1.0, height_frac / self.size_ref))
+
+    def blur_factor(self, observation: ObjectObservation, state: DroneState) -> float:
+        """Discount for motion blur during the exposure."""
+        f = HIMAX_INTRINSICS.focal_px
+        # Apparent angular rate: translation perpendicular to the line of
+        # sight plus the (rolling-shutter-weighted) body yaw rate.
+        speed = state.speed()
+        angular = speed / max(
+            observation.distance_m, 0.1
+        ) + self.rotation_blur_weight * abs(state.yaw_rate)
+        blur_px = f * angular * HIMAX_EXPOSURE_S
+        return float(1.0 / (1.0 + (blur_px / self.blur_ref_px) ** 2))
+
+    def frame_probability(
+        self, observation: ObjectObservation, state: DroneState
+    ) -> float:
+        """Probability this observation becomes a detection in this frame."""
+        return (
+            self.base_probability()
+            * self.size_factor(observation)
+            * self.blur_factor(observation, state)
+        )
+
+    def _trial_allowed(self, obs: ObjectObservation, state: DroneState) -> bool:
+        """New Bernoulli trial only when the view decorrelated."""
+        key = obs.obj.name
+        last = self._last_trial.get(key)
+        if last is None:
+            return True
+        last_pos, last_bearing, last_time = last
+        moved = state.position.distance_to(last_pos)
+        turned = abs(obs.bearing_rad - last_bearing)
+        waited = state.time - last_time
+        return (
+            moved >= self.retrial_distance_m
+            or turned >= self.retrial_bearing_rad
+            or waited >= self.retrial_timeout_s
+        )
+
+    def detect(
+        self,
+        observations: Sequence[ObjectObservation],
+        state: DroneState,
+        rng: np.random.Generator,
+    ) -> List[ObjectObservation]:
+        detected = []
+        for obs in observations:
+            if not self._trial_allowed(obs, state):
+                continue
+            self._last_trial[obs.obj.name] = (
+                state.position,
+                obs.bearing_rad,
+                state.time,
+            )
+            if rng.uniform() < self.frame_probability(obs, state):
+                detected.append(obs)
+        return detected
+
+
+def paper_operating_points(
+    map_1_0: float = 0.55, map_0_75: float = 0.46, map_0_5: float = 0.43
+) -> dict:
+    """The three deployed SSDs with the paper's Table I/II numbers.
+
+    The quality figure defaults to the *float32 fine-tuned* mAP row of
+    Table I (55/46/43), which tracks each model's intrinsic per-frame
+    detectability better than the int8 row (where the small static test
+    set makes 0.75x appear nearly equal to 1.0x, contradicting the
+    closed-loop ranking the paper itself reports in Table III).
+
+    Args:
+        map_1_0: detectability score of SSD-MbV2-1.0.
+        map_0_75: detectability score of SSD-MbV2-0.75.
+        map_0_5: detectability score of SSD-MbV2-0.5.
+
+    Returns:
+        Mapping from width-multiplier string to
+        :class:`DetectorOperatingPoint` (FPS from Table II).
+    """
+    return {
+        "1.0": DetectorOperatingPoint("SSD-MbV2-1.0", fps=1.6, map_score=map_1_0),
+        "0.75": DetectorOperatingPoint("SSD-MbV2-0.75", fps=2.3, map_score=map_0_75),
+        "0.5": DetectorOperatingPoint("SSD-MbV2-0.5", fps=4.3, map_score=map_0_5),
+    }

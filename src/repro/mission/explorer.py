@@ -1,0 +1,105 @@
+"""Exploration-only mission runner (paper Sec. IV-B).
+
+Runs one policy in one room for a fixed flight time (3 minutes in the
+paper), tracking the drone with the simulated mocap system and reporting
+coverage statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.drone.crazyflie import Crazyflie, CrazyflieConfig
+from repro.errors import MissionError
+from repro.geometry.vec import Vec2
+from repro.mapping.coverage import CoverageSeries
+from repro.mapping.mocap import MotionCaptureTracker
+from repro.mapping.occupancy import OccupancyGrid
+from repro.policies.base import ExplorationPolicy
+from repro.world.room import Room
+
+#: Flight time of every run in the paper's evaluation, seconds.
+DEFAULT_FLIGHT_TIME_S = 180.0
+
+
+@dataclass
+class ExplorationResult:
+    """Outcome of one exploration flight."""
+
+    coverage: float  #: fraction of grid cells visited, [0, 1]
+    grid: OccupancyGrid  #: final occupancy grid
+    series: CoverageSeries  #: coverage over time
+    collisions: int  #: control ticks with blocked motion
+    flight_time_s: float  #: simulated flight duration
+    distance_flown_m: float  #: integrated path length
+    samples: list = None  #: mocap trajectory (:class:`TrackedSample` list)
+
+
+class ExplorationMission:
+    """Flies one policy in a room for a fixed duration.
+
+    Args:
+        room: the environment.
+        policy: an exploration policy (will be ``reset`` per run).
+        flight_time_s: duration of each run.
+        start: start position; defaults to (1, 1) m.
+        start_heading: initial heading, rad.
+        drone_config: platform configuration (noise, control rate).
+    """
+
+    def __init__(
+        self,
+        room: Room,
+        policy: ExplorationPolicy,
+        flight_time_s: float = DEFAULT_FLIGHT_TIME_S,
+        start: Optional[Vec2] = None,
+        start_heading: float = 0.0,
+        drone_config: Optional[CrazyflieConfig] = None,
+    ):
+        if flight_time_s <= 0.0:
+            raise MissionError("flight time must be positive")
+        self.room = room
+        self.policy = policy
+        self.flight_time_s = flight_time_s
+        self.start = start
+        self.start_heading = start_heading
+        self.drone_config = drone_config
+
+    def run(self, seed: Optional[int] = None) -> ExplorationResult:
+        """Execute one flight and return its statistics.
+
+        Args:
+            seed: seeds both the sensor noise and the policy RNG, making
+                the run fully reproducible.
+        """
+        drone = Crazyflie(
+            self.room,
+            start=self.start,
+            heading=self.start_heading,
+            config=self.drone_config,
+            seed=seed,
+        )
+        self.policy.reset(seed)
+        tracker = MotionCaptureTracker(self.room)
+        series = CoverageSeries()
+        distance = 0.0
+        last_pos = drone.state.position
+        n_steps = int(round(self.flight_time_s / drone.dt))
+        for _ in range(n_steps):
+            reading = drone.read_ranger()
+            setpoint = self.policy.update(reading, drone.estimated_state)
+            state = drone.step(setpoint)
+            distance += state.position.distance_to(last_pos)
+            last_pos = state.position
+            if tracker.observe(state):
+                series.append(state.time, tracker.coverage())
+        return ExplorationResult(
+            coverage=tracker.coverage(),
+            grid=tracker.grid,
+            series=series,
+            collisions=drone.dynamics.collision_count,
+            flight_time_s=self.flight_time_s,
+            distance_flown_m=distance,
+            samples=tracker.samples,
+        )

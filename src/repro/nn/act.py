@@ -1,0 +1,46 @@
+"""Activation functions.
+
+MobileNetV2 uses ReLU6 everywhere (its bounded range is also what makes
+8-bit quantization of activations well-behaved).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0.0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before forward")
+        return grad_out * self._mask
+
+
+class ReLU6(Module):
+    """ReLU clipped at 6, the MobileNet activation."""
+
+    def __init__(self):
+        super().__init__()
+        self._mask = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = (x > 0.0) & (x < 6.0)
+        return np.clip(x, 0.0, 6.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise ShapeError("backward called before forward")
+        return grad_out * self._mask

@@ -1,0 +1,177 @@
+"""Standard and depthwise 2-D convolutions with backprop.
+
+MobileNetV2 only needs these two flavours: dense convolutions (the stem
+and every 1x1 pointwise conv) and 3x3 depthwise convolutions. Both use
+im2col so the inner loop is a single matmul.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.functional import col2im, im2col
+from repro.nn.module import Module, Parameter
+
+
+def _he_init(shape, fan_in: int, rng: np.random.Generator) -> np.ndarray:
+    """He-normal initialization, appropriate for ReLU-family activations."""
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=shape)
+
+
+class Conv2d(Module):
+    """Dense 2-D convolution over NCHW inputs.
+
+    Args:
+        in_channels: input channel count.
+        out_channels: output channel count.
+        kernel_size: square kernel edge.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        bias: add a per-channel bias (disabled when a BatchNorm follows).
+        rng: initializer RNG; defaults to a fixed seed for reproducibility.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ShapeError("conv dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = Parameter(
+            _he_init((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(out_channels)) if bias else None
+        self._cache = None
+
+    def macs(self, out_h: int, out_w: int) -> int:
+        """Multiply-accumulate count for one image at this output size."""
+        k = self.kernel_size
+        return self.out_channels * self.in_channels * k * k * out_h * out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.in_channels:
+            raise ShapeError(
+                f"Conv2d expects (N, {self.in_channels}, H, W), got {x.shape}"
+            )
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, out_h, out_w = im2col(x, k, k, s, p)
+        n = x.shape[0]
+        flat = cols.reshape(n, self.in_channels * k * k, out_h * out_w)
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        out = np.einsum("oc,ncl->nol", w2d, flat, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        self._cache = (x.shape, flat)
+        return out.reshape(n, self.out_channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        x_shape, flat = self._cache
+        n, _, out_h, out_w = grad_out.shape
+        g = grad_out.reshape(n, self.out_channels, out_h * out_w)
+        w2d = self.weight.data.reshape(self.out_channels, -1)
+        self.weight.grad += np.einsum("nol,ncl->oc", g, flat, optimize=True).reshape(
+            self.weight.data.shape
+        )
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=(0, 2))
+        grad_cols = np.einsum("oc,nol->ncl", w2d, g, optimize=True)
+        k = self.kernel_size
+        grad_cols = grad_cols.reshape(
+            n, self.in_channels, k, k, out_h, out_w
+        )
+        return col2im(grad_cols, x_shape, k, k, self.stride, self.padding)
+
+
+class DepthwiseConv2d(Module):
+    """Depthwise 3x3 (or kxk) convolution: one filter per channel.
+
+    Args:
+        channels: input = output channel count.
+        kernel_size: square kernel edge.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        bias: add a per-channel bias.
+        rng: initializer RNG.
+    """
+
+    def __init__(
+        self,
+        channels: int,
+        kernel_size: int = 3,
+        stride: int = 1,
+        padding: int = 1,
+        bias: bool = False,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if channels <= 0 or kernel_size <= 0:
+            raise ShapeError("conv dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.channels = channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        fan_in = kernel_size * kernel_size
+        self.weight = Parameter(
+            _he_init((channels, kernel_size, kernel_size), fan_in, rng)
+        )
+        self.bias = Parameter(np.zeros(channels)) if bias else None
+        self._cache = None
+
+    def macs(self, out_h: int, out_w: int) -> int:
+        """Multiply-accumulate count for one image at this output size."""
+        k = self.kernel_size
+        return self.channels * k * k * out_h * out_w
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4 or x.shape[1] != self.channels:
+            raise ShapeError(
+                f"DepthwiseConv2d expects (N, {self.channels}, H, W), got {x.shape}"
+            )
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, out_h, out_w = im2col(x, k, k, s, p)
+        # cols: (N, C, k, k, out_h, out_w); weight: (C, k, k)
+        flat = cols.reshape(x.shape[0], self.channels, k * k, out_h * out_w)
+        wflat = self.weight.data.reshape(self.channels, k * k)
+        out = np.einsum("nckl,ck->ncl", flat, wflat, optimize=True)
+        if self.bias is not None:
+            out += self.bias.data[None, :, None]
+        self._cache = (x.shape, flat)
+        return out.reshape(x.shape[0], self.channels, out_h, out_w)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        x_shape, flat = self._cache
+        n, _, out_h, out_w = grad_out.shape
+        k = self.kernel_size
+        g = grad_out.reshape(n, self.channels, out_h * out_w)
+        wflat = self.weight.data.reshape(self.channels, k * k)
+        self.weight.grad += np.einsum("nckl,ncl->ck", flat, g, optimize=True).reshape(
+            self.weight.data.shape
+        )
+        if self.bias is not None:
+            self.bias.grad += g.sum(axis=(0, 2))
+        grad_cols = np.einsum("ck,ncl->nckl", wflat, g, optimize=True)
+        grad_cols = grad_cols.reshape(n, self.channels, k, k, out_h, out_w)
+        return col2im(grad_cols, x_shape, k, k, self.stride, self.padding)

@@ -1,0 +1,50 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module, Parameter
+
+
+class Linear(Module):
+    """Affine map ``y = x W^T + b`` over ``(N, in_features)`` inputs."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if in_features <= 0 or out_features <= 0:
+            raise ShapeError("linear dimensions must be positive")
+        rng = rng or np.random.default_rng(0)
+        std = np.sqrt(2.0 / in_features)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(rng.normal(0.0, std, size=(out_features, in_features)))
+        self.bias = Parameter(np.zeros(out_features)) if bias else None
+        self._cache = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 2 or x.shape[1] != self.in_features:
+            raise ShapeError(f"Linear expects (N, {self.in_features}), got {x.shape}")
+        self._cache = x
+        out = x @ self.weight.data.T
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise ShapeError("backward called before forward")
+        x = self._cache
+        self.weight.grad += grad_out.T @ x
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        return grad_out @ self.weight.data

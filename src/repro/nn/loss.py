@@ -1,0 +1,98 @@
+"""Loss functions for SSD training: softmax cross-entropy and smooth L1.
+
+Each function returns ``(loss_value, gradient_wrt_input)`` so the caller
+can feed the gradient straight into the model's ``backward``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def softmax(logits: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically-stable softmax."""
+    shifted = logits - logits.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    normalizer: Optional[float] = None,
+) -> Tuple[float, np.ndarray]:
+    """Softmax cross-entropy over the last axis.
+
+    Args:
+        logits: ``(..., n_classes)`` raw scores.
+        labels: integer class indices, shape ``logits.shape[:-1]``.
+        weights: optional per-element weights of the same shape as
+            ``labels``; elements with weight 0 contribute nothing (used to
+            select positives and hard negatives in the SSD loss).
+        normalizer: divisor of the total loss (defaults to the sum of
+            weights, or the element count without weights).
+
+    Returns:
+        ``(mean_loss, grad_wrt_logits)``.
+    """
+    if labels.shape != logits.shape[:-1]:
+        raise ShapeError(f"labels {labels.shape} vs logits {logits.shape}")
+    probs = softmax(logits)
+    flat_probs = probs.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1).astype(int)
+    picked = flat_probs[np.arange(flat_labels.size), flat_labels]
+    losses = -np.log(np.clip(picked, 1e-12, None)).reshape(labels.shape)
+    if weights is None:
+        weights = np.ones_like(losses)
+    if normalizer is None:
+        normalizer = max(float(weights.sum()), 1.0)
+    loss = float((losses * weights).sum() / normalizer)
+    one_hot = np.zeros_like(flat_probs)
+    one_hot[np.arange(flat_labels.size), flat_labels] = 1.0
+    grad = (flat_probs - one_hot).reshape(logits.shape)
+    grad *= (weights / normalizer)[..., None]
+    return loss, grad
+
+
+def smooth_l1_loss(
+    pred: np.ndarray,
+    target: np.ndarray,
+    weights: Optional[np.ndarray] = None,
+    beta: float = 1.0,
+    normalizer: Optional[float] = None,
+) -> Tuple[float, np.ndarray]:
+    """Huber / smooth-L1 loss, elementwise, summed then normalized.
+
+    Args:
+        pred: predictions, any shape.
+        target: same shape as ``pred``.
+        weights: optional broadcastable weights (0 masks an element).
+        beta: the quadratic/linear transition point.
+        normalizer: divisor; defaults to the number of weighted elements.
+
+    Returns:
+        ``(loss, grad_wrt_pred)``.
+    """
+    if pred.shape != target.shape:
+        raise ShapeError(f"pred {pred.shape} vs target {target.shape}")
+    if beta <= 0.0:
+        raise ValueError("beta must be positive")
+    diff = pred - target
+    abs_diff = np.abs(diff)
+    quadratic = abs_diff < beta
+    losses = np.where(
+        quadratic, 0.5 * diff * diff / beta, abs_diff - 0.5 * beta
+    )
+    if weights is None:
+        weights = np.ones_like(losses)
+    weighted = losses * weights
+    if normalizer is None:
+        normalizer = max(float(np.count_nonzero(weights)), 1.0)
+    loss = float(weighted.sum() / normalizer)
+    grad = np.where(quadratic, diff / beta, np.sign(diff)) * weights / normalizer
+    return loss, grad

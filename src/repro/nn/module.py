@@ -1,0 +1,183 @@
+"""Module and Parameter base classes for the numpy NN stack.
+
+A :class:`Module` owns named :class:`Parameter` objects and/or child
+modules, implements ``forward`` (caching whatever ``backward`` will need)
+and ``backward`` (accumulating parameter gradients and returning the
+gradient w.r.t. its input). The design intentionally mirrors the small
+subset of torch.nn semantics the detector needs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+class Parameter:
+    """A learnable tensor with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray):
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def size(self) -> int:
+        """Number of scalar elements."""
+        return int(self.data.size)
+
+    def zero_grad(self) -> None:
+        """Reset the gradient accumulator."""
+        self.grad.fill(0.0)
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def __init__(self):
+        self._parameters: Dict[str, Parameter] = {}
+        self._children: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration ------------------------------------------------------
+
+    def __setattr__(self, name, value):
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_children", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def register_child(self, name: str, module: "Module") -> None:
+        """Register a child that is not stored as a plain attribute."""
+        self._children[name] = module
+
+    # -- traversal ----------------------------------------------------------
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        """All parameters of this module and its descendants."""
+        for name, p in self._parameters.items():
+            yield (f"{prefix}{name}", p)
+        for cname, child in self._children.items():
+            yield from child.named_parameters(prefix=f"{prefix}{cname}.")
+
+    def parameters(self) -> List[Parameter]:
+        """Flat list of all parameters."""
+        return [p for _, p in self.named_parameters()]
+
+    def num_parameters(self) -> int:
+        """Total number of scalar weights."""
+        return sum(p.size for p in self.parameters())
+
+    def children(self) -> List["Module"]:
+        """Direct child modules."""
+        return list(self._children.values())
+
+    def zero_grad(self) -> None:
+        """Reset every parameter gradient in the tree."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects BatchNorm and QAT)."""
+        self.training = mode
+        for child in self._children.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        """Shortcut for ``train(False)``."""
+        return self.train(False)
+
+    # -- compute -------------------------------------------------------------
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    # -- state ----------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Copy of every parameter plus persistent buffers."""
+        state = {name: p.data.copy() for name, p in self.named_parameters()}
+        for name, buf in self.named_buffers():
+            state[name] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers saved by :meth:`state_dict`."""
+        params = dict(self.named_parameters())
+        buffers = dict(self.named_buffers())
+        for name, value in state.items():
+            if name in params:
+                if params[name].data.shape != value.shape:
+                    raise ShapeError(
+                        f"{name}: expected {params[name].data.shape}, got {value.shape}"
+                    )
+                params[name].data = value.copy()
+            elif name in buffers:
+                self._assign_buffer(name, value)
+            else:
+                raise KeyError(f"unexpected state entry {name!r}")
+        missing = set(params) - set(state)
+        if missing:
+            raise KeyError(f"missing parameters in state: {sorted(missing)}")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        """Persistent non-learnable state (e.g. BatchNorm running stats)."""
+        for name, buf in getattr(self, "_buffers", {}).items():
+            yield (f"{prefix}{name}", buf)
+        for cname, child in self._children.items():
+            yield from child.named_buffers(prefix=f"{prefix}{cname}.")
+
+    def register_buffer(self, name: str, value: np.ndarray) -> None:
+        """Register a persistent buffer (saved in ``state_dict``)."""
+        self.__dict__.setdefault("_buffers", {})[name] = value
+        object.__setattr__(self, name, value)
+
+    def _assign_buffer(self, dotted: str, value: np.ndarray) -> None:
+        parts = dotted.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._children[part]
+        module._buffers[parts[-1]] = value.copy()
+        object.__setattr__(module, parts[-1], module._buffers[parts[-1]])
+
+
+class Sequential(Module):
+    """Runs child modules in order; backward runs them in reverse."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self._order: List[str] = []
+        for i, m in enumerate(modules):
+            name = f"layer{i}"
+            self.register_child(name, m)
+            self._order.append(name)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._children[self._order[index]]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for name in self._order:
+            x = self._children[name](x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for name in reversed(self._order):
+            grad_out = self._children[name].backward(grad_out)
+        return grad_out

@@ -1,0 +1,148 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains with RMSProp, learning rate 8e-4 with an exponential
+decay of 0.95 every 24 epochs (Sec. IV-A); fine-tuning uses 1e-4 decayed
+by 0.95 every 10 epochs. :class:`ExponentialDecay` reproduces that
+schedule and :class:`RMSProp` the optimizer; :class:`SGD` is provided for
+the ablations.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+from repro.nn.module import Parameter
+
+
+class ExponentialDecay:
+    """Step-wise exponential learning-rate schedule.
+
+    Args:
+        initial_lr: learning rate at step 0.
+        decay_rate: multiplicative factor applied every ``decay_steps``.
+        decay_steps: interval between decays, in optimizer steps (use the
+            number of steps per epoch times the paper's epoch interval).
+        staircase: if True the decay happens in discrete jumps (the
+            TensorFlow default the paper uses); otherwise it's continuous.
+    """
+
+    def __init__(
+        self,
+        initial_lr: float,
+        decay_rate: float = 0.95,
+        decay_steps: int = 1000,
+        staircase: bool = True,
+    ):
+        if initial_lr <= 0.0 or not 0.0 < decay_rate <= 1.0 or decay_steps <= 0:
+            raise ValueError("invalid schedule parameters")
+        self.initial_lr = initial_lr
+        self.decay_rate = decay_rate
+        self.decay_steps = decay_steps
+        self.staircase = staircase
+
+    def lr_at(self, step: int) -> float:
+        """Learning rate at the given optimizer step."""
+        exponent = step / self.decay_steps
+        if self.staircase:
+            exponent = np.floor(exponent)
+        return float(self.initial_lr * self.decay_rate**exponent)
+
+
+class _Optimizer:
+    """Shared bookkeeping: parameter list, step counter, schedule."""
+
+    def __init__(self, parameters: Iterable[Parameter], schedule: ExponentialDecay):
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer needs at least one parameter")
+        self.schedule = schedule
+        self.step_count = 0
+
+    @property
+    def lr(self) -> float:
+        """Current learning rate."""
+        return self.schedule.lr_at(self.step_count)
+
+    def zero_grad(self) -> None:
+        """Clear all parameter gradients."""
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class SGD(_Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        schedule: ExponentialDecay,
+        momentum: float = 0.9,
+    ):
+        super().__init__(parameters, schedule)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        lr = self.lr
+        for i, p in enumerate(self.parameters):
+            v = self._velocity.get(i)
+            if v is None:
+                v = np.zeros_like(p.data)
+            v = self.momentum * v - lr * p.grad
+            self._velocity[i] = v
+            p.data += v
+        self.step_count += 1
+
+
+class RMSProp(_Optimizer):
+    """RMSProp, the optimizer the paper trains the SSDs with.
+
+    Args:
+        parameters: parameters to update.
+        schedule: learning-rate schedule.
+        rho: decay of the squared-gradient accumulator.
+        eps: numerical stabilizer.
+        momentum: optional heavy-ball momentum on the scaled gradient.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        schedule: ExponentialDecay,
+        rho: float = 0.9,
+        eps: float = 1e-8,
+        momentum: float = 0.9,
+    ):
+        super().__init__(parameters, schedule)
+        if not 0.0 < rho < 1.0:
+            raise ValueError("rho must be in (0, 1)")
+        self.rho = rho
+        self.eps = eps
+        self.momentum = momentum
+        self._mean_sq: Dict[int, np.ndarray] = {}
+        self._velocity: Dict[int, np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        lr = self.lr
+        for i, p in enumerate(self.parameters):
+            ms = self._mean_sq.get(i)
+            if ms is None:
+                ms = np.zeros_like(p.data)
+            ms = self.rho * ms + (1.0 - self.rho) * p.grad * p.grad
+            self._mean_sq[i] = ms
+            update = lr * p.grad / (np.sqrt(ms) + self.eps)
+            if self.momentum > 0.0:
+                v = self._velocity.get(i)
+                if v is None:
+                    v = np.zeros_like(p.data)
+                v = self.momentum * v + update
+                self._velocity[i] = v
+                update = v
+            p.data -= update
+        self.step_count += 1

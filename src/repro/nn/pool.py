@@ -1,0 +1,28 @@
+"""Pooling layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.module import Module
+
+
+class GlobalAvgPool2d(Module):
+    """Average over the spatial dimensions, keeping them as 1x1."""
+
+    def __init__(self):
+        super().__init__()
+        self._in_shape = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ShapeError(f"expected NCHW input, got {x.shape}")
+        self._in_shape = x.shape
+        return x.mean(axis=(2, 3), keepdims=True)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._in_shape is None:
+            raise ShapeError("backward called before forward")
+        n, c, h, w = self._in_shape
+        return np.broadcast_to(grad_out / (h * w), self._in_shape).copy()

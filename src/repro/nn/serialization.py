@@ -1,0 +1,25 @@
+"""Save/load model state as compressed ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.nn.module import Module
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def save_state(module: Module, path: PathLike) -> None:
+    """Write ``module.state_dict()`` to ``path`` as a compressed npz."""
+    state = module.state_dict()
+    np.savez_compressed(path, **state)
+
+
+def load_state(module: Module, path: PathLike) -> None:
+    """Load a state dict previously written by :func:`save_state`."""
+    with np.load(path) as archive:
+        state = {name: archive[name] for name in archive.files}
+    module.load_state_dict(state)

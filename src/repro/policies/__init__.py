@@ -1,0 +1,24 @@
+"""The four bio-inspired exploration policies of the paper (Sec. III-C).
+
+All policies consume only the front/left/right beams of the Multi-ranger
+deck plus the onboard heading estimate, and emit velocity set-points --
+the exact interface the paper's STM32 firmware implements.
+"""
+
+from repro.policies.base import ExplorationPolicy, PolicyConfig
+from repro.policies.pseudo_random import PseudoRandomPolicy
+from repro.policies.wall_following import WallFollowingPolicy
+from repro.policies.spiral import SpiralPolicy
+from repro.policies.rotate_measure import RotateAndMeasurePolicy
+from repro.policies.registry import POLICY_NAMES, make_policy
+
+__all__ = [
+    "ExplorationPolicy",
+    "PolicyConfig",
+    "PseudoRandomPolicy",
+    "WallFollowingPolicy",
+    "SpiralPolicy",
+    "RotateAndMeasurePolicy",
+    "POLICY_NAMES",
+    "make_policy",
+]

@@ -1,0 +1,120 @@
+"""Common machinery for the exploration policies.
+
+Every policy is a lightweight state machine (the paper runs them on a
+single-core STM32F405 next to the flight controller) with the interface:
+
+    policy.reset(seed)                      # before each flight
+    setpoint = policy.update(reading, estimate)   # once per control tick
+
+The ``reading`` is the latest :class:`~repro.sensors.multiranger.RangerReading`
+and ``estimate`` the onboard :class:`~repro.drone.state_estimator.EstimatedState`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.drone.controller import SetPoint
+from repro.drone.state_estimator import EstimatedState
+from repro.errors import PolicyError
+from repro.geometry.vec import angle_diff, normalize_angle
+from repro.sensors.multiranger import RangerReading
+
+
+@dataclass(frozen=True)
+class PolicyConfig:
+    """Tunables shared by the four policies.
+
+    Attributes:
+        cruise_speed: mean forward flight speed, m/s. The paper evaluates
+            0.1, 0.5 and 1.0 m/s.
+        obstacle_threshold: front distance below which the policy reacts, m
+            (1 m in the paper).
+        wall_distance: target lateral distance to the wall for the
+            wall-following and spiral policies, m (0.5 m in the paper).
+        turn_rate: in-place turn rate, rad/s.
+        side_gain: proportional gain of the lateral wall-distance loop, 1/s.
+        heading_tolerance: angular error at which a commanded turn is
+            declared complete, rad.
+    """
+
+    cruise_speed: float = 0.5
+    obstacle_threshold: float = 1.0
+    wall_distance: float = 0.5
+    turn_rate: float = 1.8
+    side_gain: float = 1.2
+    heading_tolerance: float = 0.06
+
+    def __post_init__(self) -> None:
+        if self.cruise_speed <= 0.0:
+            raise PolicyError("cruise speed must be positive")
+        if self.obstacle_threshold <= 0.0:
+            raise PolicyError("obstacle threshold must be positive")
+        if self.wall_distance <= 0.0:
+            raise PolicyError("wall distance must be positive")
+        if self.turn_rate <= 0.0:
+            raise PolicyError("turn rate must be positive")
+
+
+class ExplorationPolicy(abc.ABC):
+    """Base class: turn-maneuver bookkeeping shared by every policy."""
+
+    #: Human-readable name; subclasses override.
+    name: str = "base"
+
+    def __init__(self, config: Optional[PolicyConfig] = None):
+        self.config = config or PolicyConfig()
+        self._rng = np.random.default_rng(0)
+        self._turn_target: Optional[float] = None
+        self._turn_direction = 1.0
+        self._was_reset = False
+
+    def reset(self, seed: Optional[int] = None) -> None:
+        """Prepare the policy for a new flight."""
+        self._rng = np.random.default_rng(seed)
+        self._turn_target = None
+        self._turn_direction = 1.0
+        self._was_reset = True
+        self._on_reset()
+
+    def update(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        """Compute the set-point for the current control tick."""
+        if not self._was_reset:
+            raise PolicyError(f"{self.name}: call reset() before update()")
+        return self._decide(reading, estimate)
+
+    @abc.abstractmethod
+    def _decide(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        """Policy-specific decision; implemented by subclasses."""
+
+    def _on_reset(self) -> None:
+        """Hook for subclasses to clear their state-machine state."""
+
+    # -- turn maneuver helpers -------------------------------------------
+
+    def _begin_turn(self, current_heading: float, delta: float) -> None:
+        """Start an in-place turn of ``delta`` radians (signed)."""
+        self._turn_target = normalize_angle(current_heading + delta)
+        self._turn_direction = 1.0 if delta >= 0.0 else -1.0
+
+    @property
+    def turning(self) -> bool:
+        """True while a commanded turn is in progress."""
+        return self._turn_target is not None
+
+    def _turn_step(self, estimate: EstimatedState) -> SetPoint:
+        """Set-point that continues the current turn; ends it when aligned."""
+        if self._turn_target is None:
+            raise PolicyError("no turn in progress")
+        error = angle_diff(self._turn_target, estimate.heading)
+        if abs(error) < self.config.heading_tolerance:
+            self._turn_target = None
+            return SetPoint.hover()
+        # Slow down near the target to avoid overshooting at 50 Hz.
+        rate = min(self.config.turn_rate, 4.0 * abs(error))
+        direction = self._turn_direction if abs(error) > 0.5 else (1.0 if error > 0 else -1.0)
+        return SetPoint(forward=0.0, side=0.0, yaw_rate=direction * rate)

@@ -1,0 +1,49 @@
+"""Name-based construction of exploration policies.
+
+The experiment harness sweeps policies by name; this registry is the one
+place mapping names to classes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Type
+
+from repro.errors import PolicyError
+from repro.policies.base import ExplorationPolicy, PolicyConfig
+from repro.policies.pseudo_random import PseudoRandomPolicy
+from repro.policies.rotate_measure import RotateAndMeasurePolicy
+from repro.policies.spiral import SpiralPolicy
+from repro.policies.wall_following import WallFollowingPolicy
+
+_REGISTRY: Dict[str, Type[ExplorationPolicy]] = {
+    PseudoRandomPolicy.name: PseudoRandomPolicy,
+    WallFollowingPolicy.name: WallFollowingPolicy,
+    SpiralPolicy.name: SpiralPolicy,
+    RotateAndMeasurePolicy.name: RotateAndMeasurePolicy,
+}
+
+#: The four policy names, in the paper's order (Fig. 2 A-D).
+POLICY_NAMES = (
+    PseudoRandomPolicy.name,
+    WallFollowingPolicy.name,
+    SpiralPolicy.name,
+    RotateAndMeasurePolicy.name,
+)
+
+
+def make_policy(name: str, config: Optional[PolicyConfig] = None) -> ExplorationPolicy:
+    """Instantiate a policy by its registered name.
+
+    Args:
+        name: one of :data:`POLICY_NAMES`.
+        config: shared tunables; defaults to the paper's values.
+
+    Raises:
+        PolicyError: for an unknown name.
+    """
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise PolicyError(f"unknown policy {name!r}; known: {known}") from None
+    return cls(config)

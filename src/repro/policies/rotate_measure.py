@@ -1,0 +1,143 @@
+"""Rotate-and-measure exploration policy (paper Fig. 2-D).
+
+Two alternating phases: (1) a full 360 deg in-place spin sampling the
+front ToF distance every 45 deg, then (2) a straight flight along the
+most obstacle-free of the eight sampled directions, for at most 2 m.
+The paper observes this policy spends most of the 3-minute flight
+spinning in place around the room centre and frequently neglects the
+corners.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import List, Optional
+
+from repro.drone.controller import SetPoint
+from repro.drone.state_estimator import EstimatedState
+from repro.geometry.vec import Vec2, angle_diff, normalize_angle
+from repro.policies.base import ExplorationPolicy, PolicyConfig
+from repro.sensors.multiranger import RangerReading
+
+#: Angular spacing of the scan samples (the paper measures every 45 deg).
+SCAN_STEP_RAD = math.pi / 4.0
+
+#: Number of samples per full scan.
+SCAN_SAMPLES = 8
+
+
+class _Phase(enum.Enum):
+    SCAN = "scan"
+    GO = "go"
+
+
+class RotateAndMeasurePolicy(ExplorationPolicy):
+    """Spin-scan then fly along the freest direction.
+
+    Args:
+        config: shared policy tunables.
+        max_leg_m: maximum straight-flight distance per leg (2 m in the
+            paper).
+    """
+
+    name = "rotate-and-measure"
+
+    def __init__(self, config: PolicyConfig = None, max_leg_m: float = 2.0):
+        super().__init__(config)
+        if max_leg_m <= 0.0:
+            raise ValueError("max leg length must be positive")
+        self.max_leg_m = max_leg_m
+        self._phase = _Phase.SCAN
+        self._scan_headings: List[float] = []
+        self._scan_distances: List[float] = []
+        self._next_sample_heading: Optional[float] = None
+        self._scan_start_heading = 0.0
+        self._samples_taken = 0
+        self._leg_start: Optional[Vec2] = None
+        self._leg_length = 0.0
+
+    @property
+    def phase_name(self) -> str:
+        """Current phase (for logging and tests)."""
+        return self._phase.value
+
+    def _on_reset(self) -> None:
+        self._phase = _Phase.SCAN
+        self._start_scan_pending = True
+        self._scan_headings = []
+        self._scan_distances = []
+        self._next_sample_heading = None
+        self._samples_taken = 0
+        self._leg_start = None
+        self._leg_length = 0.0
+
+    def _decide(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        if self._phase == _Phase.SCAN:
+            return self._scan_step(reading, estimate)
+        return self._go_step(reading, estimate)
+
+    # -- phase 1: the 360 deg scan ---------------------------------------
+
+    def _scan_step(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        if self._samples_taken == 0 and self._next_sample_heading is None:
+            # Scan starts now: sample the current heading immediately.
+            self._scan_start_heading = estimate.heading
+            self._record_sample(reading, estimate.heading)
+            self._next_sample_heading = normalize_angle(
+                estimate.heading + SCAN_STEP_RAD
+            )
+            return SetPoint(yaw_rate=self.config.turn_rate)
+
+        assert self._next_sample_heading is not None
+        error = angle_diff(self._next_sample_heading, estimate.heading)
+        if abs(error) < self.config.heading_tolerance:
+            self._record_sample(reading, estimate.heading)
+            if self._samples_taken >= SCAN_SAMPLES:
+                self._begin_go(estimate)
+                return self._go_step(reading, estimate)
+            self._next_sample_heading = normalize_angle(
+                self._next_sample_heading + SCAN_STEP_RAD
+            )
+        return SetPoint(yaw_rate=self.config.turn_rate)
+
+    def _record_sample(self, reading: RangerReading, heading: float) -> None:
+        self._scan_headings.append(heading)
+        self._scan_distances.append(reading.front)
+        self._samples_taken += 1
+
+    # -- phase 2: fly the freest direction --------------------------------
+
+    def _begin_go(self, estimate: EstimatedState) -> None:
+        best = max(self._scan_distances)
+        candidates = [
+            h
+            for h, d in zip(self._scan_headings, self._scan_distances)
+            if d >= best - 1e-9
+        ]
+        choice = candidates[int(self._rng.integers(len(candidates)))]
+        self._phase = _Phase.GO
+        self._leg_start = estimate.position
+        self._leg_length = min(self.max_leg_m, max(0.0, best - 0.5))
+        self._begin_turn(estimate.heading, angle_diff(choice, estimate.heading))
+
+    def _go_step(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        if self.turning:
+            return self._turn_step(estimate)
+        assert self._leg_start is not None
+        traveled = estimate.position.distance_to(self._leg_start)
+        if (
+            traveled >= self._leg_length
+            or reading.front < self.config.obstacle_threshold
+        ):
+            self._start_new_scan()
+            return SetPoint.hover()
+        return SetPoint(forward=self.config.cruise_speed)
+
+    def _start_new_scan(self) -> None:
+        self._phase = _Phase.SCAN
+        self._scan_headings = []
+        self._scan_distances = []
+        self._next_sample_heading = None
+        self._samples_taken = 0
+        self._leg_start = None

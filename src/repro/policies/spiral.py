@@ -1,0 +1,98 @@
+"""Spiral exploration policy (paper Fig. 2-C).
+
+Concentric perimeter laps: the first lap follows the walls at 0.5 m, and
+each completed lap increases the tracked wall distance by the same step
+until the room centre is reached; then the distance decreases lap by lap
+back to 0.5 m, and the cycle starts over. Lap completion is detected from
+the accumulated heading change (four ~90 deg corners per lap).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+from repro.drone.controller import SetPoint
+from repro.drone.state_estimator import EstimatedState
+from repro.geometry.vec import angle_diff
+from repro.policies.base import PolicyConfig
+from repro.policies.wall_following import WallFollowingPolicy
+from repro.sensors.multiranger import RangerReading
+
+
+class SpiralPolicy(WallFollowingPolicy):
+    """Inward-then-outward concentric perimeter exploration.
+
+    Args:
+        config: shared policy tunables; ``config.wall_distance`` is both
+            the initial lateral distance and the per-lap increment.
+        max_distance: wall distance at which the spiral reverses; defaults
+            to 2.25 m which reaches the centre of the paper's 5.5 m room.
+    """
+
+    name = "spiral"
+
+    def __init__(
+        self,
+        config: PolicyConfig = None,
+        max_distance: Optional[float] = None,
+        follow_side: str = "right",
+    ):
+        super().__init__(config, follow_side=follow_side)
+        self.step = self.config.wall_distance
+        self.max_distance = (
+            max_distance if max_distance is not None else 2.25
+        )
+        self._accumulated_turn = 0.0
+        self._last_heading: Optional[float] = None
+        self._inward = True
+        self._lap = 0
+
+    @property
+    def lap(self) -> int:
+        """Number of completed laps since reset."""
+        return self._lap
+
+    @property
+    def inward(self) -> bool:
+        """True while the spiral is tightening towards the centre."""
+        return self._inward
+
+    def _on_reset(self) -> None:
+        super()._on_reset()
+        self._accumulated_turn = 0.0
+        self._last_heading = None
+        self._inward = True
+        self._lap = 0
+        self.set_target_distance(self.config.wall_distance)
+
+    def _decide(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        self._track_laps(estimate.heading)
+        return super()._decide(reading, estimate)
+
+    def _track_laps(self, heading: float) -> None:
+        if self._last_heading is not None:
+            self._accumulated_turn += angle_diff(heading, self._last_heading)
+        self._last_heading = heading
+        lap_angle = 2.0 * math.pi
+        # The right-followed perimeter turns CCW (+), the left one CW (-).
+        sign = 1.0 if self.follow_side == "right" else -1.0
+        if sign * self._accumulated_turn >= lap_angle:
+            self._accumulated_turn -= sign * lap_angle
+            self._complete_lap()
+
+    def _complete_lap(self) -> None:
+        self._lap += 1
+        current = self.target_distance
+        if self._inward:
+            nxt = current + self.step
+            if nxt > self.max_distance:
+                self._inward = False
+                nxt = max(self.config.wall_distance, current - self.step)
+        else:
+            nxt = current - self.step
+            if nxt < self.config.wall_distance:
+                # Back at the perimeter: the process starts over (paper).
+                self._inward = True
+                nxt = self.config.wall_distance
+        self.set_target_distance(nxt)

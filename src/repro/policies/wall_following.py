@@ -1,0 +1,105 @@
+"""Wall-following exploration policy (paper Fig. 2-B).
+
+The drone follows the room perimeter keeping a constant lateral distance
+(0.5 m in the paper) from the wall on its right, measured by the side ToF
+sensor. When a front obstacle appears (a corner), navigation stops and
+resumes after a ~90 deg turn towards an obstacle-free heading. By
+construction this policy never explores the inner part of the room, which
+is exactly the weakness Table III exposes (it misses the centre objects).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+from repro.drone.controller import SetPoint
+from repro.drone.state_estimator import EstimatedState
+from repro.policies.base import ExplorationPolicy, PolicyConfig
+from repro.sensors.multiranger import RangerReading
+
+
+class _State(enum.Enum):
+    ACQUIRE = "acquire"  # fly forward until a wall is found
+    ALIGN = "align"  # turn to put the wall on the followed side
+    FOLLOW = "follow"  # track the wall at the target distance
+    CORNER = "corner"  # in-place turn at a corner
+
+
+class WallFollowingPolicy(ExplorationPolicy):
+    """Perimeter exploration at a fixed wall distance.
+
+    Args:
+        config: shared policy tunables; ``config.wall_distance`` is the
+            tracked lateral clearance.
+        follow_side: ``"right"`` (default, counter-clockwise perimeter) or
+            ``"left"``.
+    """
+
+    name = "wall-following"
+
+    def __init__(self, config: PolicyConfig = None, follow_side: str = "right"):
+        super().__init__(config)
+        if follow_side not in ("left", "right"):
+            raise ValueError("follow_side must be 'left' or 'right'")
+        self.follow_side = follow_side
+        self._state = _State.ACQUIRE
+        self._target_distance: Optional[float] = None
+
+    @property
+    def state_name(self) -> str:
+        """Name of the internal state (for logging and tests)."""
+        return self._state.value
+
+    @property
+    def target_distance(self) -> float:
+        """Lateral distance currently tracked (the spiral policy varies it)."""
+        if self._target_distance is None:
+            return self.config.wall_distance
+        return self._target_distance
+
+    def set_target_distance(self, distance: float) -> None:
+        """Override the tracked wall distance (used by the spiral policy)."""
+        self._target_distance = distance
+
+    def _on_reset(self) -> None:
+        self._state = _State.ACQUIRE
+        self._target_distance = None
+
+    def _side_reading(self, reading: RangerReading) -> float:
+        return reading.right if self.follow_side == "right" else reading.left
+
+    def _turn_away_sign(self) -> float:
+        """Sign of a turn away from the followed wall (+ is CCW/left)."""
+        return 1.0 if self.follow_side == "right" else -1.0
+
+    def _decide(self, reading: RangerReading, estimate: EstimatedState) -> SetPoint:
+        if self.turning:
+            sp = self._turn_step(estimate)
+            if not self.turning and self._state in (_State.ALIGN, _State.CORNER):
+                self._state = _State.FOLLOW
+            return sp
+
+        stop_dist = max(self.config.obstacle_threshold, self.target_distance + 0.2)
+        if self._state == _State.ACQUIRE:
+            if reading.front < stop_dist:
+                # Wall found ahead: turn away so it ends up on the followed side.
+                self._state = _State.ALIGN
+                self._begin_turn(estimate.heading, self._turn_away_sign() * math.pi / 2.0)
+                return self._turn_step(estimate)
+            return SetPoint(forward=self.config.cruise_speed)
+
+        # FOLLOW state ----------------------------------------------------
+        if reading.front < stop_dist:
+            self._state = _State.CORNER
+            self._begin_turn(estimate.heading, self._turn_away_sign() * math.pi / 2.0)
+            return self._turn_step(estimate)
+
+        side = self._side_reading(reading)
+        error = side - self.target_distance  # + means too far from the wall
+        # Body +y is left: drift towards a right-hand wall needs side < 0.
+        correction = self.config.side_gain * error
+        correction = max(-0.3, min(0.3, correction))
+        side_cmd = -correction if self.follow_side == "right" else correction
+        return SetPoint(forward=self.config.cruise_speed, side=side_cmd)

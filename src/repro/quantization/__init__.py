@@ -1,0 +1,36 @@
+"""Symmetric int8 quantization: observers, fake-quant, QAT and conversion.
+
+The paper quantizes the SSDs to 8-bit with symmetric ranges (the GAP8
+kernels require symmetric integer ranges) and runs quantization-aware
+training (QAT) to recover the mAP lost in conversion. This package
+provides that flow for the numpy models:
+
+1. train float -> 2. fine-tune with :class:`QATWeightQuantizer` ->
+3. :func:`quantize_detector` (folds BN, calibrates activations, switches
+   every conv to the int8-simulated path).
+"""
+
+from repro.quantization.observers import MinMaxObserver, symmetric_scale
+from repro.quantization.fakequant import dequantize, fake_quantize, quantize
+from repro.quantization.qat import QATWeightQuantizer
+from repro.quantization.folding import fold_batchnorms
+from repro.quantization.int8 import (
+    ActivationQuantShim,
+    int8_conv2d,
+    int8_depthwise_conv2d,
+    quantize_detector,
+)
+
+__all__ = [
+    "MinMaxObserver",
+    "symmetric_scale",
+    "fake_quantize",
+    "quantize",
+    "dequantize",
+    "QATWeightQuantizer",
+    "fold_batchnorms",
+    "ActivationQuantShim",
+    "int8_conv2d",
+    "int8_depthwise_conv2d",
+    "quantize_detector",
+]

@@ -1,0 +1,31 @@
+"""Quantize / dequantize / fake-quantize primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def _qmax(bits: int) -> int:
+    if bits < 2:
+        raise QuantizationError("need at least 2 bits")
+    return 2 ** (bits - 1) - 1
+
+
+def quantize(x: np.ndarray, scale: float, bits: int = 8) -> np.ndarray:
+    """Round to the symmetric integer grid; returns an int32 array."""
+    if scale <= 0.0:
+        raise QuantizationError("scale must be positive")
+    q = _qmax(bits)
+    return np.clip(np.rint(x / scale), -q, q).astype(np.int32)
+
+
+def dequantize(x_q: np.ndarray, scale: float) -> np.ndarray:
+    """Back to float."""
+    return x_q.astype(np.float64) * scale
+
+
+def fake_quantize(x: np.ndarray, scale: float, bits: int = 8) -> np.ndarray:
+    """Quantize-dequantize in float (the QAT forward transform)."""
+    return dequantize(quantize(x, scale, bits), scale)

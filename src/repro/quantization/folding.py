@@ -1,0 +1,65 @@
+"""BatchNorm folding.
+
+The GAP8 integer kernels execute conv+BN as a single fused operation, so
+quantization starts by folding every BatchNorm into the convolution that
+precedes it. Folding walks the module tree looking for (conv, BN) pairs
+inside :class:`~repro.nn.module.Sequential` containers -- which is where
+every BN in this library lives -- scales the conv weights, absorbs the
+shift into the conv bias and replaces the BN with an identity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.norm import BatchNorm2d
+
+
+class Identity(Module):
+    """Pass-through module left behind by BN folding."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out
+
+
+def _fold_pair(conv, bn: BatchNorm2d) -> None:
+    scale, shift = bn.fold_scale_shift()
+    if isinstance(conv, Conv2d):
+        conv.weight.data = conv.weight.data * scale[:, None, None, None]
+    else:  # DepthwiseConv2d
+        conv.weight.data = conv.weight.data * scale[:, None, None]
+    if conv.bias is None:
+        conv.bias = Parameter(np.zeros(scale.shape[0]))
+    conv.bias.data = conv.bias.data * scale + shift
+
+
+def fold_batchnorms(module: Module) -> int:
+    """Fold every (conv, BN) pair under ``module`` in place.
+
+    Returns:
+        The number of BatchNorms folded. The model must be in eval mode
+        conceptually (folding uses the running statistics); training a
+        folded model would diverge from the original.
+    """
+    folded = 0
+    if isinstance(module, Sequential):
+        names = module._order
+        for i in range(len(names) - 1):
+            first = module._children[names[i]]
+            second = module._children[names[i + 1]]
+            if isinstance(first, (Conv2d, DepthwiseConv2d)) and isinstance(
+                second, BatchNorm2d
+            ):
+                _fold_pair(first, second)
+                identity = Identity()
+                module._children[names[i + 1]] = identity
+                object.__setattr__(module, names[i + 1], identity)
+                folded += 1
+    for child in module.children():
+        folded += fold_batchnorms(child)
+    return folded

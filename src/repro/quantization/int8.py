@@ -1,0 +1,189 @@
+"""Int8 inference: exact integer kernels and whole-detector conversion.
+
+Two levels of fidelity are provided:
+
+- :func:`int8_conv2d` / :func:`int8_depthwise_conv2d` -- exact
+  integer-arithmetic kernels (int8 operands, int32 accumulation) for a
+  single layer, matching what the GAP8 executes;
+- :func:`quantize_detector` -- converts a trained float detector into an
+  int8-*simulated* model: BatchNorms folded, every conv weight replaced
+  by its int8 grid value and every conv output re-quantized to its
+  calibrated activation scale. Per-tensor symmetric scales make the
+  simulated path numerically identical to the integer path up to the
+  bias term (verified in the test suite), while staying fast in numpy.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.functional import im2col
+from repro.nn.module import Module
+from repro.quantization.fakequant import dequantize, fake_quantize, quantize
+from repro.quantization.folding import fold_batchnorms
+from repro.quantization.observers import MinMaxObserver, symmetric_scale
+from repro.vision.ssd import SSDDetector
+
+
+def int8_conv2d(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    x_scale: float,
+    w_scale: float,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Exact integer dense convolution.
+
+    Args:
+        x_q: ``(N, C, H, W)`` int32 activations on the int8 grid.
+        w_q: ``(O, C, k, k)`` int32 weights on the int8 grid.
+        x_scale: activation scale.
+        w_scale: weight scale.
+        bias: optional float bias added after dequantization.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+
+    Returns:
+        Float output ``x_scale * w_scale * (x_q * w_q) + bias``; int32
+        accumulation is exact for int8 operands.
+    """
+    if x_q.dtype.kind != "i" or w_q.dtype.kind != "i":
+        raise QuantizationError("integer kernel requires integer inputs")
+    k = w_q.shape[2]
+    cols, out_h, out_w = im2col(x_q.astype(np.int64), k, k, stride, padding)
+    n = x_q.shape[0]
+    flat = cols.reshape(n, -1, out_h * out_w)
+    w2d = w_q.astype(np.int64).reshape(w_q.shape[0], -1)
+    acc = np.einsum("oc,ncl->nol", w2d, flat)  # exact in int64
+    out = acc.astype(np.float64) * (x_scale * w_scale)
+    if bias is not None:
+        out += bias[None, :, None]
+    return out.reshape(n, w_q.shape[0], out_h, out_w)
+
+
+def int8_depthwise_conv2d(
+    x_q: np.ndarray,
+    w_q: np.ndarray,
+    x_scale: float,
+    w_scale: float,
+    bias: Optional[np.ndarray] = None,
+    stride: int = 1,
+    padding: int = 1,
+) -> np.ndarray:
+    """Exact integer depthwise convolution (same contract as above).
+
+    ``w_q`` has shape ``(C, k, k)``.
+    """
+    if x_q.dtype.kind != "i" or w_q.dtype.kind != "i":
+        raise QuantizationError("integer kernel requires integer inputs")
+    k = w_q.shape[1]
+    cols, out_h, out_w = im2col(x_q.astype(np.int64), k, k, stride, padding)
+    n, c = x_q.shape[0], x_q.shape[1]
+    flat = cols.reshape(n, c, k * k, out_h * out_w)
+    wflat = w_q.astype(np.int64).reshape(c, k * k)
+    acc = np.einsum("nckl,ck->ncl", flat, wflat)
+    out = acc.astype(np.float64) * (x_scale * w_scale)
+    if bias is not None:
+        out += bias[None, :, None]
+    return out.reshape(n, c, out_h, out_w)
+
+
+class ActivationQuantShim(Module):
+    """Wraps a conv layer: quantizes its weights and output activations.
+
+    Modes:
+        ``"observe"`` -- float forward while recording input/output ranges;
+        ``"quantize"`` -- weights fake-quantized to the int8 grid, input
+        and output snapped to their calibrated activation grids.
+    """
+
+    def __init__(self, inner: Module, bits: int = 8):
+        super().__init__()
+        self.register_child("inner", inner)
+        self.bits = bits
+        self.mode = "observe"
+        self.in_observer = MinMaxObserver(bits)
+        self.out_observer = MinMaxObserver(bits)
+        self._weight_quantized = False
+
+    def freeze(self) -> None:
+        """Switch from calibration to int8-simulated inference."""
+        if not (self.in_observer.observed and self.out_observer.observed):
+            raise QuantizationError("freeze() before calibration data was seen")
+        inner = self._children["inner"]
+        w_scale = symmetric_scale(float(np.abs(inner.weight.data).max()), self.bits)
+        inner.weight.data = fake_quantize(inner.weight.data, w_scale, self.bits)
+        self.weight_scale = w_scale
+        self._weight_quantized = True
+        self.mode = "quantize"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        inner = self._children["inner"]
+        if self.mode == "observe":
+            self.in_observer.observe(x)
+            out = inner(x)
+            self.out_observer.observe(out)
+            return out
+        x = fake_quantize(x, self.in_observer.scale, self.bits)
+        out = inner(x)
+        return fake_quantize(out, self.out_observer.scale, self.bits)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        # Straight-through: quantization treated as identity for gradients.
+        return self._children["inner"].backward(grad_out)
+
+
+def _wrap_convs(module: Module, bits: int) -> List[ActivationQuantShim]:
+    """Replace every conv child with a shim, recursively."""
+    shims: List[ActivationQuantShim] = []
+    for name, child in list(module._children.items()):
+        if isinstance(child, (Conv2d, DepthwiseConv2d)):
+            shim = ActivationQuantShim(child, bits)
+            module._children[name] = shim
+            object.__setattr__(module, name, shim)
+            shims.append(shim)
+        else:
+            shims.extend(_wrap_convs(child, bits))
+    return shims
+
+
+def quantize_detector(
+    detector: SSDDetector,
+    calibration_images: np.ndarray,
+    bits: int = 8,
+    batch_size: int = 8,
+) -> SSDDetector:
+    """Convert a trained float detector to int8-simulated inference.
+
+    The input detector is left untouched; a deep copy is folded,
+    calibrated on ``calibration_images`` and frozen.
+
+    Args:
+        detector: trained float model (eval-mode statistics are used).
+        calibration_images: ``(N, 3, H, W)`` batch for activation ranges.
+        bits: quantization bit width.
+        batch_size: calibration batch size.
+
+    Returns:
+        A detector whose ``forward``/``predict`` run on the int8 grid.
+    """
+    if calibration_images.ndim != 4 or calibration_images.shape[0] == 0:
+        raise QuantizationError("calibration images must be a non-empty NCHW batch")
+    q = copy.deepcopy(detector)
+    q.eval()
+    fold_batchnorms(q)
+    shims = _wrap_convs(q, bits)
+    if not shims:
+        raise QuantizationError("no convolution layers found to quantize")
+    for start in range(0, calibration_images.shape[0], batch_size):
+        q.forward(calibration_images[start : start + batch_size])
+    for shim in shims:
+        shim.freeze()
+    return q

@@ -1,0 +1,48 @@
+"""Range observers for symmetric quantization."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def symmetric_scale(max_abs: float, bits: int = 8) -> float:
+    """Scale mapping ``[-max_abs, max_abs]`` onto the signed integer grid.
+
+    Args:
+        max_abs: largest magnitude to represent.
+        bits: total bit width (8 -> levels in [-127, 127]).
+    """
+    if bits < 2:
+        raise QuantizationError("need at least 2 bits")
+    qmax = 2 ** (bits - 1) - 1
+    if max_abs <= 0.0:
+        return 1.0 / qmax  # degenerate tensor; any scale represents zeros
+    return max_abs / qmax
+
+
+class MinMaxObserver:
+    """Tracks the running absolute maximum of observed tensors.
+
+    Symmetric ranges only need the absolute maximum; the paper uses
+    symmetric quantization because the GAP8 kernels require it.
+    """
+
+    def __init__(self, bits: int = 8):
+        self.bits = bits
+        self.max_abs = 0.0
+        self.observed = False
+
+    def observe(self, x: np.ndarray) -> None:
+        """Update the range from one tensor."""
+        if x.size:
+            self.max_abs = max(self.max_abs, float(np.abs(x).max()))
+            self.observed = True
+
+    @property
+    def scale(self) -> float:
+        """Quantization scale; raises if nothing was observed."""
+        if not self.observed:
+            raise QuantizationError("observer has seen no data")
+        return symmetric_scale(self.max_abs, self.bits)

@@ -1,0 +1,53 @@
+"""Quantization-aware training via straight-through weight quantization.
+
+During each QAT step the convolution/linear weights are replaced by
+their int8 fake-quantized values for the forward and backward passes,
+while the optimizer update is applied to the retained full-precision
+weights (the straight-through estimator). Activations are bounded by
+ReLU6 throughout the network, which keeps their quantization benign;
+their ranges are calibrated at conversion time.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Dict, Iterator
+
+import numpy as np
+
+from repro.nn.module import Module
+from repro.quantization.fakequant import fake_quantize
+from repro.quantization.observers import symmetric_scale
+
+
+class QATWeightQuantizer:
+    """Context-manager factory applying STE weight quantization.
+
+    Args:
+        bits: weight bit width (8 in the paper).
+    """
+
+    def __init__(self, bits: int = 8):
+        self.bits = bits
+
+    @contextlib.contextmanager
+    def quantized_weights(self, model: Module) -> Iterator[None]:
+        """Temporarily replace all weights with fake-quantized copies.
+
+        Gradients computed inside the context flow to the quantized
+        weights but are applied (by the caller's optimizer) to the
+        restored full-precision weights -- the straight-through estimator.
+        """
+        stashed: Dict[int, np.ndarray] = {}
+        params = [
+            p for name, p in model.named_parameters() if name.endswith("weight")
+        ]
+        for i, p in enumerate(params):
+            stashed[i] = p.data
+            scale = symmetric_scale(float(np.abs(p.data).max()), self.bits)
+            p.data = fake_quantize(p.data, scale, self.bits)
+        try:
+            yield
+        finally:
+            for i, p in enumerate(params):
+                p.data = stashed[i]

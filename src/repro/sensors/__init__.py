@@ -1,0 +1,28 @@
+"""Sensor models for the simulated Crazyflie platform.
+
+- :class:`~repro.sensors.tof.ToFSensor` -- one VL53L1x single-beam ranger.
+- :class:`~repro.sensors.multiranger.MultiRangerDeck` -- the 5-beam deck.
+- :class:`~repro.sensors.flowdeck.FlowDeck` -- optical-flow odometry.
+- :class:`~repro.sensors.imu.Gyro` -- yaw-rate gyro.
+- :class:`~repro.sensors.camera.HimaxCamera` -- the AI-deck camera model.
+"""
+
+from repro.sensors.tof import ToFSensor, VL53L1X_MAX_RANGE_M, VL53L1X_RATE_HZ
+from repro.sensors.multiranger import MultiRangerDeck, RangerReading
+from repro.sensors.flowdeck import FlowDeck, OdometrySample
+from repro.sensors.imu import Gyro
+from repro.sensors.camera import CameraIntrinsics, HimaxCamera, ObjectObservation
+
+__all__ = [
+    "ToFSensor",
+    "VL53L1X_MAX_RANGE_M",
+    "VL53L1X_RATE_HZ",
+    "MultiRangerDeck",
+    "RangerReading",
+    "FlowDeck",
+    "OdometrySample",
+    "Gyro",
+    "CameraIntrinsics",
+    "HimaxCamera",
+    "ObjectObservation",
+]

@@ -1,0 +1,101 @@
+"""The Bitcraze Multi-ranger deck: five VL53L1x sensors.
+
+The deck mounts sensors front / back / left / right / up. The exploration
+policies of the paper use only the front, left and right beams
+(Sec. III-C); the up beam always saturates in our 2-D world and is kept
+for interface completeness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.geometry.raycast import RayCaster
+from repro.geometry.vec import Vec2
+from repro.sensors.tof import ToFSensor, VL53L1X_MAX_RANGE_M, VL53L1X_RATE_HZ
+
+
+@dataclass(frozen=True)
+class RangerReading:
+    """One synchronized reading of the whole deck, in metres."""
+
+    front: float
+    back: float
+    left: float
+    right: float
+    up: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Mapping from beam name to distance."""
+        return {
+            "front": self.front,
+            "back": self.back,
+            "left": self.left,
+            "right": self.right,
+            "up": self.up,
+        }
+
+    def min_horizontal(self) -> float:
+        """Closest obstacle over the four horizontal beams."""
+        return min(self.front, self.back, self.left, self.right)
+
+
+#: Beam directions in the body frame (radians from the heading).
+BEAM_ANGLES = {
+    "front": 0.0,
+    "left": math.pi / 2.0,
+    "back": math.pi,
+    "right": -math.pi / 2.0,
+}
+
+
+class MultiRangerDeck:
+    """Five-beam ToF deck sampled at 20 Hz.
+
+    Args:
+        noise_std: per-beam gaussian range noise (metres).
+        dropout_prob: per-beam dropout probability.
+        rng: shared RNG; ``None`` gives noise-free beams.
+        max_range: beam saturation distance.
+    """
+
+    def __init__(
+        self,
+        noise_std: float = 0.01,
+        dropout_prob: float = 0.002,
+        rng: Optional[np.random.Generator] = None,
+        max_range: float = VL53L1X_MAX_RANGE_M,
+    ):
+        self.rate_hz = VL53L1X_RATE_HZ
+        self.max_range = max_range
+        self._sensors = {
+            name: ToFSensor(
+                angle,
+                max_range=max_range,
+                noise_std=noise_std,
+                dropout_prob=dropout_prob,
+                rng=rng,
+            )
+            for name, angle in BEAM_ANGLES.items()
+        }
+
+    def read(self, caster: RayCaster, position: Vec2, heading: float) -> RangerReading:
+        """Sample all beams at the given pose.
+
+        The up beam always saturates in the planar world model.
+        """
+        distances = {
+            name: sensor.measure(caster, position, heading)
+            for name, sensor in self._sensors.items()
+        }
+        return RangerReading(
+            front=distances["front"],
+            back=distances["back"],
+            left=distances["left"],
+            right=distances["right"],
+            up=self.max_range,
+        )

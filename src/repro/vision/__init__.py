@@ -1,0 +1,42 @@
+"""SSD-MobileNetV2 object detection (the paper's vision pipeline)."""
+
+from repro.vision.boxes import (
+    center_to_corner,
+    corner_to_center,
+    iou_matrix,
+)
+from repro.vision.anchors import AnchorLevel, generate_anchors
+from repro.vision.boxcodec import BoxCodec
+from repro.vision.nms import non_max_suppression
+from repro.vision.matching import match_anchors
+from repro.vision.mobilenetv2 import (
+    InvertedResidual,
+    MobileNetV2Backbone,
+    make_divisible,
+)
+from repro.vision.ssd import (
+    Detection,
+    SSDDetector,
+    SSDSpec,
+    full_scale_spec,
+    tiny_spec,
+)
+
+__all__ = [
+    "center_to_corner",
+    "corner_to_center",
+    "iou_matrix",
+    "AnchorLevel",
+    "generate_anchors",
+    "BoxCodec",
+    "non_max_suppression",
+    "match_anchors",
+    "InvertedResidual",
+    "MobileNetV2Backbone",
+    "make_divisible",
+    "Detection",
+    "SSDDetector",
+    "SSDSpec",
+    "full_scale_spec",
+    "tiny_spec",
+]

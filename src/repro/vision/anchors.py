@@ -1,0 +1,72 @@
+"""SSD anchor (prior box) generation.
+
+Each detection head attaches to one feature map; every cell of that map
+carries a small set of anchors at one scale and several aspect ratios.
+Anchors are expressed in normalized image coordinates so the same code
+serves the full-resolution and the reduced-scale detectors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+@dataclass(frozen=True)
+class AnchorLevel:
+    """Anchor configuration of one detection head.
+
+    Attributes:
+        feature_shape: ``(fh, fw)`` cells of the attached feature map.
+        scale: anchor edge relative to the image's shorter side.
+        aspect_ratios: width/height ratios (tall objects like bottles
+            match ratios < 1).
+    """
+
+    feature_shape: Tuple[int, int]
+    scale: float
+    aspect_ratios: Tuple[float, ...] = (1.0, 0.5, 2.0)
+
+    @property
+    def anchors_per_cell(self) -> int:
+        return len(self.aspect_ratios)
+
+    @property
+    def num_anchors(self) -> int:
+        fh, fw = self.feature_shape
+        return fh * fw * self.anchors_per_cell
+
+
+def generate_anchors(levels: Sequence[AnchorLevel]) -> np.ndarray:
+    """All anchors of a detector, in center form ``(A, 4)``.
+
+    Anchors are laid out level by level, row-major over cells, then by
+    aspect ratio -- the same order the heads emit predictions in.
+    """
+    if not levels:
+        raise ShapeError("need at least one anchor level")
+    all_anchors: List[np.ndarray] = []
+    for level in levels:
+        fh, fw = level.feature_shape
+        if fh <= 0 or fw <= 0:
+            raise ShapeError(f"bad feature shape {level.feature_shape}")
+        ys = (np.arange(fh) + 0.5) / fh
+        xs = (np.arange(fw) + 0.5) / fw
+        cy, cx = np.meshgrid(ys, xs, indexing="ij")
+        cells = np.stack([cx.ravel(), cy.ravel()], axis=1)  # (fh*fw, 2)
+        boxes = []
+        for ratio in level.aspect_ratios:
+            w = level.scale * math.sqrt(ratio)
+            h = level.scale / math.sqrt(ratio)
+            wh = np.full((cells.shape[0], 2), (w, h))
+            boxes.append(np.concatenate([cells, wh], axis=1))
+        # Interleave per cell: cell0-ratio0, cell0-ratio1, ... matches the
+        # head reshape (N, A*(C), fh, fw) -> (N, fh*fw*A, C).
+        per_cell = np.stack(boxes, axis=1).reshape(-1, 4)
+        all_anchors.append(per_cell)
+    return np.concatenate(all_anchors, axis=0)

@@ -1,0 +1,75 @@
+"""Encoding of ground-truth boxes as anchor offsets (and back).
+
+Standard SSD parameterization with variances:
+
+    t_cx = (cx - a_cx) / a_w / var_center
+    t_cy = (cy - a_cy) / a_h / var_center
+    t_w  = log(w / a_w) / var_size
+    t_h  = log(h / a_h) / var_size
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.vision.boxes import center_to_corner, corner_to_center
+
+
+@dataclass(frozen=True)
+class BoxCodec:
+    """Encoder/decoder between corner boxes and anchor-relative offsets.
+
+    Attributes:
+        variance_center: scaling of the center offsets (0.1 in SSD).
+        variance_size: scaling of the log-size offsets (0.2 in SSD).
+    """
+
+    variance_center: float = 0.1
+    variance_size: float = 0.2
+
+    def encode(self, boxes_corner: np.ndarray, anchors_center: np.ndarray) -> np.ndarray:
+        """Encode corner boxes w.r.t. center-form anchors.
+
+        Args:
+            boxes_corner: ``(A, 4)`` corner boxes, one per anchor.
+            anchors_center: ``(A, 4)`` anchors in center form.
+        """
+        if boxes_corner.shape != anchors_center.shape:
+            raise ShapeError(
+                f"boxes {boxes_corner.shape} vs anchors {anchors_center.shape}"
+            )
+        boxes = corner_to_center(boxes_corner)
+        eps = 1e-9
+        t = np.empty_like(boxes)
+        t[:, 0] = (boxes[:, 0] - anchors_center[:, 0]) / np.maximum(
+            anchors_center[:, 2], eps
+        ) / self.variance_center
+        t[:, 1] = (boxes[:, 1] - anchors_center[:, 1]) / np.maximum(
+            anchors_center[:, 3], eps
+        ) / self.variance_center
+        t[:, 2] = np.log(np.maximum(boxes[:, 2], eps) / np.maximum(anchors_center[:, 2], eps)) / self.variance_size
+        t[:, 3] = np.log(np.maximum(boxes[:, 3], eps) / np.maximum(anchors_center[:, 3], eps)) / self.variance_size
+        return t
+
+    def decode(self, offsets: np.ndarray, anchors_center: np.ndarray) -> np.ndarray:
+        """Decode predicted offsets back into corner boxes clipped to [0, 1]."""
+        if offsets.shape != anchors_center.shape:
+            raise ShapeError(
+                f"offsets {offsets.shape} vs anchors {anchors_center.shape}"
+            )
+        boxes = np.empty_like(offsets)
+        boxes[:, 0] = (
+            offsets[:, 0] * self.variance_center * anchors_center[:, 2]
+            + anchors_center[:, 0]
+        )
+        boxes[:, 1] = (
+            offsets[:, 1] * self.variance_center * anchors_center[:, 3]
+            + anchors_center[:, 1]
+        )
+        # Clip the log-size before exp so garbage predictions cannot overflow.
+        boxes[:, 2] = np.exp(np.clip(offsets[:, 2] * self.variance_size, -10.0, 6.0)) * anchors_center[:, 2]
+        boxes[:, 3] = np.exp(np.clip(offsets[:, 3] * self.variance_size, -10.0, 6.0)) * anchors_center[:, 3]
+        return np.clip(center_to_corner(boxes), 0.0, 1.0)

@@ -1,0 +1,64 @@
+"""Bounding-box representations and IoU.
+
+Boxes are numpy arrays of shape ``(N, 4)``. Two layouts are used:
+
+- *corner*: ``[xmin, ymin, xmax, ymax]``, normalized to ``[0, 1]``;
+- *center*: ``[cx, cy, w, h]``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+
+
+def _check_boxes(boxes: np.ndarray) -> np.ndarray:
+    boxes = np.asarray(boxes, dtype=np.float64)
+    if boxes.ndim != 2 or boxes.shape[1] != 4:
+        raise ShapeError(f"boxes must be (N, 4), got {boxes.shape}")
+    return boxes
+
+
+def corner_to_center(boxes: np.ndarray) -> np.ndarray:
+    """Convert corner boxes to center boxes."""
+    boxes = _check_boxes(boxes)
+    out = np.empty_like(boxes)
+    out[:, 0] = (boxes[:, 0] + boxes[:, 2]) / 2.0
+    out[:, 1] = (boxes[:, 1] + boxes[:, 3]) / 2.0
+    out[:, 2] = boxes[:, 2] - boxes[:, 0]
+    out[:, 3] = boxes[:, 3] - boxes[:, 1]
+    return out
+
+
+def center_to_corner(boxes: np.ndarray) -> np.ndarray:
+    """Convert center boxes to corner boxes."""
+    boxes = _check_boxes(boxes)
+    out = np.empty_like(boxes)
+    out[:, 0] = boxes[:, 0] - boxes[:, 2] / 2.0
+    out[:, 1] = boxes[:, 1] - boxes[:, 3] / 2.0
+    out[:, 2] = boxes[:, 0] + boxes[:, 2] / 2.0
+    out[:, 3] = boxes[:, 1] + boxes[:, 3] / 2.0
+    return out
+
+
+def box_area(boxes: np.ndarray) -> np.ndarray:
+    """Areas of corner boxes; degenerate boxes have area 0."""
+    boxes = _check_boxes(boxes)
+    w = np.clip(boxes[:, 2] - boxes[:, 0], 0.0, None)
+    h = np.clip(boxes[:, 3] - boxes[:, 1], 0.0, None)
+    return w * h
+
+
+def iou_matrix(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Pairwise IoU between corner boxes ``a`` (N, 4) and ``b`` (M, 4)."""
+    a = _check_boxes(a)
+    b = _check_boxes(b)
+    lt = np.maximum(a[:, None, :2], b[None, :, :2])
+    rb = np.minimum(a[:, None, 2:], b[None, :, 2:])
+    wh = np.clip(rb - lt, 0.0, None)
+    inter = wh[..., 0] * wh[..., 1]
+    union = box_area(a)[:, None] + box_area(b)[None, :] - inter
+    with np.errstate(divide="ignore", invalid="ignore"):
+        iou = np.where(union > 0.0, inter / union, 0.0)
+    return iou

@@ -1,0 +1,116 @@
+"""Anchor-to-ground-truth matching for SSD training.
+
+Standard SSD assignment: every ground-truth box claims its best-IoU
+anchor; additionally every anchor with IoU >= ``pos_threshold`` against
+some ground truth becomes positive. Anchors with best IoU in the
+``[neg_threshold, pos_threshold)`` band are *ignored* (contribute no
+loss); the rest are negatives, from which hard-negative mining (in the
+loss) picks the 3:1 hardest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.vision.boxes import iou_matrix
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Per-anchor assignment for one image.
+
+    Attributes:
+        labels: ``(A,)`` int array; 0 = background, ``1 + class_id`` for
+            positives, -1 = ignored.
+        matched_boxes: ``(A, 4)`` corner box assigned to each anchor
+            (arbitrary for non-positives).
+    """
+
+    labels: np.ndarray
+    matched_boxes: np.ndarray
+
+    @property
+    def positive_mask(self) -> np.ndarray:
+        return self.labels > 0
+
+    @property
+    def num_positives(self) -> int:
+        return int(self.positive_mask.sum())
+
+
+def match_anchors(
+    anchors_corner: np.ndarray,
+    gt_boxes: np.ndarray,
+    gt_labels: np.ndarray,
+    pos_threshold: float = 0.5,
+    neg_threshold: float = 0.4,
+) -> MatchResult:
+    """Assign ground-truth boxes to anchors.
+
+    Args:
+        anchors_corner: ``(A, 4)`` anchors in corner form.
+        gt_boxes: ``(G, 4)`` ground-truth corner boxes (may be empty).
+        gt_labels: ``(G,)`` zero-based class ids.
+        pos_threshold: IoU above which an anchor is positive.
+        neg_threshold: IoU below which an anchor is negative.
+    """
+    if not 0.0 <= neg_threshold <= pos_threshold <= 1.0:
+        raise ValueError("need 0 <= neg_threshold <= pos_threshold <= 1")
+    n_anchors = anchors_corner.shape[0]
+    gt_boxes = np.asarray(gt_boxes, dtype=np.float64).reshape(-1, 4)
+    gt_labels = np.asarray(gt_labels, dtype=int).reshape(-1)
+    if gt_boxes.shape[0] != gt_labels.shape[0]:
+        raise ShapeError("gt_boxes and gt_labels disagree")
+    labels = np.zeros(n_anchors, dtype=int)
+    matched = np.zeros((n_anchors, 4), dtype=np.float64)
+    if gt_boxes.shape[0] == 0:
+        return MatchResult(labels=labels, matched_boxes=matched)
+
+    iou = iou_matrix(anchors_corner, gt_boxes)  # (A, G)
+    best_gt = iou.argmax(axis=1)
+    best_iou = iou[np.arange(n_anchors), best_gt]
+
+    labels[best_iou >= pos_threshold] = gt_labels[best_gt[best_iou >= pos_threshold]] + 1
+    ignore = (best_iou >= neg_threshold) & (best_iou < pos_threshold)
+    labels[ignore] = -1
+
+    # Force-match the best anchor of every ground truth so no object is
+    # unrepresented even when all IoUs are low.
+    best_anchor = iou.argmax(axis=0)
+    for g, a in enumerate(best_anchor):
+        best_gt[a] = g
+        labels[a] = gt_labels[g] + 1
+
+    matched = gt_boxes[best_gt]
+    return MatchResult(labels=labels, matched_boxes=matched)
+
+
+def hard_negative_mask(
+    labels: np.ndarray, background_loss: np.ndarray, neg_pos_ratio: float = 3.0
+) -> np.ndarray:
+    """Select negatives with the highest loss, at ``neg_pos_ratio`` : 1.
+
+    Args:
+        labels: ``(A,)`` per-anchor labels from :func:`match_anchors`.
+        background_loss: ``(A,)`` per-anchor classification loss against
+            the background class.
+        neg_pos_ratio: negatives kept per positive (3 in SSD).
+
+    Returns:
+        Boolean mask of anchors contributing to the classification loss
+        (all positives plus the mined negatives). With zero positives one
+        negative is still kept so the loss is defined.
+    """
+    pos = labels > 0
+    neg_candidates = labels == 0
+    n_neg = max(1, int(neg_pos_ratio * pos.sum()))
+    loss = np.where(neg_candidates, background_loss, -np.inf)
+    n_neg = min(n_neg, int(neg_candidates.sum()))
+    mask = pos.copy()
+    if n_neg > 0:
+        chosen = np.argsort(-loss)[:n_neg]
+        mask[chosen] = True
+    return mask

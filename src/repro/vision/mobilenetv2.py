@@ -1,0 +1,256 @@
+"""MobileNetV2 backbone with a width multiplier (alpha).
+
+Implements the inverted-residual bottleneck of Sandler et al. and the
+standard MobileNetV2 stage configuration. The width multiplier scales
+every channel count (rounded to multiples of 8, like the reference
+implementation), producing the paper's SSD-MbV2-{0.5, 0.75, 1.0} family.
+
+The backbone exposes *tapped* intermediate feature maps for the SSD
+heads and supports backward through multiple taps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.nn.act import ReLU6
+from repro.nn.conv import Conv2d, DepthwiseConv2d
+from repro.nn.module import Module, Sequential
+from repro.nn.norm import BatchNorm2d
+
+#: The standard MobileNetV2 stage table: (expansion t, channels c,
+#: repeats n, first stride s).
+MOBILENETV2_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 16, 1, 1),
+    (6, 24, 2, 2),
+    (6, 32, 3, 2),
+    (6, 64, 4, 2),
+    (6, 96, 3, 1),
+    (6, 160, 3, 2),
+    (6, 320, 1, 1),
+)
+
+#: Reduced stage table used by the laptop-scale experiment models.
+TINY_CONFIG: Tuple[Tuple[int, int, int, int], ...] = (
+    (1, 8, 1, 1),
+    (6, 16, 2, 2),
+    (6, 24, 2, 2),
+    (6, 32, 2, 2),
+)
+
+
+def make_divisible(value: float, divisor: int = 8, min_value: Optional[int] = None) -> int:
+    """Round a scaled channel count the way the reference MobileNet does.
+
+    Guarantees the result is a multiple of ``divisor`` and never drops
+    more than 10% below ``value``.
+    """
+    if min_value is None:
+        min_value = divisor
+    new_value = max(min_value, int(value + divisor / 2) // divisor * divisor)
+    if new_value < 0.9 * value:
+        new_value += divisor
+    return new_value
+
+
+def _conv_bn_relu(
+    in_c: int, out_c: int, kernel: int, stride: int, rng: np.random.Generator
+) -> Sequential:
+    """Conv + BN + ReLU6 block."""
+    return Sequential(
+        Conv2d(in_c, out_c, kernel, stride=stride, padding=kernel // 2, bias=False, rng=rng),
+        BatchNorm2d(out_c),
+        ReLU6(),
+    )
+
+
+class InvertedResidual(Module):
+    """MobileNetV2 bottleneck: expand (1x1) -> depthwise (3x3) -> project (1x1).
+
+    A residual connection is added when the spatial stride is 1 and the
+    input/output channel counts match.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int,
+        expand_ratio: int,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if stride not in (1, 2):
+            raise ShapeError("stride must be 1 or 2")
+        rng = rng or np.random.default_rng(0)
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.expand_ratio = expand_ratio
+        self.use_residual = stride == 1 and in_channels == out_channels
+        hidden = in_channels * expand_ratio
+        self.hidden_channels = hidden
+        if expand_ratio != 1:
+            self.expand = _conv_bn_relu(in_channels, hidden, 1, 1, rng)
+        else:
+            self.expand = None
+        self.depthwise = Sequential(
+            DepthwiseConv2d(hidden, 3, stride=stride, padding=1, bias=False, rng=rng),
+            BatchNorm2d(hidden),
+            ReLU6(),
+        )
+        self.project = Sequential(
+            Conv2d(hidden, out_channels, 1, bias=False, rng=rng),
+            BatchNorm2d(out_channels),
+        )
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        if self.expand is not None:
+            out = self.expand(out)
+        out = self.depthwise(out)
+        out = self.project(out)
+        if self.use_residual:
+            out = out + x
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad = self.project.backward(grad_out)
+        grad = self.depthwise.backward(grad)
+        if self.expand is not None:
+            grad = self.expand.backward(grad)
+        if self.use_residual:
+            grad = grad + grad_out
+        return grad
+
+
+class MobileNetV2Backbone(Module):
+    """The feature extractor, tappable at arbitrary block outputs.
+
+    Args:
+        width_mult: the paper's alpha; scales all channel counts.
+        in_channels: input image channels (3 for the paper's pipeline).
+        config: stage table ``(t, c, n, s)``; defaults to the full
+            MobileNetV2 table.
+        stem_channels: unscaled stem width (32 in MobileNetV2).
+        last_channels: unscaled width of the final 1x1 conv (1280); per
+            the reference implementation it is scaled only for alpha > 1,
+            so it stays 1280 for the paper's three variants.
+        tap_indices: block indices (into the flattened block list) whose
+            outputs are returned by :meth:`forward_features`, in addition
+            to the final feature map which is always the last tap.
+        rng: weight-initializer RNG.
+    """
+
+    def __init__(
+        self,
+        width_mult: float = 1.0,
+        in_channels: int = 3,
+        config: Sequence[Tuple[int, int, int, int]] = MOBILENETV2_CONFIG,
+        stem_channels: int = 32,
+        last_channels: int = 1280,
+        tap_indices: Optional[Sequence[int]] = None,
+        rng: Optional[np.random.Generator] = None,
+    ):
+        super().__init__()
+        if width_mult <= 0.0:
+            raise ShapeError("width multiplier must be positive")
+        rng = rng or np.random.default_rng(0)
+        self.width_mult = width_mult
+        self.config = tuple(config)
+
+        stem_out = make_divisible(stem_channels * width_mult)
+        self.stem = _conv_bn_relu(in_channels, stem_out, 3, 2, rng)
+
+        blocks: List[InvertedResidual] = []
+        c_in = stem_out
+        for t, c, n, s in self.config:
+            c_out = make_divisible(c * width_mult)
+            for i in range(n):
+                stride = s if i == 0 else 1
+                blocks.append(InvertedResidual(c_in, c_out, stride, t, rng=rng))
+                c_in = c_out
+        self._block_names: List[str] = []
+        for i, blk in enumerate(blocks):
+            name = f"block{i}"
+            self.register_child(name, blk)
+            self._block_names.append(name)
+
+        self.last_channels = (
+            make_divisible(last_channels * width_mult) if width_mult > 1.0 else last_channels
+        )
+        self.head_conv = _conv_bn_relu(c_in, self.last_channels, 1, 1, rng)
+
+        if tap_indices is None:
+            tap_indices = self._default_taps()
+        self.tap_indices = tuple(sorted(tap_indices))
+        for tap in self.tap_indices:
+            if not 0 <= tap < len(blocks):
+                raise ShapeError(f"tap index {tap} out of range")
+
+    def _default_taps(self) -> Tuple[int, ...]:
+        """Last block of the second-to-last stride level (SSD's C4 tap)."""
+        # Count blocks until the stage before the final stride-2 stage.
+        counts = [n for _, _, n, _ in self.config]
+        strides = [s for _, _, _, s in self.config]
+        s2_stages = [i for i, s in enumerate(strides) if s == 2]
+        if not s2_stages:
+            return (0,)  # single-resolution config: tap the first block
+        tap = sum(counts[: s2_stages[-1]]) - 1
+        return (max(tap, 0),)
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._block_names)
+
+    def tap_channels(self) -> List[int]:
+        """Channel counts of each tapped feature map (final map last)."""
+        blocks = [self._children[n] for n in self._block_names]
+        channels = [blocks[i].out_channels for i in self.tap_indices]
+        channels.append(self.last_channels)
+        return channels
+
+    def forward_features(self, x: np.ndarray) -> List[np.ndarray]:
+        """Feature maps at every tap plus the final head-conv output."""
+        feats: List[np.ndarray] = []
+        out = self.stem(x)
+        for i, name in enumerate(self._block_names):
+            out = self._children[name](out)
+            if i in self.tap_indices:
+                feats.append(out)
+        feats.append(self.head_conv(out))
+        return feats
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Final feature map only (use :meth:`forward_features` for SSD)."""
+        return self.forward_features(x)[-1]
+
+    def backward_features(self, grads: List[np.ndarray]) -> np.ndarray:
+        """Backward given one gradient per tapped feature map.
+
+        Args:
+            grads: gradients in the same order :meth:`forward_features`
+                returned the features (taps first, final map last).
+
+        Returns:
+            Gradient w.r.t. the input image batch.
+        """
+        if len(grads) != len(self.tap_indices) + 1:
+            raise ShapeError(
+                f"expected {len(self.tap_indices) + 1} gradients, got {len(grads)}"
+            )
+        grad = self.head_conv.backward(grads[-1])
+        tap_grads = dict(zip(self.tap_indices, grads[:-1]))
+        for i in range(len(self._block_names) - 1, -1, -1):
+            if i in tap_grads:
+                grad = grad + tap_grads[i]
+            grad = self._children[self._block_names[i]].backward(grad)
+        return self.stem.backward(grad)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError(
+            "use backward_features(); the backbone has multiple outputs"
+        )

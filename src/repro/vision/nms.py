@@ -1,0 +1,44 @@
+"""Greedy non-maximum suppression."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ShapeError
+from repro.vision.boxes import iou_matrix
+
+
+def non_max_suppression(
+    boxes: np.ndarray,
+    scores: np.ndarray,
+    iou_threshold: float = 0.5,
+    max_outputs: int = 100,
+) -> np.ndarray:
+    """Indices of the boxes kept by greedy NMS, in descending score order.
+
+    Args:
+        boxes: ``(N, 4)`` corner boxes.
+        scores: ``(N,)`` confidence scores.
+        iou_threshold: boxes overlapping a kept box above this are dropped.
+        max_outputs: cap on the number of kept boxes.
+    """
+    boxes = np.asarray(boxes, dtype=np.float64)
+    scores = np.asarray(scores, dtype=np.float64)
+    if boxes.ndim != 2 or boxes.shape[1] != 4 or scores.shape != (boxes.shape[0],):
+        raise ShapeError(f"bad NMS inputs {boxes.shape} / {scores.shape}")
+    if not 0.0 <= iou_threshold <= 1.0:
+        raise ValueError("iou_threshold must be in [0, 1]")
+    if boxes.shape[0] == 0:
+        return np.empty(0, dtype=int)
+    order = np.argsort(-scores)
+    iou = iou_matrix(boxes, boxes)
+    keep = []
+    suppressed = np.zeros(boxes.shape[0], dtype=bool)
+    for idx in order:
+        if suppressed[idx]:
+            continue
+        keep.append(int(idx))
+        if len(keep) >= max_outputs:
+            break
+        suppressed |= iou[idx] > iou_threshold
+    return np.array(keep, dtype=int)

@@ -1,0 +1,6 @@
+"""Dependency-free visualization: PGM heatmaps and SVG trajectory plots."""
+
+from repro.viz.pgm import heatmap_to_pgm, write_pgm
+from repro.viz.svg import trajectory_to_svg
+
+__all__ = ["heatmap_to_pgm", "write_pgm", "trajectory_to_svg"]

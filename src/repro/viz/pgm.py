@@ -1,0 +1,53 @@
+"""Portable graymap (PGM) export for occupancy heatmaps.
+
+PGM is a trivial uncompressed image format every viewer understands; it
+lets the examples dump Fig. 3-style heatmaps without any imaging
+dependency.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+import numpy as np
+
+from repro.mapping.occupancy import OccupancyGrid
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def heatmap_to_pgm(
+    grid: OccupancyGrid, cap_seconds: float = 18.0, cell_px: int = 16
+) -> np.ndarray:
+    """Render an occupancy grid to a grayscale uint8 image.
+
+    Unvisited cells are black (like the paper's Fig. 3); occupancy time
+    maps linearly onto 64..255.
+
+    Args:
+        grid: the occupancy grid to render.
+        cap_seconds: saturation point of the color scale.
+        cell_px: rendered pixels per grid cell.
+
+    Returns:
+        ``(ny * cell_px, nx * cell_px)`` uint8 array, north-up.
+    """
+    capped = grid.heatmap(cap_seconds)
+    visited = grid.visited_mask
+    levels = np.where(
+        visited, 64.0 + 191.0 * capped / cap_seconds, 0.0
+    ).astype(np.uint8)
+    # Flip vertically: row 0 of the grid is the room's south edge.
+    levels = levels[::-1]
+    return np.kron(levels, np.ones((cell_px, cell_px), dtype=np.uint8))
+
+
+def write_pgm(image: np.ndarray, path: PathLike) -> None:
+    """Write a 2-D uint8 array as a binary PGM (P5) file."""
+    if image.ndim != 2 or image.dtype != np.uint8:
+        raise ValueError("write_pgm expects a 2-D uint8 array")
+    h, w = image.shape
+    with open(path, "wb") as f:
+        f.write(f"P5\n{w} {h}\n255\n".encode("ascii"))
+        f.write(image.tobytes())

@@ -1,0 +1,109 @@
+"""SVG rendering of flight trajectories in a room.
+
+Produces a self-contained SVG showing the walls, obstacles, placed
+objects, the flown path (colored by time), and detection events -- the
+kind of figure the paper's supplementary video summarizes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.geometry.shapes import AABB, Circle
+from repro.mapping.mocap import TrackedSample
+from repro.mission.closed_loop import DetectionEvent
+from repro.world.objects import ObjectClass, SceneObject
+from repro.world.room import Room
+
+_SCALE = 80.0  # pixels per metre
+_MARGIN = 20.0
+
+
+def _px(x: float) -> float:
+    return _MARGIN + x * _SCALE
+
+
+def _py(y: float, room: Room) -> float:
+    # SVG y grows downward; room y grows northward.
+    return _MARGIN + (room.length - y) * _SCALE
+
+
+def trajectory_to_svg(
+    room: Room,
+    samples: Sequence[TrackedSample],
+    objects: Sequence[SceneObject] = (),
+    events: Sequence[DetectionEvent] = (),
+    title: str = "",
+) -> str:
+    """Render a flight into an SVG document string.
+
+    Args:
+        room: the flown room (walls + obstacles drawn).
+        samples: mocap samples of the trajectory.
+        objects: target objects to mark (bottles green, cans red).
+        events: detection events; drawn as rings around the objects.
+        title: optional caption.
+    """
+    width = room.width * _SCALE + 2 * _MARGIN
+    height = room.length * _SCALE + 2 * _MARGIN
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" fill="#ffffff"/>',
+        f'<rect x="{_px(0):.1f}" y="{_py(room.length, room):.1f}" '
+        f'width="{room.width * _SCALE:.1f}" height="{room.length * _SCALE:.1f}" '
+        'fill="#f8f8f4" stroke="#222" stroke-width="3"/>',
+    ]
+    for obstacle in room.obstacles:
+        shape = obstacle.shape
+        if isinstance(shape, AABB):
+            parts.append(
+                f'<rect x="{_px(shape.xmin):.1f}" y="{_py(shape.ymax, room):.1f}" '
+                f'width="{shape.width * _SCALE:.1f}" height="{shape.height * _SCALE:.1f}" '
+                'fill="#c0c0c0" stroke="#555"/>'
+            )
+        elif isinstance(shape, Circle):
+            parts.append(
+                f'<circle cx="{_px(shape.center.x):.1f}" cy="{_py(shape.center.y, room):.1f}" '
+                f'r="{shape.radius * _SCALE:.1f}" fill="#c0c0c0" stroke="#555"/>'
+            )
+    if samples:
+        t_end = max(samples[-1].time, 1e-9)
+        points = []
+        for s in samples:
+            points.append(f"{_px(s.position.x):.1f},{_py(s.position.y, room):.1f}")
+        # Split into a handful of segments colored from blue (early) to
+        # orange (late) so the time direction is readable.
+        n_seg = 8
+        seg_len = max(2, len(points) // n_seg)
+        for i in range(0, len(points) - 1, seg_len):
+            frac = i / max(len(points) - 1, 1)
+            r = int(40 + 215 * frac)
+            b = int(220 - 180 * frac)
+            chunk = points[i : i + seg_len + 1]
+            parts.append(
+                f'<polyline points="{" ".join(chunk)}" fill="none" '
+                f'stroke="rgb({r},120,{b})" stroke-width="2" stroke-opacity="0.85"/>'
+            )
+        start = samples[0].position
+        parts.append(
+            f'<circle cx="{_px(start.x):.1f}" cy="{_py(start.y, room):.1f}" r="6" '
+            'fill="#1060d0"/>'
+        )
+    detected_names = {e.object_name for e in events}
+    for obj in objects:
+        color = "#2a9d2a" if obj.object_class is ObjectClass.BOTTLE else "#d03030"
+        cx, cy = _px(obj.position.x), _py(obj.position.y, room)
+        parts.append(f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="7" fill="{color}"/>')
+        if obj.name in detected_names:
+            parts.append(
+                f'<circle cx="{cx:.1f}" cy="{cy:.1f}" r="12" fill="none" '
+                f'stroke="{color}" stroke-width="2.5"/>'
+            )
+    if title:
+        parts.append(
+            f'<text x="{_MARGIN:.0f}" y="{height - 4:.0f}" '
+            f'font-family="monospace" font-size="13">{title}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)

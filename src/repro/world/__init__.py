@@ -1,0 +1,23 @@
+"""World model: rooms, obstacles and the objects placed for search missions."""
+
+from repro.world.objects import ObjectClass, SceneObject
+from repro.world.room import Obstacle, Room
+from repro.world.layouts import (
+    PAPER_ROOM_LENGTH_M,
+    PAPER_ROOM_WIDTH_M,
+    cluttered_room,
+    paper_object_layout,
+    paper_room,
+)
+
+__all__ = [
+    "ObjectClass",
+    "SceneObject",
+    "Obstacle",
+    "Room",
+    "PAPER_ROOM_LENGTH_M",
+    "PAPER_ROOM_WIDTH_M",
+    "paper_room",
+    "paper_object_layout",
+    "cluttered_room",
+]

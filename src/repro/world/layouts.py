@@ -1,0 +1,89 @@
+"""Standard room and object layouts from the paper's evaluation.
+
+The testing room is 6.5 m x 5.5 m (Sec. III-C), discretized into
+0.5 m x 0.5 m cells (143 cells, Sec. IV-B). The closed-loop evaluation
+(Sec. IV-C) places three bottles and three tin cans: one of each near the
+centre, the remaining four near the corners.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.vec import Vec2
+from repro.world.objects import ObjectClass, SceneObject
+from repro.world.room import Obstacle, Room
+
+#: Dimensions of the paper's motion-capture testing room, in metres.
+PAPER_ROOM_WIDTH_M = 6.5
+PAPER_ROOM_LENGTH_M = 5.5
+
+
+def paper_room() -> Room:
+    """The empty 6.5 m x 5.5 m testing room of Sec. III-C."""
+    return Room(PAPER_ROOM_WIDTH_M, PAPER_ROOM_LENGTH_M)
+
+
+def paper_object_layout() -> List[SceneObject]:
+    """Six target objects in the paper's arrangement (Sec. IV-C).
+
+    One bottle and one tin can close to the centre, the other four near
+    the corners, at ~0.75 m clearance from the walls so the drone can pass
+    between object and wall.
+    """
+    cx = PAPER_ROOM_WIDTH_M / 2.0
+    cy = PAPER_ROOM_LENGTH_M / 2.0
+    margin = 0.75
+    w = PAPER_ROOM_WIDTH_M
+    h = PAPER_ROOM_LENGTH_M
+    return [
+        SceneObject(ObjectClass.BOTTLE, Vec2(cx - 0.4, cy), name="bottle-center"),
+        SceneObject(ObjectClass.TIN_CAN, Vec2(cx + 0.4, cy), name="can-center"),
+        SceneObject(ObjectClass.BOTTLE, Vec2(margin, margin), name="bottle-sw"),
+        SceneObject(ObjectClass.BOTTLE, Vec2(w - margin, h - margin), name="bottle-ne"),
+        SceneObject(ObjectClass.TIN_CAN, Vec2(w - margin, margin), name="can-se"),
+        SceneObject(ObjectClass.TIN_CAN, Vec2(margin, h - margin), name="can-nw"),
+    ]
+
+
+def cluttered_room(
+    n_obstacles: int = 4,
+    seed: Optional[int] = None,
+    width: float = PAPER_ROOM_WIDTH_M,
+    length: float = PAPER_ROOM_LENGTH_M,
+) -> Room:
+    """A room with random box/cylinder clutter for stress-testing policies.
+
+    Obstacles are kept away from the walls (>= 1 m) and from each other
+    (>= 1 m centre distance) so that every layout remains navigable.
+
+    Args:
+        n_obstacles: how many obstacles to place.
+        seed: RNG seed for a reproducible layout.
+        width: room width in metres.
+        length: room length in metres.
+    """
+    rng = np.random.default_rng(seed)
+    obstacles: List[Obstacle] = []
+    centers: List[Vec2] = []
+    attempts = 0
+    while len(obstacles) < n_obstacles and attempts < 200:
+        attempts += 1
+        x = rng.uniform(1.2, width - 1.2)
+        y = rng.uniform(1.2, length - 1.2)
+        c = Vec2(x, y)
+        if any(c.distance_to(other) < 1.0 for other in centers):
+            continue
+        if rng.uniform() < 0.5:
+            r = rng.uniform(0.10, 0.25)
+            shape = Circle(c, r)
+        else:
+            hw = rng.uniform(0.10, 0.30)
+            hh = rng.uniform(0.10, 0.30)
+            shape = AABB(x - hw, y - hh, x + hw, y + hh)
+        obstacles.append(Obstacle(shape, name=f"clutter-{len(obstacles)}"))
+        centers.append(c)
+    return Room(width, length, obstacles)

@@ -1,0 +1,73 @@
+"""Scene objects that the detection CNN is trained to find.
+
+The paper places three *bottles* and three *tin cans* in the testing room
+(one of each near the centre, four near the corners) and measures the
+closed-loop detection rate over 3-minute flights.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.geometry.vec import Vec2
+
+
+class ObjectClass(enum.Enum):
+    """The two object categories the SSD CNN is trained on."""
+
+    BOTTLE = "bottle"
+    TIN_CAN = "tin_can"
+
+    @property
+    def label_id(self) -> int:
+        """Integer label used by the detector (0 = bottle, 1 = tin can)."""
+        return _LABEL_IDS[self]
+
+    @staticmethod
+    def from_label_id(label_id: int) -> "ObjectClass":
+        """Inverse of :attr:`label_id`."""
+        for cls, idx in _LABEL_IDS.items():
+            if idx == label_id:
+                return cls
+        raise ValueError(f"unknown label id {label_id}")
+
+
+_LABEL_IDS = {ObjectClass.BOTTLE: 0, ObjectClass.TIN_CAN: 1}
+
+#: Physical sizes used both for rendering and for the camera projection
+#: model: (height m, radius m). A wine bottle is ~30 cm tall, a tin can
+#: ~11 cm.
+OBJECT_DIMENSIONS = {
+    ObjectClass.BOTTLE: (0.30, 0.040),
+    ObjectClass.TIN_CAN: (0.11, 0.033),
+}
+
+
+@dataclass
+class SceneObject:
+    """A physical object placed on the floor of the room.
+
+    Attributes:
+        object_class: bottle or tin can.
+        position: ground-plane position of the object's axis.
+        name: optional identifier used in mission event logs.
+    """
+
+    object_class: ObjectClass
+    position: Vec2
+    name: str = field(default="")
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            self.name = f"{self.object_class.value}@({self.position.x:.2f},{self.position.y:.2f})"
+
+    @property
+    def height_m(self) -> float:
+        """Physical height of the object."""
+        return OBJECT_DIMENSIONS[self.object_class][0]
+
+    @property
+    def radius_m(self) -> float:
+        """Physical radius of the object."""
+        return OBJECT_DIMENSIONS[self.object_class][1]

@@ -1,0 +1,130 @@
+"""Rectangular rooms with optional obstacles.
+
+The room exposes a single flattened segment set (walls + obstacle
+boundaries) that the :class:`~repro.geometry.raycast.RayCaster` consumes;
+that one abstraction feeds the ToF sensors, the camera occlusion test and
+the collision checker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Union
+
+from repro.errors import WorldError
+from repro.geometry.raycast import RayCaster
+from repro.geometry.segments import Segment
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.vec import Vec2
+
+ObstacleShape = Union[AABB, Circle]
+
+
+@dataclass(frozen=True)
+class Obstacle:
+    """A static obstacle inside the room."""
+
+    shape: ObstacleShape
+    name: str = ""
+
+    def segments(self) -> List[Segment]:
+        """Boundary segments of the obstacle."""
+        return self.shape.boundary_segments()
+
+    def contains(self, p: Vec2) -> bool:
+        """True if ``p`` is inside the obstacle."""
+        return self.shape.contains(p)
+
+
+class Room:
+    """A rectangular room with walls and optional interior obstacles."""
+
+    def __init__(
+        self,
+        width: float,
+        length: float,
+        obstacles: Optional[Sequence[Obstacle]] = None,
+    ):
+        """Create a room spanning ``[0, width] x [0, length]`` metres.
+
+        Args:
+            width: extent along x, in metres.
+            length: extent along y, in metres.
+            obstacles: interior obstacles; must lie fully inside the walls.
+        """
+        if width <= 0.0 or length <= 0.0:
+            raise WorldError(f"non-positive room dimensions {width} x {length}")
+        self._bounds = AABB(0.0, 0.0, width, length)
+        self._obstacles: List[Obstacle] = list(obstacles or [])
+        for obs in self._obstacles:
+            self._check_inside(obs)
+        self._raycaster = RayCaster(self.all_segments())
+
+    @property
+    def bounds(self) -> AABB:
+        """The wall rectangle."""
+        return self._bounds
+
+    @property
+    def width(self) -> float:
+        return self._bounds.width
+
+    @property
+    def length(self) -> float:
+        return self._bounds.height
+
+    @property
+    def obstacles(self) -> List[Obstacle]:
+        """Interior obstacles (copy)."""
+        return list(self._obstacles)
+
+    @property
+    def raycaster(self) -> RayCaster:
+        """Ray caster over walls + obstacle boundaries."""
+        return self._raycaster
+
+    def all_segments(self) -> List[Segment]:
+        """Walls plus every obstacle boundary."""
+        segs = self._bounds.boundary_segments()
+        for obs in self._obstacles:
+            segs.extend(obs.segments())
+        return segs
+
+    def center(self) -> Vec2:
+        """Geometric centre of the room."""
+        return self._bounds.center
+
+    def is_free(self, p: Vec2, margin: float = 0.0) -> bool:
+        """True if ``p`` is inside the walls and outside every obstacle.
+
+        Args:
+            p: the point to test.
+            margin: clearance required from walls and obstacle boundaries.
+        """
+        if not self._bounds.contains(p, margin=margin):
+            return False
+        for obs in self._obstacles:
+            if obs.contains(p):
+                return False
+            if margin > 0.0 and any(
+                s.distance_to_point(p) < margin for s in obs.segments()
+            ):
+                return False
+        return True
+
+    def clearance(self, p: Vec2) -> float:
+        """Distance from ``p`` to the nearest wall or obstacle boundary.
+
+        Points outside the walls or inside an obstacle report clearance 0.
+        """
+        if not self.is_free(p):
+            return 0.0
+        return min(s.distance_to_point(p) for s in self.all_segments())
+
+    def _check_inside(self, obs: Obstacle) -> None:
+        for seg in obs.segments():
+            for endpoint in (seg.a, seg.b):
+                if not self._bounds.contains(endpoint):
+                    raise WorldError(
+                        f"obstacle {obs.name or obs.shape} extends outside the walls"
+                    )

@@ -1,0 +1,163 @@
+"""Tests for the synthetic datasets and augmentations."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    DetectionDataset,
+    LabeledImage,
+    himax_degrade,
+    make_himax_like,
+    make_openimages_like,
+    photometric_augment,
+    rebalance_with_translation,
+)
+from repro.datasets.augment import (
+    adjust_brightness,
+    flip_horizontal,
+    random_crop,
+    to_grayscale,
+    translate_horizontal,
+)
+from repro.errors import ShapeError
+
+RNG = np.random.default_rng(0)
+
+
+class TestLabeledImage:
+    def test_validation(self):
+        with pytest.raises(ShapeError):
+            LabeledImage(np.zeros((48, 64)), np.zeros((0, 4)), np.zeros(0))
+        with pytest.raises(ShapeError):
+            LabeledImage(np.zeros((3, 8, 8)), np.zeros((1, 4)), np.zeros(2))
+
+
+class TestGenerators:
+    def test_openimages_like_properties(self):
+        ds = make_openimages_like(20, hw=(48, 64), seed=0)
+        assert len(ds) == 20
+        for item in ds:
+            assert item.image.shape == (3, 48, 64)
+            assert item.image.min() >= 0.0 and item.image.max() <= 1.0
+            assert item.boxes.shape[0] == item.labels.shape[0] >= 1
+            assert np.all(item.boxes[:, 2] > item.boxes[:, 0])
+            assert np.all(item.boxes[:, 3] > item.boxes[:, 1])
+            assert np.all(item.boxes >= 0.0) and np.all(item.boxes <= 1.0)
+            assert set(item.labels.tolist()) <= {0, 1}
+
+    def test_class_imbalance_matches_paper(self):
+        ds = make_openimages_like(200, seed=1)
+        bottles, cans = ds.class_counts()
+        assert bottles > 5 * cans  # the paper's subset is ~9:1
+
+    def test_himax_is_grayscale(self):
+        ds = make_himax_like(5, seed=2)
+        for item in ds:
+            np.testing.assert_allclose(item.image[0], item.image[1])
+            np.testing.assert_allclose(item.image[1], item.image[2])
+
+    def test_domains_differ(self):
+        clean = make_openimages_like(5, seed=3)
+        degraded = make_himax_like(5, seed=3)
+        # The degradation visibly changes pixel statistics.
+        assert abs(clean[0].image.std() - degraded[0].image.std()) > 0.0
+
+    def test_reproducible(self):
+        a = make_openimages_like(3, seed=7)
+        b = make_openimages_like(3, seed=7)
+        np.testing.assert_array_equal(a[0].image, b[0].image)
+
+    def test_himax_degrade_shapes(self):
+        img = RNG.uniform(size=(3, 48, 64))
+        out = himax_degrade(img, np.random.default_rng(0))
+        assert out.shape == (3, 48, 64)
+        assert out.min() >= 0.0 and out.max() <= 1.0
+
+
+class TestDataset:
+    def test_split_partitions(self):
+        ds = make_openimages_like(20, seed=0)
+        a, b = ds.split([0.75, 0.25], seed=1)
+        assert len(a) + len(b) == 20
+        assert len(a) == 15
+
+    def test_split_validation(self):
+        ds = make_openimages_like(4, seed=0)
+        with pytest.raises(ValueError):
+            ds.split([0.5, 0.2])
+
+    def test_batches(self):
+        ds = make_openimages_like(10, seed=0)
+        batches = list(ds.batches(4))
+        assert [b[0].shape[0] for b in batches] == [4, 4, 2]
+        images, boxes, labels = batches[0]
+        assert images.shape[1:] == (3, 48, 64)
+        assert len(boxes) == len(labels) == 4
+
+    def test_batches_shuffled(self):
+        ds = make_openimages_like(10, seed=0)
+        plain = next(iter(ds.batches(10)))[0]
+        shuffled = next(iter(ds.batches(10, np.random.default_rng(3))))[0]
+        assert not np.array_equal(plain, shuffled)
+
+
+class TestAugmentations:
+    def _item(self):
+        return make_openimages_like(1, seed=5)[0]
+
+    def test_flip_involution(self):
+        item = self._item()
+        img2, boxes2 = flip_horizontal(*flip_horizontal(item.image, item.boxes))
+        np.testing.assert_allclose(img2, item.image)
+        np.testing.assert_allclose(boxes2, item.boxes)
+
+    def test_flip_boxes_valid(self):
+        item = self._item()
+        _, boxes = flip_horizontal(item.image, item.boxes)
+        assert np.all(boxes[:, 2] > boxes[:, 0])
+
+    def test_brightness_clips(self):
+        img = adjust_brightness(np.full((3, 4, 4), 0.9), 2.0)
+        assert img.max() == 1.0
+
+    def test_grayscale_channels_equal(self):
+        g = to_grayscale(self._item().image)
+        np.testing.assert_allclose(g[0], g[2])
+
+    def test_random_crop_keeps_resolution(self):
+        item = self._item()
+        img, boxes, labels = random_crop(
+            item.image, item.boxes, item.labels, np.random.default_rng(0)
+        )
+        assert img.shape == item.image.shape
+        assert boxes.shape[0] == labels.shape[0]
+        if boxes.size:
+            assert np.all(boxes >= 0.0) and np.all(boxes <= 1.0)
+
+    def test_photometric_augment_valid(self):
+        for seed in range(10):
+            out = photometric_augment(self._item(), np.random.default_rng(seed))
+            assert out.image.shape == (3, 48, 64)
+            assert out.image.min() >= 0.0 and out.image.max() <= 1.0
+
+    def test_translate_horizontal(self):
+        item = self._item()
+        out = translate_horizontal(item, np.random.default_rng(1))
+        assert out.image.shape == item.image.shape
+        if out.boxes.size:
+            assert np.all(out.boxes >= 0.0) and np.all(out.boxes <= 1.0)
+
+
+class TestRebalancing:
+    def test_improves_balance(self):
+        ds = make_openimages_like(100, seed=0)
+        before = ds.class_counts()
+        after = rebalance_with_translation(ds, seed=1).class_counts()
+        ratio_before = before[0] / max(before[1], 1)
+        ratio_after = after[0] / max(after[1], 1)
+        assert ratio_after < ratio_before
+
+    def test_no_minority_noop(self):
+        ds = make_openimages_like(10, seed=0, bottle_fraction=1.0)
+        out = rebalance_with_translation(ds, seed=1)
+        assert len(out) == len(ds)

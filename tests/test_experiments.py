@@ -1,0 +1,75 @@
+"""Smoke tests of the experiment regenerators at minimal scale."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import SMOKE_SCALE
+from repro.experiments.config import quick
+from repro.experiments import fig3, fig5, fig6, table2, table3, table4
+from repro.experiments.reporting import ascii_series, ascii_table
+
+TINY = quick(SMOKE_SCALE, n_runs=1, flight_time_s=30.0)
+
+
+class TestReporting:
+    def test_ascii_table(self):
+        out = ascii_table(["a", "bb"], [["1", "22"], ["333", "4"]], title="t")
+        lines = out.split("\n")
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_ascii_table_validates(self):
+        with pytest.raises(ValueError):
+            ascii_table(["a"], [["1", "2"]])
+
+    def test_ascii_series(self):
+        out = ascii_series([0.0, 1.0, 2.0], [0.0, 0.5, 1.0], label="cov")
+        assert "cov" in out
+
+
+class TestTable2:
+    def test_runs_and_formats(self):
+        result = table2.run(TINY)
+        text = table2.format_table(result)
+        assert "MMAC" in text
+        assert len(result.rows) == 3
+
+
+class TestTable4:
+    def test_runs_and_formats(self):
+        result = table4.run(TINY)
+        text = table4.format_table(result)
+        assert "Motors" in text
+        assert result.breakdown.total_w > 7.0
+
+
+class TestFlightExperiments:
+    def test_fig3(self):
+        result = fig3.run(TINY)
+        assert set(result.grids) == {
+            "pseudo-random",
+            "wall-following",
+            "spiral",
+            "rotate-and-measure",
+        }
+        text = fig3.format_maps(result)
+        assert "coverage" in text
+
+    def test_fig5(self):
+        result = fig5.run(TINY, speeds=(0.5,))
+        assert len(result.coverage) == 4
+        assert all(0.0 <= v <= 1.0 for v in result.coverage.values())
+
+    def test_table3(self):
+        result = table3.run(TINY, widths=("1.0",), speeds=(0.5,))
+        assert len(result.rates) == 4
+        text = table3.format_table(result)
+        assert "pseudo-random" in text
+
+    def test_fig6(self):
+        result = fig6.run(TINY)
+        assert result.mean_coverage.shape == result.grid_times.shape
+        assert (np.diff(result.mean_coverage) >= -1e-9).all()
+        text = fig6.format_figure(result)
+        assert "coverage" in text

@@ -1,0 +1,87 @@
+"""Tests for repro.geometry.raycast."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.raycast import RayCaster
+from repro.geometry.segments import Segment, ray_segment_intersection
+from repro.geometry.shapes import AABB
+from repro.geometry.vec import Vec2
+
+
+@pytest.fixture
+def unit_box_caster():
+    return RayCaster(AABB(0.0, 0.0, 4.0, 3.0).boundary_segments())
+
+
+class TestRayCaster:
+    def test_needs_segments(self):
+        with pytest.raises(GeometryError):
+            RayCaster([])
+
+    def test_axis_hits(self, unit_box_caster):
+        origin = Vec2(1.0, 1.0)
+        assert unit_box_caster.cast(origin, 0.0) == pytest.approx(3.0)
+        assert unit_box_caster.cast(origin, math.pi) == pytest.approx(1.0)
+        assert unit_box_caster.cast(origin, math.pi / 2) == pytest.approx(2.0)
+        assert unit_box_caster.cast(origin, -math.pi / 2) == pytest.approx(1.0)
+
+    def test_max_range_saturation(self, unit_box_caster):
+        assert unit_box_caster.cast(Vec2(1.0, 1.0), 0.0, max_range=2.0) == 2.0
+
+    def test_cast_hit_none_outside(self):
+        caster = RayCaster([Segment(Vec2(1.0, -1.0), Vec2(1.0, 1.0))])
+        assert caster.cast_hit(Vec2(0.0, 0.0), math.pi) is None
+
+    def test_cast_many(self, unit_box_caster):
+        d = unit_box_caster.cast_many(Vec2(2.0, 1.5), [0.0, math.pi])
+        assert d.shape == (2,)
+        assert d[0] == pytest.approx(2.0)
+        assert d[1] == pytest.approx(2.0)
+
+    def test_matches_scalar_implementation(self):
+        rng = np.random.default_rng(0)
+        segs = [
+            Segment(
+                Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5)),
+                Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5)),
+            )
+            for _ in range(20)
+        ]
+        caster = RayCaster(segs)
+        for _ in range(50):
+            origin = Vec2(rng.uniform(-5, 5), rng.uniform(-5, 5))
+            heading = rng.uniform(-math.pi, math.pi)
+            expected = [
+                d
+                for d in (
+                    ray_segment_intersection(origin, heading, s) for s in segs
+                )
+                if d is not None
+            ]
+            got = caster.cast_hit(origin, heading)
+            if not expected:
+                assert got is None
+            else:
+                assert got == pytest.approx(min(expected), abs=1e-9)
+
+    def test_line_of_sight(self, unit_box_caster):
+        assert unit_box_caster.line_of_sight(Vec2(1.0, 1.0), Vec2(3.0, 2.0))
+
+    def test_line_of_sight_blocked(self):
+        wall = Segment(Vec2(1.0, -1.0), Vec2(1.0, 1.0))
+        caster = RayCaster([wall])
+        assert not caster.line_of_sight(Vec2(0.0, 0.0), Vec2(2.0, 0.0))
+        # Target just in front of the wall is visible.
+        assert caster.line_of_sight(Vec2(0.0, 0.0), Vec2(0.9, 0.0))
+
+    @given(st.floats(-math.pi, math.pi))
+    def test_cast_inside_box_always_hits(self, heading):
+        caster = RayCaster(AABB(0.0, 0.0, 4.0, 3.0).boundary_segments())
+        d = caster.cast_hit(Vec2(2.0, 1.5), heading)
+        assert d is not None
+        assert 0.0 < d <= math.hypot(2.0, 1.5) + 1e-6

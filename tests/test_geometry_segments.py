@@ -1,0 +1,106 @@
+"""Tests for repro.geometry.segments and repro.geometry.shapes."""
+
+import math
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.segments import Segment, ray_segment_intersection
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.vec import Vec2
+
+
+class TestSegment:
+    def test_degenerate_rejected(self):
+        with pytest.raises(GeometryError):
+            Segment(Vec2(1.0, 1.0), Vec2(1.0, 1.0))
+
+    def test_length_direction(self):
+        s = Segment(Vec2(0.0, 0.0), Vec2(3.0, 4.0))
+        assert s.length() == pytest.approx(5.0)
+        d = s.direction()
+        assert d.x == pytest.approx(0.6)
+        assert d.y == pytest.approx(0.8)
+
+    def test_midpoint_point_at(self):
+        s = Segment(Vec2(0.0, 0.0), Vec2(2.0, 0.0))
+        assert s.midpoint() == Vec2(1.0, 0.0)
+        assert s.point_at(0.25) == Vec2(0.5, 0.0)
+
+    def test_distance_to_point(self):
+        s = Segment(Vec2(0.0, 0.0), Vec2(2.0, 0.0))
+        assert s.distance_to_point(Vec2(1.0, 1.0)) == pytest.approx(1.0)
+        assert s.distance_to_point(Vec2(3.0, 0.0)) == pytest.approx(1.0)  # clamps
+
+
+class TestRaySegment:
+    def test_perpendicular_hit(self):
+        seg = Segment(Vec2(1.0, -1.0), Vec2(1.0, 1.0))
+        assert ray_segment_intersection(Vec2(0.0, 0.0), 0.0, seg) == pytest.approx(1.0)
+
+    def test_miss_behind(self):
+        seg = Segment(Vec2(-1.0, -1.0), Vec2(-1.0, 1.0))
+        assert ray_segment_intersection(Vec2(0.0, 0.0), 0.0, seg) is None
+
+    def test_parallel(self):
+        seg = Segment(Vec2(0.0, 1.0), Vec2(2.0, 1.0))
+        assert ray_segment_intersection(Vec2(0.0, 0.0), 0.0, seg) is None
+
+    def test_oblique(self):
+        seg = Segment(Vec2(2.0, 0.0), Vec2(0.0, 2.0))
+        d = ray_segment_intersection(Vec2(0.0, 0.0), math.pi / 4, seg)
+        assert d == pytest.approx(math.sqrt(2.0))
+
+    def test_off_segment_miss(self):
+        seg = Segment(Vec2(1.0, 1.0), Vec2(1.0, 2.0))
+        assert ray_segment_intersection(Vec2(0.0, 0.0), 0.0, seg) is None
+
+
+class TestAABB:
+    def test_empty_rejected(self):
+        with pytest.raises(GeometryError):
+            AABB(0.0, 0.0, 0.0, 1.0)
+
+    def test_properties(self):
+        box = AABB(0.0, 0.0, 4.0, 2.0)
+        assert box.width == 4.0
+        assert box.height == 2.0
+        assert box.area == 8.0
+        assert box.center == Vec2(2.0, 1.0)
+
+    def test_contains_margin(self):
+        box = AABB(0.0, 0.0, 4.0, 2.0)
+        assert box.contains(Vec2(1.0, 1.0))
+        assert not box.contains(Vec2(5.0, 1.0))
+        assert not box.contains(Vec2(0.2, 1.0), margin=0.5)
+
+    def test_boundary_segments(self):
+        box = AABB(0.0, 0.0, 1.0, 1.0)
+        segs = box.boundary_segments()
+        assert len(segs) == 4
+        assert sum(s.length() for s in segs) == pytest.approx(4.0)
+
+    def test_inflate(self):
+        box = AABB(0.0, 0.0, 1.0, 1.0).inflate(0.5)
+        assert box.xmin == -0.5 and box.ymax == 1.5
+
+
+class TestCircle:
+    def test_bad_radius(self):
+        with pytest.raises(GeometryError):
+            Circle(Vec2(0.0, 0.0), 0.0)
+
+    def test_contains(self):
+        c = Circle(Vec2(0.0, 0.0), 1.0)
+        assert c.contains(Vec2(0.5, 0.5))
+        assert not c.contains(Vec2(1.0, 1.0))
+
+    def test_boundary_polygon(self):
+        c = Circle(Vec2(0.0, 0.0), 1.0)
+        segs = c.boundary_segments(sides=32)
+        assert len(segs) == 32
+        # Perimeter approximates 2*pi*r from below.
+        total = sum(s.length() for s in segs)
+        assert total == pytest.approx(2 * math.pi, rel=0.01)
+        with pytest.raises(GeometryError):
+            c.boundary_segments(sides=2)

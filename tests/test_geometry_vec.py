@@ -1,0 +1,98 @@
+"""Tests for repro.geometry.vec."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.geometry.vec import (
+    Vec2,
+    angle_diff,
+    heading_to_unit,
+    normalize_angle,
+    rotate,
+)
+
+finite = st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False)
+
+
+class TestVec2:
+    def test_add_sub(self):
+        a, b = Vec2(1.0, 2.0), Vec2(3.0, -1.0)
+        assert a + b == Vec2(4.0, 1.0)
+        assert a - b == Vec2(-2.0, 3.0)
+
+    def test_scalar_mul(self):
+        assert 2.0 * Vec2(1.5, -2.0) == Vec2(3.0, -4.0)
+        assert Vec2(1.5, -2.0) * 2.0 == Vec2(3.0, -4.0)
+
+    def test_neg(self):
+        assert -Vec2(1.0, -2.0) == Vec2(-1.0, 2.0)
+
+    def test_dot_cross(self):
+        assert Vec2(1.0, 0.0).dot(Vec2(0.0, 1.0)) == 0.0
+        assert Vec2(1.0, 0.0).cross(Vec2(0.0, 1.0)) == 1.0
+        assert Vec2(0.0, 1.0).cross(Vec2(1.0, 0.0)) == -1.0
+
+    def test_norm(self):
+        assert Vec2(3.0, 4.0).norm() == pytest.approx(5.0)
+        assert Vec2(3.0, 4.0).norm_sq() == pytest.approx(25.0)
+
+    def test_normalized(self):
+        n = Vec2(3.0, 4.0).normalized()
+        assert n.norm() == pytest.approx(1.0)
+        with pytest.raises(ZeroDivisionError):
+            Vec2(0.0, 0.0).normalized()
+
+    def test_distance(self):
+        assert Vec2(0.0, 0.0).distance_to(Vec2(3.0, 4.0)) == pytest.approx(5.0)
+
+    def test_heading(self):
+        assert Vec2(1.0, 1.0).heading() == pytest.approx(math.pi / 4)
+
+    def test_array_roundtrip(self):
+        v = Vec2(1.25, -2.5)
+        assert Vec2.from_array(v.as_array()) == v
+
+
+class TestAngles:
+    @pytest.mark.parametrize(
+        "angle,expected",
+        [
+            (0.0, 0.0),
+            (math.pi, math.pi),
+            (-math.pi, math.pi),
+            (3 * math.pi, math.pi),
+            (2 * math.pi, 0.0),
+            (-math.pi / 2, -math.pi / 2),
+        ],
+    )
+    def test_normalize_angle(self, angle, expected):
+        assert normalize_angle(angle) == pytest.approx(expected)
+
+    @given(st.floats(-100.0, 100.0))
+    def test_normalize_angle_range(self, angle):
+        wrapped = normalize_angle(angle)
+        assert -math.pi < wrapped <= math.pi + 1e-12
+
+    @given(st.floats(-10.0, 10.0), st.floats(-10.0, 10.0))
+    def test_angle_diff_antisymmetric(self, a, b):
+        assert angle_diff(a, b) == pytest.approx(-angle_diff(b, a), abs=1e-9) or (
+            abs(abs(angle_diff(a, b)) - math.pi) < 1e-9
+        )
+
+    def test_heading_to_unit(self):
+        v = heading_to_unit(math.pi / 2)
+        assert v.x == pytest.approx(0.0, abs=1e-12)
+        assert v.y == pytest.approx(1.0)
+
+    @given(st.floats(-6.0, 6.0), st.floats(-6.0, 6.0))
+    def test_rotate_preserves_norm(self, angle, x):
+        v = Vec2(x, 1.0)
+        assert rotate(v, angle).norm() == pytest.approx(v.norm(), rel=1e-9)
+
+    def test_rotate_quarter(self):
+        r = rotate(Vec2(1.0, 0.0), math.pi / 2)
+        assert r.x == pytest.approx(0.0, abs=1e-12)
+        assert r.y == pytest.approx(1.0)

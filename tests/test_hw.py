@@ -1,0 +1,142 @@
+"""Tests for the hardware models (cost, GAP8, memory, deploy, power, STM32)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeploymentError, ReproError
+from repro.hw import (
+    AIDeckPowerModel,
+    GAP8Config,
+    GAP8PerformanceModel,
+    GAPFlowDeployer,
+    STM32LoadModel,
+    analyze_memory,
+    platform_power_breakdown,
+    trace_detector,
+)
+from repro.hw.cost import CostReport, LayerCost
+from repro.hw.power import hover_motor_power_w
+from repro.policies import POLICY_NAMES
+from repro.vision import SSDDetector, full_scale_spec, tiny_spec
+
+
+@pytest.fixture(scope="module")
+def plan_1_0():
+    return GAPFlowDeployer().plan(SSDDetector(full_scale_spec(1.0)))
+
+
+class TestCostTrace:
+    def test_macs_match_forward(self):
+        # The analytic trace must agree with an actual forward pass's shapes.
+        det = SSDDetector(tiny_spec(1.0))
+        report = trace_detector(det)
+        assert report.total_params == det.num_parameters()
+        conf, _ = det.forward(np.zeros((1, 3, 48, 64)))
+        assert conf.shape[1] == det.num_anchors
+
+    def test_full_scale_macs_in_paper_band(self, plan_1_0):
+        # Paper Table II: 534 / 358 / 193 MMAC.
+        assert 400e6 < plan_1_0.cost.total_macs < 700e6
+        half = GAPFlowDeployer().plan(SSDDetector(full_scale_spec(0.5)))
+        assert 130e6 < half.cost.total_macs < 260e6
+
+    def test_kinds_partition(self, plan_1_0):
+        by_kind = plan_1_0.cost.macs_by_kind()
+        assert sum(by_kind.values()) == plan_1_0.cost.total_macs
+        assert by_kind["pointwise"] > by_kind["depthwise"]
+
+
+class TestGAP8Model:
+    def test_efficiency_band(self, plan_1_0):
+        # Paper: 5.3-5.9 MAC/cycle overall.
+        eff = plan_1_0.performance.efficiency_mac_per_cycle
+        assert 4.5 <= eff <= 6.6
+
+    def test_fps_band(self, plan_1_0):
+        assert 1.0 <= plan_1_0.performance.fps <= 2.5
+
+    def test_unknown_kind_rejected(self):
+        model = GAP8PerformanceModel()
+        with pytest.raises(ReproError):
+            model.layer_cycles("fft", 1000)
+
+    def test_zero_macs_free(self):
+        assert GAP8PerformanceModel().layer_cycles("norm", 0) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ReproError):
+            GAP8Config(cluster_freq_hz=0.0)
+
+
+class TestMemory:
+    def test_weights_in_hyperram(self, plan_1_0):
+        assert plan_1_0.memory.weights_location == "HyperRAM"
+        assert plan_1_0.memory.weight_bytes == plan_1_0.cost.total_params
+
+    def test_tiny_weights_fit_l2(self):
+        report = trace_detector(SSDDetector(tiny_spec(0.5)))
+        mem = analyze_memory(report)
+        assert mem.weights_location == "L2"
+
+    def test_tiling_splits_large_layers(self, plan_1_0):
+        assert plan_1_0.memory.max_tiles > 1  # QVGA stem activations > 250 kB
+
+    def test_untileable_layer_rejected(self):
+        layer = LayerCost(
+            name="huge",
+            kind="conv",
+            macs=1,
+            params=1,
+            in_shape=(512, 1, 4096),
+            out_shape=(512, 1, 4096),
+        )
+        report = CostReport(name="x", input_hw=(1, 4096), layers=[layer])
+        with pytest.raises(DeploymentError):
+            analyze_memory(report)
+
+
+class TestPower:
+    def test_paper_calibration(self):
+        # 27 g hover should land on the paper's 7.32 W measurement.
+        assert hover_motor_power_w(0.027) == pytest.approx(7.32, rel=0.02)
+
+    def test_breakdown_shares(self):
+        bd = platform_power_breakdown(0.134)
+        pct = bd.percentages()
+        assert pct["Motors"] == pytest.approx(91.3, abs=1.0)
+        assert bd.total_w == pytest.approx(8.02, abs=0.15)
+        assert sum(pct.values()) == pytest.approx(100.0)
+
+    def test_ai_deck_power_band(self, plan_1_0):
+        p = AIDeckPowerModel().power_w(plan_1_0.performance)
+        assert 0.10 <= p <= 0.16  # paper: 134.5-143.5 mW
+
+    def test_energy_per_frame(self, plan_1_0):
+        e = AIDeckPowerModel().energy_per_frame_j(plan_1_0.performance)
+        assert e == pytest.approx(
+            AIDeckPowerModel().power_w(plan_1_0.performance)
+            / plan_1_0.performance.fps,
+            rel=1e-6,
+        )
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            hover_motor_power_w(-1.0)
+        with pytest.raises(ReproError):
+            hover_motor_power_w(0.027, figure_of_merit=2.0)
+
+
+class TestSTM32:
+    def test_all_policies_fit_easily(self):
+        load = STM32LoadModel()
+        for name in POLICY_NAMES:
+            assert load.policy_load(name) < 0.001  # << 0.1% of the MCU
+            assert load.headroom(name) > 0.9
+
+    def test_flight_stack_dominates(self):
+        load = STM32LoadModel()
+        assert load.flight_stack_load() > load.policy_load("pseudo-random") * 100
+
+    def test_unknown_policy(self):
+        with pytest.raises(ReproError):
+            STM32LoadModel().policy_load("astar")

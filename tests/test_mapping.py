@@ -1,0 +1,104 @@
+"""Tests for repro.mapping: occupancy grid, mocap tracker, coverage."""
+
+import numpy as np
+import pytest
+
+from repro.drone.dynamics import DroneState
+from repro.errors import WorldError
+from repro.geometry.vec import Vec2
+from repro.mapping import CoverageSeries, MotionCaptureTracker, OccupancyGrid
+from repro.world import Room, paper_room
+
+
+class TestOccupancyGrid:
+    def test_paper_cell_count(self):
+        grid = OccupancyGrid(paper_room())
+        assert grid.n_cells == 143  # 13 x 11 cells of 0.5 m (paper Sec. IV-B)
+
+    def test_bad_cell_size(self):
+        with pytest.raises(WorldError):
+            OccupancyGrid(paper_room(), cell_size=0.0)
+
+    def test_cell_of_clamps(self):
+        grid = OccupancyGrid(Room(2.0, 2.0))
+        assert grid.cell_of(Vec2(0.1, 0.1)) == (0, 0)
+        assert grid.cell_of(Vec2(2.0, 2.0)) == (grid.nx - 1, grid.ny - 1)
+        assert grid.cell_of(Vec2(-1.0, 5.0)) == (0, grid.ny - 1)
+
+    def test_record_and_coverage(self):
+        grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
+        assert grid.n_cells == 4
+        grid.record(Vec2(0.25, 0.25), 0.1)
+        grid.record(Vec2(0.75, 0.25), 0.1)
+        assert grid.visited_count() == 2
+        assert grid.coverage() == pytest.approx(0.5)
+
+    def test_occupancy_time_accumulates(self):
+        grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
+        for _ in range(5):
+            grid.record(Vec2(0.25, 0.25), 0.02)
+        assert grid.occupancy_time[0, 0] == pytest.approx(0.1)
+
+    def test_heatmap_cap(self):
+        grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
+        grid.record(Vec2(0.25, 0.25), 100.0)
+        assert grid.heatmap(cap_seconds=18.0).max() == 18.0
+
+    def test_render_ascii(self):
+        grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
+        grid.record(Vec2(0.25, 0.25), 5.0)
+        art = grid.render_ascii()
+        lines = art.split("\n")
+        assert len(lines) == grid.ny
+        assert lines[-1][0] != "."  # visited bottom-left cell
+        assert lines[0][1] == "."  # untouched top-right cell
+
+
+class TestMocapTracker:
+    def test_rate_limiting(self):
+        tracker = MotionCaptureTracker(paper_room(), rate_hz=50.0)
+        s0 = DroneState(Vec2(1.0, 1.0), 0.0, time=0.0)
+        s1 = DroneState(Vec2(1.0, 1.0), 0.0, time=0.01)  # 10 ms later
+        s2 = DroneState(Vec2(1.0, 1.0), 0.0, time=0.02)  # 20 ms
+        assert tracker.observe(s0)
+        assert not tracker.observe(s1)
+        assert tracker.observe(s2)
+        assert len(tracker.samples) == 2
+
+    def test_coverage_reported(self):
+        tracker = MotionCaptureTracker(paper_room())
+        tracker.observe(DroneState(Vec2(1.0, 1.0), 0.0, time=0.0))
+        assert tracker.coverage() == pytest.approx(1.0 / 143.0)
+
+
+class TestCoverageSeries:
+    def test_monotone_time_enforced(self):
+        s = CoverageSeries()
+        s.append(0.0, 0.0)
+        s.append(1.0, 0.1)
+        with pytest.raises(ValueError):
+            s.append(0.5, 0.2)
+
+    def test_at_interpolates_stepwise(self):
+        s = CoverageSeries()
+        s.append(0.0, 0.0)
+        s.append(10.0, 0.5)
+        assert s.at(-1.0) == 0.0
+        assert s.at(5.0) == 0.0
+        assert s.at(10.0) == 0.5
+        assert s.at(100.0) == 0.5
+        assert s.final() == 0.5
+
+    def test_mean_and_variance(self):
+        a, b = CoverageSeries(), CoverageSeries()
+        for t, va, vb in [(0.0, 0.0, 0.0), (10.0, 0.2, 0.4)]:
+            a.append(t, va)
+            b.append(t, vb)
+        grid = np.array([0.0, 10.0])
+        mean, var = CoverageSeries.mean_and_variance([a, b], grid)
+        assert mean[1] == pytest.approx(0.3)
+        assert var[1] == pytest.approx(0.01)
+
+    def test_mean_requires_series(self):
+        with pytest.raises(ValueError):
+            CoverageSeries.mean_and_variance([], np.array([0.0]))

@@ -1,0 +1,191 @@
+"""Tests for the mission runners and the calibrated detector model."""
+
+import numpy as np
+import pytest
+
+from repro.drone.dynamics import DroneState
+from repro.errors import MissionError
+from repro.geometry.vec import Vec2
+from repro.mission import (
+    CalibratedDetectorModel,
+    ClosedLoopMission,
+    DetectorOperatingPoint,
+    ExplorationMission,
+)
+from repro.mission.detector_model import paper_operating_points
+from repro.policies import PolicyConfig, PseudoRandomPolicy
+from repro.sensors.camera import HimaxCamera, ObjectObservation
+from repro.world import ObjectClass, SceneObject, paper_object_layout, paper_room
+
+
+@pytest.fixture
+def room():
+    return paper_room()
+
+
+def make_observation(distance=1.0, bearing=0.0, bbox=(140, 80, 180, 200)):
+    obj = SceneObject(ObjectClass.BOTTLE, Vec2(2.0, 2.0))
+    return ObjectObservation(obj=obj, distance_m=distance, bearing_rad=bearing, bbox=bbox)
+
+
+def state(x=1.0, y=1.0, speed=0.0, yaw_rate=0.0, time=0.0):
+    return DroneState(
+        position=Vec2(x, y), heading=0.0, vx_body=speed, vy_body=0.0,
+        yaw_rate=yaw_rate, time=time,
+    )
+
+
+class TestOperatingPoints:
+    def test_paper_defaults(self):
+        pts = paper_operating_points()
+        assert pts["1.0"].fps == 1.6
+        assert pts["0.5"].fps == 4.3
+        assert pts["1.0"].map_score > pts["0.75"].map_score
+
+    def test_validation(self):
+        with pytest.raises(MissionError):
+            DetectorOperatingPoint("x", fps=0.0, map_score=0.5)
+        with pytest.raises(MissionError):
+            DetectorOperatingPoint("x", fps=1.0, map_score=1.5)
+
+
+class TestCalibratedModel:
+    def test_better_map_more_probable(self):
+        strong = CalibratedDetectorModel(DetectorOperatingPoint("a", 1.6, 0.6))
+        weak = CalibratedDetectorModel(DetectorOperatingPoint("b", 1.6, 0.3))
+        obs = make_observation()
+        assert strong.frame_probability(obs, state()) > weak.frame_probability(
+            obs, state()
+        )
+
+    def test_small_objects_harder(self):
+        model = CalibratedDetectorModel(paper_operating_points()["1.0"])
+        big = make_observation(bbox=(100, 20, 220, 220))
+        small = make_observation(bbox=(150, 110, 170, 130))
+        assert model.size_factor(big) > model.size_factor(small)
+
+    def test_motion_blur_hurts(self):
+        model = CalibratedDetectorModel(paper_operating_points()["1.0"])
+        obs = make_observation()
+        assert model.blur_factor(obs, state(speed=1.5)) < model.blur_factor(
+            obs, state(speed=0.0)
+        )
+
+    def test_spin_blur_hurts_more_than_translation(self):
+        model = CalibratedDetectorModel(paper_operating_points()["1.0"])
+        obs = make_observation(distance=2.0)
+        spin = model.blur_factor(obs, state(yaw_rate=1.8))
+        translate = model.blur_factor(obs, state(speed=0.5))
+        assert spin < translate
+
+    def test_trial_correlation(self):
+        model = CalibratedDetectorModel(paper_operating_points()["1.0"])
+        model.reset()
+        obs = make_observation()
+        rng = np.random.default_rng(0)
+        s = state(time=0.0)
+        model.detect([obs], s, rng)
+        # Same pose an instant later: no new trial is granted.
+        assert not model._trial_allowed(obs, state(time=0.1))
+        # After moving, a trial is granted again.
+        assert model._trial_allowed(obs, state(x=2.0, time=0.2))
+        # And after the timeout, even in place.
+        assert model._trial_allowed(obs, state(time=10.0))
+
+    def test_reset_clears_history(self):
+        model = CalibratedDetectorModel(paper_operating_points()["1.0"])
+        model.detect([make_observation()], state(), np.random.default_rng(0))
+        model.reset()
+        assert model._trial_allowed(make_observation(), state(time=0.05))
+
+    def test_probability_in_unit_interval(self):
+        model = CalibratedDetectorModel(paper_operating_points()["1.0"])
+        for speed in (0.0, 0.5, 1.0, 2.0):
+            p = model.frame_probability(make_observation(), state(speed=speed))
+            assert 0.0 <= p <= 1.0
+
+
+class TestExplorationMission:
+    def test_coverage_grows_with_time(self, room):
+        short = ExplorationMission(
+            room, PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5)), flight_time_s=20.0
+        ).run(seed=0)
+        long = ExplorationMission(
+            room, PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5)), flight_time_s=90.0
+        ).run(seed=0)
+        assert long.coverage > short.coverage
+
+    def test_reproducible(self, room):
+        def fly():
+            mission = ExplorationMission(
+                room,
+                PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5)),
+                flight_time_s=30.0,
+            )
+            return mission.run(seed=5)
+
+        assert fly().coverage == fly().coverage
+
+    def test_no_collisions_at_cruise(self, room):
+        result = ExplorationMission(
+            room, PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5)), flight_time_s=60.0
+        ).run(seed=1)
+        assert result.collisions == 0
+
+    def test_bad_flight_time(self, room):
+        with pytest.raises(MissionError):
+            ExplorationMission(room, PseudoRandomPolicy(), flight_time_s=0.0)
+
+
+class TestClosedLoopMission:
+    def _mission(self, room, flight_time=60.0):
+        op = paper_operating_points()["1.0"]
+        return ClosedLoopMission(
+            room,
+            paper_object_layout(),
+            PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5)),
+            CalibratedDetectorModel(op),
+            op,
+            flight_time_s=flight_time,
+        )
+
+    def test_runs_and_reports(self, room):
+        result = self._mission(room).run(seed=3)
+        assert 0.0 <= result.detection_rate <= 1.0
+        assert result.frames_processed > 60  # ~1.6 FPS * 60 s
+        assert 0.0 < result.coverage <= 1.0
+        # Events are unique per object and time-ordered.
+        names = [e.object_name for e in result.events]
+        assert len(names) == len(set(names))
+        times = [e.time_s for e in result.events]
+        assert times == sorted(times)
+
+    def test_frame_pacing(self, room):
+        result = self._mission(room, flight_time=30.0).run(seed=4)
+        assert result.frames_processed == pytest.approx(30.0 * 1.6, abs=2)
+
+    def test_needs_objects(self, room):
+        op = paper_operating_points()["1.0"]
+        with pytest.raises(MissionError):
+            ClosedLoopMission(
+                room, [], PseudoRandomPolicy(), CalibratedDetectorModel(op), op
+            )
+
+    def test_unique_names_required(self, room):
+        op = paper_operating_points()["1.0"]
+        objs = [
+            SceneObject(ObjectClass.BOTTLE, Vec2(1.0, 1.0), name="same"),
+            SceneObject(ObjectClass.TIN_CAN, Vec2(2.0, 2.0), name="same"),
+        ]
+        with pytest.raises(MissionError):
+            ClosedLoopMission(
+                room, objs, PseudoRandomPolicy(), CalibratedDetectorModel(op), op
+            )
+
+    def test_time_to_full_detection(self, room):
+        result = self._mission(room, flight_time=120.0).run(seed=6)
+        full = result.time_to_full_detection()
+        if result.detection_rate == 1.0:
+            assert full == max(e.time_s for e in result.events)
+        else:
+            assert full is None

@@ -1,0 +1,112 @@
+"""Tests for the Module/Parameter infrastructure and serialization."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm2d, Conv2d, ReLU6, Sequential, load_state, save_state
+from repro.nn.module import Module, Parameter
+
+
+class TestParameter:
+    def test_grad_shape(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert p.size == 6
+        p.grad += 1.0
+        p.zero_grad()
+        assert np.all(p.grad == 0.0)
+
+
+class TestModuleTree:
+    def test_named_parameters(self):
+        seq = Sequential(Conv2d(3, 4, 3, rng=np.random.default_rng(0)), BatchNorm2d(4))
+        names = [n for n, _ in seq.named_parameters()]
+        assert "layer0.weight" in names
+        assert "layer1.gamma" in names
+
+    def test_num_parameters(self):
+        conv = Conv2d(3, 4, 3, bias=True)
+        assert conv.num_parameters() == 3 * 4 * 9 + 4
+
+    def test_train_eval_recursive(self):
+        seq = Sequential(Conv2d(3, 4, 1), BatchNorm2d(4), ReLU6())
+        seq.eval()
+        assert not seq.training
+        assert not seq[1].training
+        seq.train()
+        assert seq[1].training
+
+    def test_zero_grad_recursive(self):
+        seq = Sequential(Conv2d(3, 4, 1))
+        x = np.random.default_rng(0).normal(size=(1, 3, 4, 4))
+        seq.forward(x)
+        seq.backward(np.ones((1, 4, 4, 4)))
+        assert np.abs(seq[0].weight.grad).sum() > 0.0
+        seq.zero_grad()
+        assert np.abs(seq[0].weight.grad).sum() == 0.0
+
+
+class TestStateDict:
+    def test_roundtrip(self):
+        a = Sequential(Conv2d(3, 4, 3, rng=np.random.default_rng(1)), BatchNorm2d(4))
+        b = Sequential(Conv2d(3, 4, 3, rng=np.random.default_rng(2)), BatchNorm2d(4))
+        x = np.random.default_rng(0).normal(size=(2, 3, 5, 5))
+        a.forward(x)  # update BN running stats
+        b.load_state_dict(a.state_dict())
+        a.eval()
+        b.eval()
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_buffers_saved(self):
+        bn = BatchNorm2d(3)
+        bn.forward(np.random.default_rng(0).normal(size=(4, 3, 2, 2)))
+        state = bn.state_dict()
+        assert "running_mean" in state
+        assert not np.allclose(state["running_mean"], 0.0)
+
+    def test_shape_mismatch_rejected(self):
+        a = Conv2d(3, 4, 3)
+        state = a.state_dict()
+        state["weight"] = np.zeros((1, 1, 1, 1))
+        with pytest.raises(Exception):
+            a.load_state_dict(state)
+
+    def test_unknown_key_rejected(self):
+        a = Conv2d(3, 4, 3)
+        state = a.state_dict()
+        state["bogus"] = np.zeros(3)
+        with pytest.raises(KeyError):
+            a.load_state_dict(state)
+
+    def test_missing_key_rejected(self):
+        a = Conv2d(3, 4, 3)
+        with pytest.raises(KeyError):
+            a.load_state_dict({})
+
+    def test_file_roundtrip(self, tmp_path):
+        a = Sequential(Conv2d(3, 4, 3, rng=np.random.default_rng(1)), BatchNorm2d(4))
+        path = tmp_path / "model.npz"
+        save_state(a, path)
+        b = Sequential(Conv2d(3, 4, 3, rng=np.random.default_rng(9)), BatchNorm2d(4))
+        load_state(b, path)
+        x = np.random.default_rng(0).normal(size=(1, 3, 4, 4))
+        a.eval(), b.eval()
+        assert np.allclose(a.forward(x), b.forward(x))
+
+
+class TestSequential:
+    def test_indexing(self):
+        seq = Sequential(ReLU6(), ReLU6())
+        assert len(seq) == 2
+        assert isinstance(seq[0], ReLU6)
+
+    def test_forward_order(self):
+        class PlusOne(Module):
+            def forward(self, x):
+                return x + 1.0
+
+            def backward(self, g):
+                return g
+
+        seq = Sequential(PlusOne(), PlusOne(), PlusOne())
+        assert seq.forward(np.zeros(1))[0] == 3.0

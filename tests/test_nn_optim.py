@@ -1,0 +1,76 @@
+"""Tests for optimizers and the LR schedule."""
+
+import numpy as np
+import pytest
+
+from repro.nn.module import Parameter
+from repro.nn.optim import ExponentialDecay, RMSProp, SGD
+
+
+class TestExponentialDecay:
+    def test_staircase(self):
+        sched = ExponentialDecay(1.0, decay_rate=0.5, decay_steps=10, staircase=True)
+        assert sched.lr_at(0) == 1.0
+        assert sched.lr_at(9) == 1.0
+        assert sched.lr_at(10) == 0.5
+        assert sched.lr_at(20) == 0.25
+
+    def test_continuous(self):
+        sched = ExponentialDecay(1.0, decay_rate=0.5, decay_steps=10, staircase=False)
+        assert sched.lr_at(5) == pytest.approx(0.5**0.5)
+
+    def test_paper_schedule(self):
+        # lr 8e-4, decay 0.95 every 24 epochs.
+        sched = ExponentialDecay(8e-4, decay_rate=0.95, decay_steps=24)
+        assert sched.lr_at(24) == pytest.approx(8e-4 * 0.95)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExponentialDecay(-1.0)
+        with pytest.raises(ValueError):
+            ExponentialDecay(1.0, decay_rate=1.5)
+
+
+def quadratic_descent(optimizer_cls, **kwargs):
+    """Minimize ||x - 3||^2 and return the final parameter."""
+    p = Parameter(np.zeros(4))
+    sched = ExponentialDecay(0.1, decay_rate=1.0, decay_steps=100)
+    opt = optimizer_cls([p], sched, **kwargs)
+    for _ in range(300):
+        opt.zero_grad()
+        p.grad += 2.0 * (p.data - 3.0)
+        opt.step()
+    return p.data
+
+
+class TestOptimizers:
+    def test_sgd_converges(self):
+        final = quadratic_descent(SGD, momentum=0.5)
+        np.testing.assert_allclose(final, 3.0, atol=1e-3)
+
+    def test_rmsprop_converges(self):
+        final = quadratic_descent(RMSProp, momentum=0.0)
+        np.testing.assert_allclose(final, 3.0, atol=1e-2)
+
+    def test_rmsprop_with_momentum_converges(self):
+        # Heavy-ball momentum oscillates on a quadratic; allow a wider band.
+        final = quadratic_descent(RMSProp, momentum=0.9)
+        np.testing.assert_allclose(final, 3.0, atol=0.1)
+
+    def test_step_counts(self):
+        p = Parameter(np.zeros(1))
+        opt = SGD([p], ExponentialDecay(0.1), momentum=0.0)
+        assert opt.step_count == 0
+        opt.step()
+        assert opt.step_count == 1
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], ExponentialDecay(0.1))
+
+    def test_lr_follows_schedule(self):
+        p = Parameter(np.zeros(1))
+        opt = RMSProp([p], ExponentialDecay(1.0, 0.5, 1))
+        assert opt.lr == 1.0
+        opt.step()
+        assert opt.lr == 0.5

@@ -1,0 +1,50 @@
+"""Tests for the rendered-frame detection channel."""
+
+import numpy as np
+import pytest
+
+from repro.drone.dynamics import DroneState
+from repro.geometry.vec import Vec2
+from repro.sensors.camera import HimaxCamera
+from repro.vision import SSDDetector, tiny_spec
+from repro.vision.pipeline import RenderedDetectorChannel
+from repro.world import ObjectClass, SceneObject, paper_room
+
+
+@pytest.fixture(scope="module")
+def channel():
+    return RenderedDetectorChannel(SSDDetector(tiny_spec(0.5)))
+
+
+def observe(room, position, heading, objects):
+    return HimaxCamera().observe(room.raycaster, position, heading, objects)
+
+
+class TestRenderedChannel:
+    def test_render_frame_shape(self, channel):
+        room = paper_room()
+        objs = [SceneObject(ObjectClass.BOTTLE, Vec2(3.0, 2.75))]
+        obs = observe(room, Vec2(1.5, 2.75), 0.0, objs)
+        assert obs, "object should be visible for this pose"
+        state = DroneState(Vec2(1.5, 2.75), 0.0)
+        frame = channel.render_frame(obs, state)
+        assert frame.shape == (3, 48, 64)
+        assert frame.min() >= 0.0 and frame.max() <= 1.0
+        # The Himax domain is grayscale: channels identical.
+        np.testing.assert_allclose(frame[0], frame[1])
+
+    def test_empty_observations_no_detection(self, channel):
+        state = DroneState(Vec2(1.0, 1.0), 0.0)
+        assert channel.detect([], state, np.random.default_rng(0)) == []
+
+    def test_detect_returns_subset(self, channel):
+        room = paper_room()
+        objs = [
+            SceneObject(ObjectClass.BOTTLE, Vec2(3.0, 2.75)),
+            SceneObject(ObjectClass.TIN_CAN, Vec2(3.0, 3.2)),
+        ]
+        obs = observe(room, Vec2(1.5, 2.75), 0.0, objs)
+        state = DroneState(Vec2(1.5, 2.75), 0.0)
+        detected = channel.detect(obs, state, np.random.default_rng(0))
+        names = {d.obj.name for d in detected}
+        assert names <= {o.obj.name for o in obs}

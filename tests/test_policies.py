@@ -1,0 +1,209 @@
+"""Unit tests for the four exploration policies."""
+
+import math
+
+import pytest
+
+from repro.drone.controller import SetPoint
+from repro.drone.state_estimator import EstimatedState
+from repro.errors import PolicyError
+from repro.geometry.vec import Vec2
+from repro.policies import (
+    POLICY_NAMES,
+    PolicyConfig,
+    PseudoRandomPolicy,
+    RotateAndMeasurePolicy,
+    SpiralPolicy,
+    WallFollowingPolicy,
+    make_policy,
+)
+from repro.sensors.multiranger import RangerReading
+
+
+def reading(front=4.0, back=4.0, left=4.0, right=4.0):
+    return RangerReading(front=front, back=back, left=left, right=right, up=4.0)
+
+
+def estimate(x=0.0, y=0.0, heading=0.0):
+    return EstimatedState(
+        position=Vec2(x, y), heading=heading, vx_body=0.0, vy_body=0.0,
+        yaw_rate=0.0, time=0.0,
+    )
+
+
+class TestRegistry:
+    def test_all_names(self):
+        assert len(POLICY_NAMES) == 4
+        for name in POLICY_NAMES:
+            policy = make_policy(name)
+            assert policy.name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(PolicyError):
+            make_policy("slam")
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(PolicyError):
+            PolicyConfig(cruise_speed=0.0)
+        with pytest.raises(PolicyError):
+            PolicyConfig(obstacle_threshold=-1.0)
+        with pytest.raises(PolicyError):
+            PolicyConfig(turn_rate=0.0)
+
+
+class TestBaseBehaviour:
+    def test_update_before_reset_raises(self):
+        policy = PseudoRandomPolicy()
+        with pytest.raises(PolicyError):
+            policy.update(reading(), estimate())
+
+
+class TestPseudoRandom:
+    def test_cruises_when_clear(self):
+        policy = PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5))
+        policy.reset(0)
+        sp = policy.update(reading(front=3.0), estimate())
+        assert sp.forward == 0.5
+        assert sp.yaw_rate == 0.0
+
+    def test_turns_at_obstacle(self):
+        policy = PseudoRandomPolicy(PolicyConfig(cruise_speed=0.5))
+        policy.reset(0)
+        sp = policy.update(reading(front=0.8), estimate())
+        assert sp.forward == 0.0
+        assert abs(sp.yaw_rate) > 0.0
+        assert policy.turning
+
+    def test_turn_magnitude_at_least_90(self):
+        # The commanded turn target must be >= 90 deg away from the start.
+        for seed in range(20):
+            policy = PseudoRandomPolicy()
+            policy.reset(seed)
+            policy.update(reading(front=0.5), estimate(heading=0.0))
+            assert policy._turn_target is not None
+            assert abs(policy._turn_target) >= math.pi / 2 - policy.config.heading_tolerance
+
+    def test_turn_completes(self):
+        policy = PseudoRandomPolicy()
+        policy.reset(3)
+        policy.update(reading(front=0.5), estimate(heading=0.0))
+        target = policy._turn_target
+        sp = policy.update(reading(front=0.5), estimate(heading=target))
+        assert not policy.turning
+        assert sp.yaw_rate == 0.0
+
+    def test_bad_bounds(self):
+        with pytest.raises(ValueError):
+            PseudoRandomPolicy(min_turn_deg=200.0)
+
+
+class TestWallFollowing:
+    def test_acquire_flies_forward(self):
+        policy = WallFollowingPolicy()
+        policy.reset(0)
+        sp = policy.update(reading(front=4.0), estimate())
+        assert sp.forward > 0.0
+        assert policy.state_name == "acquire"
+
+    def test_aligns_at_wall(self):
+        policy = WallFollowingPolicy()
+        policy.reset(0)
+        policy.update(reading(front=0.6), estimate())
+        assert policy.turning
+        assert policy.state_name == "align"
+
+    def test_follow_corrects_distance(self):
+        policy = WallFollowingPolicy()
+        policy.reset(0)
+        policy._state = policy._state.__class__("follow")
+        # Too far from the right wall -> move right (negative side).
+        sp = policy.update(reading(front=4.0, right=1.0), estimate())
+        assert sp.side < 0.0
+        # Too close -> move left.
+        sp = policy.update(reading(front=4.0, right=0.2), estimate())
+        assert sp.side > 0.0
+
+    def test_left_side_variant(self):
+        policy = WallFollowingPolicy(follow_side="left")
+        policy.reset(0)
+        policy._state = policy._state.__class__("follow")
+        sp = policy.update(reading(front=4.0, left=1.0), estimate())
+        assert sp.side > 0.0
+
+    def test_bad_side(self):
+        with pytest.raises(ValueError):
+            WallFollowingPolicy(follow_side="up")
+
+
+class TestSpiral:
+    def test_starts_at_wall_distance(self):
+        policy = SpiralPolicy()
+        policy.reset(0)
+        assert policy.target_distance == policy.config.wall_distance
+        assert policy.inward
+
+    def test_lap_increases_distance(self):
+        policy = SpiralPolicy()
+        policy.reset(0)
+        d0 = policy.target_distance
+        policy._complete_lap()
+        assert policy.target_distance == pytest.approx(d0 + policy.step)
+        assert policy.lap == 1
+
+    def test_reverses_at_max(self):
+        policy = SpiralPolicy(max_distance=1.0)
+        policy.reset(0)
+        policy._complete_lap()  # 0.5 -> 1.0
+        assert policy.target_distance == pytest.approx(1.0)
+        policy._complete_lap()  # would exceed -> reverse
+        assert not policy.inward
+        policy._complete_lap()
+        assert policy.target_distance == pytest.approx(0.5)
+
+    def test_restarts_at_perimeter(self):
+        policy = SpiralPolicy(max_distance=1.0)
+        policy.reset(0)
+        for _ in range(6):
+            policy._complete_lap()
+        assert policy.target_distance >= policy.config.wall_distance
+        assert policy.inward in (True, False)
+
+
+class TestRotateAndMeasure:
+    def test_scan_spins(self):
+        policy = RotateAndMeasurePolicy()
+        policy.reset(0)
+        sp = policy.update(reading(), estimate(heading=0.0))
+        assert policy.phase_name == "scan"
+        assert sp.yaw_rate > 0.0
+        assert sp.forward == 0.0
+
+    def test_scan_records_8_samples_then_goes(self):
+        policy = RotateAndMeasurePolicy()
+        policy.reset(0)
+        heading = 0.0
+        # Walk the heading through the eight 45 deg sample points.
+        for k in range(40):
+            policy.update(reading(front=2.0 + 0.1 * (k % 8)), estimate(heading=heading))
+            if policy.phase_name == "go":
+                break
+            heading += math.pi / 8.0
+        assert policy.phase_name == "go"
+
+    def test_go_stops_at_obstacle(self):
+        policy = RotateAndMeasurePolicy()
+        policy.reset(0)
+        # Force GO phase directly.
+        policy._phase = policy._phase.__class__("go")
+        policy._leg_start = Vec2(0.0, 0.0)
+        policy._leg_length = 2.0
+        policy._turn_target = None
+        sp = policy.update(reading(front=0.5), estimate())
+        assert policy.phase_name == "scan"
+        assert sp.forward == 0.0
+
+    def test_bad_leg(self):
+        with pytest.raises(ValueError):
+            RotateAndMeasurePolicy(max_leg_m=0.0)

@@ -1,0 +1,69 @@
+"""Integration tests: policies flying full missions in the paper room.
+
+These reproduce the qualitative claims of Sec. IV-B on short flights.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mission.explorer import ExplorationMission
+from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
+from repro.world import cluttered_room, paper_room
+
+
+@pytest.fixture(scope="module")
+def room():
+    return paper_room()
+
+
+def fly(room, name, speed=0.5, seconds=120.0, seed=0):
+    policy = make_policy(name, PolicyConfig(cruise_speed=speed))
+    return ExplorationMission(room, policy, flight_time_s=seconds).run(seed=seed)
+
+
+class TestAllPoliciesFly:
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_no_crash_no_collision(self, room, name):
+        result = fly(room, name, seconds=60.0)
+        assert result.collisions == 0
+        assert result.coverage > 0.02
+
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_speed_sweep_runs(self, room, name):
+        for speed in (0.1, 1.0):
+            result = fly(room, name, speed=speed, seconds=30.0)
+            assert result.distance_flown_m > 0.5
+
+
+class TestPaperShape:
+    def test_wall_following_stays_on_perimeter(self, room):
+        result = fly(room, "wall-following", seconds=150.0)
+        mask = result.grid.visited_mask
+        # Interior cells (>= 1.5 m from every wall) stay untouched.
+        inner = mask[3:-3, 3:-3]
+        assert inner.mean() < 0.3
+
+    def test_spiral_reaches_interior(self, room):
+        result = fly(room, "spiral", seconds=180.0)
+        mask = result.grid.visited_mask
+        assert mask[3:-3, 3:-3].any()
+
+    def test_pseudo_random_beats_rotate_measure(self, room):
+        pr = np.mean([fly(room, "pseudo-random", seconds=120.0, seed=s).coverage for s in range(2)])
+        rm = np.mean([fly(room, "rotate-and-measure", seconds=120.0, seed=s).coverage for s in range(2)])
+        assert pr > rm
+
+    def test_speed_helps_pseudo_random(self, room):
+        slow = fly(room, "pseudo-random", speed=0.1, seconds=120.0).coverage
+        fast = fly(room, "pseudo-random", speed=0.5, seconds=120.0).coverage
+        assert fast > slow + 0.1
+
+
+class TestClutteredRoom:
+    @pytest.mark.parametrize("name", ["pseudo-random", "rotate-and-measure"])
+    def test_policies_survive_clutter(self, name):
+        room = cluttered_room(n_obstacles=3, seed=2)
+        result = fly(room, name, seconds=60.0, seed=1)
+        # Obstacle contact may graze but must not dominate the flight.
+        assert result.collisions < 50
+        assert result.coverage > 0.05

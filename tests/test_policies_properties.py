@@ -1,0 +1,72 @@
+"""Property-based fuzzing of the exploration policies.
+
+Whatever (possibly adversarial) sensor readings arrive, a policy must
+emit finite, bounded set-points and never corrupt its state machine --
+on the real drone a NaN set-point is a crash.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.drone.controller import SetPoint, VelocityController
+from repro.drone.state_estimator import EstimatedState
+from repro.geometry.vec import Vec2
+from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
+from repro.sensors.multiranger import RangerReading
+
+distance = st.floats(0.0, 4.0, allow_nan=False)
+angle = st.floats(-math.pi, math.pi, allow_nan=False)
+coordinate = st.floats(-10.0, 10.0, allow_nan=False)
+
+readings = st.builds(
+    RangerReading,
+    front=distance,
+    back=distance,
+    left=distance,
+    right=distance,
+    up=st.just(4.0),
+)
+
+estimates = st.builds(
+    EstimatedState,
+    position=st.builds(Vec2, coordinate, coordinate),
+    heading=angle,
+    vx_body=st.floats(-1.5, 1.5),
+    vy_body=st.floats(-1.5, 1.5),
+    yaw_rate=st.floats(-3.0, 3.0),
+    time=st.floats(0.0, 300.0),
+)
+
+
+@pytest.mark.parametrize("name", POLICY_NAMES)
+class TestPolicyRobustness:
+    @given(seq=st.lists(st.tuples(readings, estimates), min_size=1, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_setpoints_always_finite_and_bounded(self, name, seq):
+        policy = make_policy(name, PolicyConfig(cruise_speed=0.5))
+        policy.reset(0)
+        limits = VelocityController()
+        for reading, estimate in seq:
+            sp = policy.update(reading, estimate)
+            assert isinstance(sp, SetPoint)
+            for value in (sp.forward, sp.side, sp.yaw_rate):
+                assert math.isfinite(value)
+            clamped = limits.clamp(sp)
+            # Policies should respect the envelope on their own.
+            assert abs(sp.forward - clamped.forward) < 1e-9
+            assert abs(sp.yaw_rate - clamped.yaw_rate) < 1e-9
+
+    @given(reading=readings, estimate=estimates)
+    @settings(max_examples=25, deadline=None)
+    def test_reset_restores_determinism(self, name, reading, estimate):
+        a = make_policy(name, PolicyConfig(cruise_speed=0.5))
+        b = make_policy(name, PolicyConfig(cruise_speed=0.5))
+        a.reset(123)
+        b.reset(123)
+        for _ in range(5):
+            sa = a.update(reading, estimate)
+            sb = b.update(reading, estimate)
+            assert sa == sb

@@ -1,0 +1,132 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.raycast import RayCaster
+from repro.geometry.shapes import AABB
+from repro.geometry.vec import Vec2, angle_diff, normalize_angle, rotate
+from repro.mapping.occupancy import OccupancyGrid
+from repro.nn.loss import softmax
+from repro.quantization.fakequant import fake_quantize
+from repro.quantization.observers import symmetric_scale
+from repro.vision.boxcodec import BoxCodec
+from repro.vision.boxes import corner_to_center, iou_matrix
+from repro.vision.nms import non_max_suppression
+from repro.world import Room
+
+coord = st.floats(-50.0, 50.0, allow_nan=False)
+angle = st.floats(-20.0, 20.0, allow_nan=False)
+
+
+class TestGeometryProperties:
+    @given(angle, angle)
+    def test_angle_diff_triangle(self, a, b):
+        # a == b + angle_diff(a, b), modulo 2 pi.
+        reconstructed = normalize_angle(b + angle_diff(a, b))
+        assert abs(angle_diff(reconstructed, a)) < 1e-9
+
+    @given(coord, coord, angle)
+    def test_rotation_composition(self, x, y, theta):
+        v = Vec2(x, y)
+        there_and_back = rotate(rotate(v, theta), -theta)
+        assert there_and_back.distance_to(v) < 1e-6 * max(1.0, v.norm())
+
+    @given(
+        st.floats(0.5, 10.0),
+        st.floats(0.5, 10.0),
+        st.floats(0.05, 0.95),
+        st.floats(0.05, 0.95),
+        st.floats(-math.pi, math.pi),
+    )
+    @settings(max_examples=50)
+    def test_raycast_hit_is_on_boundary(self, w, h, fx, fy, heading):
+        caster = RayCaster(AABB(0.0, 0.0, w, h).boundary_segments())
+        origin = Vec2(fx * w, fy * h)
+        d = caster.cast_hit(origin, heading)
+        assert d is not None
+        hit = Vec2(
+            origin.x + d * math.cos(heading), origin.y + d * math.sin(heading)
+        )
+        on_x = min(abs(hit.x), abs(hit.x - w)) < 1e-6
+        on_y = min(abs(hit.y), abs(hit.y - h)) < 1e-6
+        assert on_x or on_y
+
+
+class TestOccupancyProperties:
+    @given(st.lists(st.tuples(st.floats(0.0, 6.5), st.floats(0.0, 5.5)), max_size=50))
+    def test_coverage_bounds_and_monotonicity(self, points):
+        grid = OccupancyGrid(Room(6.5, 5.5))
+        last = 0.0
+        for x, y in points:
+            grid.record(Vec2(x, y), 0.02)
+            cov = grid.coverage()
+            assert last <= cov <= 1.0
+            last = cov
+        assert grid.visited_count() <= min(len(points), grid.n_cells)
+
+
+def small_boxes():
+    def build(vals):
+        x0, y0, w, h = vals
+        return [x0, y0, min(1.0, x0 + w), min(1.0, y0 + h)]
+
+    return st.tuples(
+        st.floats(0.0, 0.8),
+        st.floats(0.0, 0.8),
+        st.floats(0.02, 0.3),
+        st.floats(0.02, 0.3),
+    ).map(build)
+
+
+class TestVisionProperties:
+    @given(st.lists(small_boxes(), min_size=1, max_size=8))
+    @settings(max_examples=50)
+    def test_codec_roundtrip(self, box_list):
+        codec = BoxCodec()
+        boxes = np.array(box_list)
+        anchors = corner_to_center(
+            np.tile(np.array([[0.25, 0.25, 0.75, 0.75]]), (boxes.shape[0], 1))
+        )
+        decoded = codec.decode(codec.encode(boxes, anchors), anchors)
+        np.testing.assert_allclose(decoded, boxes, atol=1e-8)
+
+    @given(st.lists(small_boxes(), min_size=1, max_size=10), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30)
+    def test_nms_output_pairwise_iou_bounded(self, box_list, seed):
+        boxes = np.array(box_list)
+        scores = np.random.default_rng(seed).uniform(size=boxes.shape[0])
+        keep = non_max_suppression(boxes, scores, iou_threshold=0.4)
+        kept = boxes[keep]
+        if kept.shape[0] > 1:
+            m = iou_matrix(kept, kept)
+            np.fill_diagonal(m, 0.0)
+            assert m.max() <= 0.4 + 1e-9
+
+    @given(st.integers(0, 2**31 - 1))
+    def test_softmax_is_distribution(self, seed):
+        logits = np.random.default_rng(seed).normal(size=(4, 7)) * 10.0
+        p = softmax(logits)
+        assert np.all(p >= 0.0)
+        np.testing.assert_allclose(p.sum(axis=-1), 1.0)
+
+
+class TestQuantizationProperties:
+    @given(st.floats(0.01, 1000.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_fake_quant_idempotent(self, max_abs, seed):
+        x = np.random.default_rng(seed).uniform(-max_abs, max_abs, size=32)
+        scale = symmetric_scale(max_abs)
+        once = fake_quantize(x, scale)
+        twice = fake_quantize(once, scale)
+        np.testing.assert_allclose(once, twice)
+
+    @given(st.floats(0.01, 100.0), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50)
+    def test_fake_quant_bounded_error(self, max_abs, seed):
+        x = np.random.default_rng(seed).uniform(-max_abs, max_abs, size=32)
+        scale = symmetric_scale(max_abs)
+        assert np.abs(fake_quantize(x, scale) - x).max() <= scale / 2 + 1e-12

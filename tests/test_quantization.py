@@ -1,0 +1,181 @@
+"""Tests for the quantization package."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn import BatchNorm2d, Conv2d, DepthwiseConv2d, ReLU6, Sequential
+from repro.quantization import (
+    MinMaxObserver,
+    QATWeightQuantizer,
+    dequantize,
+    fake_quantize,
+    fold_batchnorms,
+    int8_conv2d,
+    int8_depthwise_conv2d,
+    quantize,
+    quantize_detector,
+    symmetric_scale,
+)
+from repro.quantization.observers import symmetric_scale as sym
+from repro.vision import SSDDetector, tiny_spec
+
+RNG = np.random.default_rng(0)
+
+
+class TestPrimitives:
+    def test_scale(self):
+        assert symmetric_scale(127.0, bits=8) == pytest.approx(1.0)
+        assert symmetric_scale(0.0) > 0.0  # degenerate tensors stay valid
+
+    def test_quantize_bounds(self):
+        x = np.array([-1e9, -1.0, 0.0, 1.0, 1e9])
+        q = quantize(x, scale=0.01)
+        assert q.min() == -127 and q.max() == 127
+
+    @given(st.floats(0.01, 100.0))
+    @settings(max_examples=30)
+    def test_fake_quant_error_bound(self, max_abs):
+        x = RNG.uniform(-max_abs, max_abs, size=100)
+        scale = sym(max_abs)
+        err = np.abs(fake_quantize(x, scale) - x)
+        assert err.max() <= scale / 2 + 1e-12
+
+    def test_roundtrip_on_grid(self):
+        scale = 0.05
+        x = np.arange(-127, 128) * scale
+        np.testing.assert_allclose(dequantize(quantize(x, scale), scale), x)
+
+    def test_bad_inputs(self):
+        with pytest.raises(QuantizationError):
+            quantize(np.ones(3), scale=0.0)
+        with pytest.raises(QuantizationError):
+            symmetric_scale(1.0, bits=1)
+
+
+class TestObserver:
+    def test_tracks_max(self):
+        obs = MinMaxObserver()
+        obs.observe(np.array([1.0, -3.0]))
+        obs.observe(np.array([2.0]))
+        assert obs.max_abs == 3.0
+
+    def test_unobserved_raises(self):
+        with pytest.raises(QuantizationError):
+            MinMaxObserver().scale
+
+
+class TestIntegerKernels:
+    def test_int8_conv_matches_float(self):
+        x = RNG.uniform(-1, 1, size=(2, 3, 8, 8))
+        w = RNG.uniform(-0.5, 0.5, size=(4, 3, 3, 3))
+        xs, ws = sym(1.0), sym(0.5)
+        xq, wq = quantize(x, xs), quantize(w, ws)
+        out_int = int8_conv2d(xq, wq, xs, ws, stride=1, padding=1)
+        # Reference: float conv on the dequantized operands.
+        conv = Conv2d(3, 4, 3, padding=1, bias=False)
+        conv.weight.data = dequantize(wq, ws)
+        out_float = conv.forward(dequantize(xq, xs))
+        np.testing.assert_allclose(out_int, out_float, atol=1e-9)
+
+    def test_int8_depthwise_matches_float(self):
+        x = RNG.uniform(-1, 1, size=(2, 3, 6, 6))
+        w = RNG.uniform(-0.5, 0.5, size=(3, 3, 3))
+        xs, ws = sym(1.0), sym(0.5)
+        xq, wq = quantize(x, xs), quantize(w, ws)
+        out_int = int8_depthwise_conv2d(xq, wq, xs, ws, stride=1, padding=1)
+        dw = DepthwiseConv2d(3, 3, padding=1, bias=False)
+        dw.weight.data = dequantize(wq, ws)
+        out_float = dw.forward(dequantize(xq, xs))
+        np.testing.assert_allclose(out_int, out_float, atol=1e-9)
+
+    def test_requires_integers(self):
+        with pytest.raises(QuantizationError):
+            int8_conv2d(np.ones((1, 1, 3, 3)), np.ones((1, 1, 1, 1), dtype=np.int32), 1.0, 1.0)
+
+
+class TestFolding:
+    def test_fold_preserves_eval_output(self):
+        seq = Sequential(
+            Conv2d(3, 6, 3, padding=1, bias=False, rng=RNG),
+            BatchNorm2d(6),
+            ReLU6(),
+            DepthwiseConv2d(6, 3, padding=1, bias=False, rng=RNG),
+            BatchNorm2d(6),
+        )
+        seq.train(True)
+        for _ in range(3):
+            seq.forward(RNG.normal(size=(4, 3, 8, 8)))
+        seq.eval()
+        x = RNG.normal(size=(2, 3, 8, 8))
+        before = seq.forward(x)
+        n = fold_batchnorms(seq)
+        assert n == 2
+        after = seq.forward(x)
+        np.testing.assert_allclose(after, before, atol=1e-9)
+
+
+class TestQAT:
+    def test_weights_restored(self):
+        conv = Conv2d(3, 4, 3, rng=RNG)
+        original = conv.weight.data.copy()
+        qat = QATWeightQuantizer()
+        with qat.quantized_weights(conv):
+            inside = conv.weight.data.copy()
+            assert not np.allclose(inside, original)
+            # Inside the context weights lie on the int8 grid.
+            scale = sym(float(np.abs(original).max()))
+            np.testing.assert_allclose(
+                inside, fake_quantize(original, scale), atol=1e-12
+            )
+        np.testing.assert_allclose(conv.weight.data, original)
+
+    def test_restored_on_exception(self):
+        conv = Conv2d(3, 4, 3, rng=RNG)
+        original = conv.weight.data.copy()
+        qat = QATWeightQuantizer()
+        with pytest.raises(RuntimeError):
+            with qat.quantized_weights(conv):
+                raise RuntimeError("boom")
+        np.testing.assert_allclose(conv.weight.data, original)
+
+
+class TestDetectorConversion:
+    def test_quantize_detector_predicts(self):
+        det = SSDDetector(tiny_spec(0.5), rng=RNG)
+        det.train(True)
+        x = RNG.normal(size=(4, 3, 48, 64)) * 0.3 + 0.5
+        det.forward(x)  # populate BN stats
+        det.eval()
+        qdet = quantize_detector(det, x)
+        out = qdet.predict(x[:2], score_threshold=0.05)
+        assert len(out) == 2
+        # Original detector untouched (still has live BatchNorms).
+        from repro.nn.norm import BatchNorm2d as BN
+
+        has_bn = any(isinstance(m, BN) for _, m in _walk(det))
+        assert has_bn
+
+    def test_outputs_close_to_float(self):
+        det = SSDDetector(tiny_spec(0.5), rng=RNG)
+        det.train(True)
+        x = RNG.normal(size=(4, 3, 48, 64)) * 0.3 + 0.5
+        det.forward(x)
+        det.eval()
+        conf_f, _ = det.forward(x)
+        qdet = quantize_detector(det, x)
+        conf_q, _ = qdet.forward(x)
+        # int8 simulation tracks float logits closely on calibration data.
+        assert np.median(np.abs(conf_q - conf_f)) < 0.5
+
+    def test_empty_calibration_rejected(self):
+        det = SSDDetector(tiny_spec(0.5), rng=RNG)
+        with pytest.raises(QuantizationError):
+            quantize_detector(det, np.zeros((0, 3, 48, 64)))
+
+
+def _walk(module):
+    for name, child in module._children.items():
+        yield name, child
+        yield from _walk(child)

@@ -1,0 +1,134 @@
+"""Tests for the Himax camera model."""
+
+import math
+
+import pytest
+
+from repro.errors import SensorError
+from repro.geometry.shapes import AABB
+from repro.geometry.vec import Vec2
+from repro.sensors.camera import (
+    CameraIntrinsics,
+    HIMAX_INTRINSICS,
+    HimaxCamera,
+    ObjectObservation,
+)
+from repro.world import ObjectClass, Obstacle, Room, SceneObject
+
+
+@pytest.fixture
+def room():
+    return Room(10.0, 10.0)
+
+
+@pytest.fixture
+def camera():
+    return HimaxCamera()
+
+
+def bottle_at(x, y):
+    return SceneObject(ObjectClass.BOTTLE, Vec2(x, y))
+
+
+class TestIntrinsics:
+    def test_focal(self):
+        intr = CameraIntrinsics(320, 240, math.radians(90.0))
+        assert intr.focal_px == pytest.approx(160.0)
+
+    def test_vfov_smaller_than_hfov(self):
+        assert HIMAX_INTRINSICS.vfov_rad < HIMAX_INTRINSICS.hfov_rad
+
+    def test_scaled_keeps_fov(self):
+        small = HIMAX_INTRINSICS.scaled(64, 48)
+        assert small.hfov_rad == HIMAX_INTRINSICS.hfov_rad
+        assert small.width_px == 64
+
+    def test_validation(self):
+        with pytest.raises(SensorError):
+            CameraIntrinsics(0, 240, 1.0)
+        with pytest.raises(SensorError):
+            CameraIntrinsics(320, 240, 4.0)
+
+
+class TestVisibility:
+    def test_sees_object_ahead(self, room, camera):
+        obs = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(4.5, 5.0)
+        )
+        assert obs is not None
+        assert obs.distance_m == pytest.approx(1.5)
+        assert obs.bearing_rad == pytest.approx(0.0)
+
+    def test_out_of_fov(self, room, camera):
+        obs = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(3.0, 7.0)
+        )
+        assert obs is None  # object at +90 deg bearing
+
+    def test_beyond_range(self, room, camera):
+        obs = camera.observe_object(
+            room.raycaster, Vec2(1.0, 5.0), 0.0, bottle_at(9.0, 5.0)
+        )
+        assert obs is None
+
+    def test_too_close(self, room, camera):
+        obs = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(3.1, 5.0)
+        )
+        assert obs is None
+
+    def test_occlusion(self, camera):
+        blocked = Room(
+            10.0, 10.0, [Obstacle(AABB(4.0, 4.5, 4.4, 5.5), name="pillar")]
+        )
+        obs = camera.observe_object(
+            blocked.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(5.0, 5.0)
+        )
+        assert obs is None
+
+    def test_observe_many(self, room, camera):
+        objects = [bottle_at(4.0, 5.0), bottle_at(4.0, 5.5), bottle_at(9.9, 9.9)]
+        seen = camera.observe(room.raycaster, Vec2(3.0, 5.0), 0.0, objects)
+        assert len(seen) == 2
+
+
+class TestProjection:
+    def test_bbox_shrinks_with_distance(self, room, camera):
+        near = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(4.0, 5.0)
+        )
+        far = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(5.0, 5.0)
+        )
+        assert near.bbox_area_px > far.bbox_area_px
+
+    def test_bbox_centered_for_zero_bearing(self, room, camera):
+        obs = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(4.5, 5.0)
+        )
+        xmin, _, xmax, _ = obs.bbox
+        cx = (xmin + xmax) / 2.0
+        assert cx == pytest.approx(HIMAX_INTRINSICS.width_px / 2.0, abs=2.0)
+
+    def test_bbox_moves_with_bearing(self, room, camera):
+        # Object to the left of the axis projects left of centre... image x
+        # decreases for positive bearing (left).
+        obs = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(4.5, 5.6)
+        )
+        assert obs is not None and obs.bearing_rad > 0.0
+        xmin, _, xmax, _ = obs.bbox
+        assert (xmin + xmax) / 2.0 < HIMAX_INTRINSICS.width_px / 2.0
+
+    def test_bbox_inside_image(self, room, camera):
+        obs = camera.observe_object(
+            room.raycaster, Vec2(3.0, 5.0), 0.0, bottle_at(3.6, 5.3)
+        )
+        if obs is not None:
+            xmin, ymin, xmax, ymax = obs.bbox
+            assert 0.0 <= xmin < xmax <= HIMAX_INTRINSICS.width_px
+            assert 0.0 <= ymin < ymax <= HIMAX_INTRINSICS.height_px
+
+    def test_bad_range_band(self):
+        with pytest.raises(SensorError):
+            HimaxCamera(min_range=2.0, max_range=1.0)

@@ -1,0 +1,197 @@
+"""Tests for boxes, anchors, codec, NMS and matching."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ShapeError
+from repro.vision import (
+    AnchorLevel,
+    BoxCodec,
+    center_to_corner,
+    corner_to_center,
+    generate_anchors,
+    iou_matrix,
+    match_anchors,
+    non_max_suppression,
+)
+from repro.vision.matching import hard_negative_mask
+
+
+def boxes_strategy():
+    def make(vals):
+        x0, y0, w, h = vals
+        return [x0, y0, x0 + w, y0 + h]
+
+    coord = st.floats(0.0, 0.8)
+    size = st.floats(0.05, 0.2)
+    return st.tuples(coord, coord, size, size).map(make)
+
+
+class TestConversions:
+    def test_roundtrip(self):
+        boxes = np.array([[0.1, 0.2, 0.5, 0.8], [0.0, 0.0, 1.0, 1.0]])
+        np.testing.assert_allclose(center_to_corner(corner_to_center(boxes)), boxes)
+
+    def test_shapes_checked(self):
+        with pytest.raises(ShapeError):
+            corner_to_center(np.zeros((3, 5)))
+
+
+class TestIoU:
+    def test_identical(self):
+        a = np.array([[0.1, 0.1, 0.5, 0.5]])
+        assert iou_matrix(a, a)[0, 0] == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        a = np.array([[0.0, 0.0, 0.2, 0.2]])
+        b = np.array([[0.5, 0.5, 0.8, 0.8]])
+        assert iou_matrix(a, b)[0, 0] == 0.0
+
+    def test_half_overlap(self):
+        a = np.array([[0.0, 0.0, 0.2, 0.2]])
+        b = np.array([[0.1, 0.0, 0.3, 0.2]])
+        assert iou_matrix(a, b)[0, 0] == pytest.approx(1.0 / 3.0)
+
+    @given(st.lists(boxes_strategy(), min_size=1, max_size=6))
+    def test_symmetry_and_bounds(self, box_list):
+        boxes = np.array(box_list)
+        m = iou_matrix(boxes, boxes)
+        assert np.all(m >= 0.0) and np.all(m <= 1.0 + 1e-9)
+        np.testing.assert_allclose(m, m.T)
+        np.testing.assert_allclose(np.diag(m), 1.0)
+
+
+class TestAnchors:
+    def test_count_and_layout(self):
+        levels = [
+            AnchorLevel((2, 3), 0.3, (1.0, 0.5)),
+            AnchorLevel((1, 1), 0.6, (1.0,)),
+        ]
+        anchors = generate_anchors(levels)
+        assert anchors.shape == (2 * 3 * 2 + 1, 4)
+        # First anchor sits in the first cell's centre.
+        assert anchors[0, 0] == pytest.approx(1.0 / 6.0)
+        assert anchors[0, 1] == pytest.approx(0.25)
+
+    def test_aspect_ratios(self):
+        anchors = generate_anchors([AnchorLevel((1, 1), 0.4, (1.0, 0.25, 4.0))])
+        # ratio = w/h; areas are equal.
+        areas = anchors[:, 2] * anchors[:, 3]
+        np.testing.assert_allclose(areas, areas[0])
+        assert anchors[1, 2] < anchors[1, 3]  # tall anchor
+        assert anchors[2, 2] > anchors[2, 3]  # wide anchor
+
+    def test_empty_rejected(self):
+        with pytest.raises(ShapeError):
+            generate_anchors([])
+
+
+class TestBoxCodec:
+    @given(st.lists(boxes_strategy(), min_size=1, max_size=5))
+    def test_encode_decode_roundtrip(self, box_list):
+        codec = BoxCodec()
+        boxes = np.array(box_list)
+        anchors = corner_to_center(
+            np.tile(np.array([[0.2, 0.2, 0.8, 0.8]]), (boxes.shape[0], 1))
+        )
+        decoded = codec.decode(codec.encode(boxes, anchors), anchors)
+        np.testing.assert_allclose(decoded, np.clip(boxes, 0.0, 1.0), atol=1e-9)
+
+    def test_zero_offsets_give_anchor(self):
+        codec = BoxCodec()
+        anchors = np.array([[0.5, 0.5, 0.2, 0.4]])
+        decoded = codec.decode(np.zeros((1, 4)), anchors)
+        np.testing.assert_allclose(decoded, center_to_corner(anchors))
+
+    def test_decode_clips_garbage(self):
+        codec = BoxCodec()
+        anchors = np.array([[0.5, 0.5, 0.2, 0.4]])
+        decoded = codec.decode(np.full((1, 4), 1e6), anchors)
+        assert np.all(decoded >= 0.0) and np.all(decoded <= 1.0)
+        assert np.isfinite(decoded).all()
+
+
+class TestNMS:
+    def test_keeps_best(self):
+        boxes = np.array(
+            [[0.1, 0.1, 0.5, 0.5], [0.12, 0.12, 0.52, 0.52], [0.7, 0.7, 0.9, 0.9]]
+        )
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = non_max_suppression(boxes, scores, iou_threshold=0.5)
+        assert list(keep) == [0, 2]
+
+    def test_empty(self):
+        keep = non_max_suppression(np.zeros((0, 4)), np.zeros(0))
+        assert keep.size == 0
+
+    def test_max_outputs(self):
+        boxes = np.array([[0.0, 0.0, 0.1, 0.1], [0.5, 0.5, 0.6, 0.6], [0.8, 0.8, 0.9, 0.9]])
+        scores = np.array([0.9, 0.8, 0.7])
+        keep = non_max_suppression(boxes, scores, max_outputs=2)
+        assert len(keep) == 2
+
+    def test_idempotent(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.uniform(0, 0.7, size=(20, 2))
+        boxes = np.concatenate([x0, x0 + rng.uniform(0.05, 0.3, size=(20, 2))], axis=1)
+        scores = rng.uniform(size=20)
+        keep1 = non_max_suppression(boxes, scores)
+        keep2 = non_max_suppression(boxes[keep1], scores[keep1])
+        assert len(keep2) == len(keep1)
+
+    def test_bad_threshold(self):
+        with pytest.raises(ValueError):
+            non_max_suppression(np.zeros((1, 4)), np.zeros(1), iou_threshold=2.0)
+
+
+class TestMatching:
+    def test_empty_gt_all_background(self):
+        anchors = np.array([[0.0, 0.0, 0.2, 0.2], [0.5, 0.5, 0.7, 0.7]])
+        m = match_anchors(anchors, np.zeros((0, 4)), np.zeros(0, dtype=int))
+        assert m.num_positives == 0
+        assert np.all(m.labels == 0)
+
+    def test_best_anchor_forced(self):
+        # GT overlapping nothing well still claims its best anchor.
+        anchors = np.array([[0.0, 0.0, 0.1, 0.1], [0.8, 0.8, 1.0, 1.0]])
+        gt = np.array([[0.05, 0.05, 0.3, 0.3]])
+        m = match_anchors(anchors, gt, np.array([1]))
+        assert m.num_positives == 1
+        assert m.labels[0] == 2  # class 1 -> label 2
+
+    def test_high_iou_positive(self):
+        anchors = np.array([[0.1, 0.1, 0.5, 0.5]])
+        gt = np.array([[0.1, 0.1, 0.52, 0.52]])
+        m = match_anchors(anchors, gt, np.array([0]))
+        assert m.labels[0] == 1
+        np.testing.assert_allclose(m.matched_boxes[0], gt[0])
+
+    def test_ignore_band(self):
+        # Build an anchor with IoU strictly between neg and pos thresholds
+        # against the gt, while another anchor takes the force-match.
+        anchors = np.array([[0.0, 0.0, 0.4, 0.4], [0.5, 0.5, 0.9, 0.9]])
+        gt = np.array([[0.5, 0.5, 0.9, 0.9], [0.0, 0.1, 0.4, 0.53]])
+        m = match_anchors(anchors, gt, np.array([0, 0]), pos_threshold=0.9, neg_threshold=0.3)
+        assert -1 not in m.labels[m.positive_mask]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            match_anchors(np.zeros((1, 4)), np.zeros((0, 4)), np.zeros(0), 0.3, 0.5)
+
+
+class TestHardNegatives:
+    def test_ratio(self):
+        labels = np.array([1, 0, 0, 0, 0, 0, 0, 0])
+        loss = np.array([0.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.5, 0.1])
+        mask = hard_negative_mask(labels, loss, neg_pos_ratio=3.0)
+        assert mask[0]  # positive always kept
+        assert mask[1] and mask[2] and mask[3]  # 3 hardest negatives
+        assert not mask[7]
+
+    def test_zero_positives_keeps_one(self):
+        labels = np.zeros(5, dtype=int)
+        loss = np.array([0.1, 0.9, 0.3, 0.2, 0.4])
+        mask = hard_negative_mask(labels, loss)
+        assert mask.sum() == 1
+        assert mask[1]

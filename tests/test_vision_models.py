@@ -1,0 +1,177 @@
+"""Tests for the MobileNetV2 backbone and the SSD detector."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ShapeError
+from repro.vision import (
+    InvertedResidual,
+    MobileNetV2Backbone,
+    SSDDetector,
+    full_scale_spec,
+    make_divisible,
+    tiny_spec,
+)
+
+RNG = np.random.default_rng(0)
+
+
+class TestMakeDivisible:
+    def test_multiples_of_8(self):
+        for v in (8, 16, 24, 32.0, 100.0):
+            assert make_divisible(v) % 8 == 0
+
+    def test_never_drops_10_percent(self):
+        for v in (12, 20, 28, 44, 100):
+            assert make_divisible(v) >= 0.9 * v
+
+    def test_known_values(self):
+        assert make_divisible(32 * 0.75) == 24
+        assert make_divisible(32 * 0.5) == 16
+        assert make_divisible(16 * 0.5) == 8
+
+
+class TestInvertedResidual:
+    def test_residual_condition(self):
+        assert InvertedResidual(8, 8, 1, 6, rng=RNG).use_residual
+        assert not InvertedResidual(8, 16, 1, 6, rng=RNG).use_residual
+        assert not InvertedResidual(8, 8, 2, 6, rng=RNG).use_residual
+
+    def test_expand_ratio_1_skips_expansion(self):
+        block = InvertedResidual(8, 8, 1, 1, rng=RNG)
+        assert block.expand is None
+
+    def test_output_shape(self):
+        block = InvertedResidual(4, 10, 2, 6, rng=RNG)
+        out = block.forward(RNG.normal(size=(2, 4, 8, 8)))
+        assert out.shape == (2, 10, 4, 4)
+
+    def test_bad_stride(self):
+        with pytest.raises(ShapeError):
+            InvertedResidual(4, 4, 3, 6)
+
+
+class TestBackbone:
+    def test_width_scaling(self):
+        full = MobileNetV2Backbone(1.0)
+        half = MobileNetV2Backbone(0.5)
+        assert half.num_parameters() < full.num_parameters() * 0.5
+
+    def test_tap_channels(self):
+        bb = MobileNetV2Backbone(1.0)
+        channels = bb.tap_channels()
+        assert channels[-1] == 1280  # unscaled for alpha <= 1
+        assert channels[0] == 96  # end of the stride-16 stage
+
+    def test_forward_features_shapes(self):
+        bb = MobileNetV2Backbone(
+            1.0,
+            config=((1, 8, 1, 1), (6, 16, 1, 2)),
+            stem_channels=8,
+            last_channels=32,
+            tap_indices=(0,),
+        )
+        feats = bb.forward_features(RNG.normal(size=(1, 3, 16, 16)))
+        assert len(feats) == 2
+        assert feats[0].shape == (1, 8, 8, 8)
+        assert feats[1].shape == (1, 32, 4, 4)
+
+    def test_backward_features_shape(self):
+        bb = MobileNetV2Backbone(
+            1.0,
+            config=((1, 8, 1, 1),),
+            stem_channels=8,
+            last_channels=16,
+            tap_indices=(0,),
+        )
+        x = RNG.normal(size=(1, 3, 8, 8))
+        feats = bb.forward_features(x)
+        grads = [np.ones_like(f) for f in feats]
+        gx = bb.backward_features(grads)
+        assert gx.shape == x.shape
+
+    def test_backward_requires_all_taps(self):
+        bb = MobileNetV2Backbone(
+            1.0, config=((1, 8, 1, 1),), stem_channels=8, last_channels=16,
+            tap_indices=(0,),
+        )
+        bb.forward_features(RNG.normal(size=(1, 3, 8, 8)))
+        with pytest.raises(ShapeError):
+            bb.backward_features([np.zeros((1, 16, 4, 4))])
+
+    def test_plain_backward_not_supported(self):
+        bb = MobileNetV2Backbone(1.0, config=((1, 8, 1, 1),), stem_channels=8)
+        with pytest.raises(NotImplementedError):
+            bb.backward(np.zeros((1, 1280, 1, 1)))
+
+
+class TestSSDDetector:
+    def test_paper_family_ordering(self):
+        params = {
+            a: SSDDetector(full_scale_spec(a)).num_parameters()
+            for a in (1.0, 0.75, 0.5)
+        }
+        assert params[1.0] > params[0.75] > params[0.5]
+        # Within the paper's magnitude band (Table II: 4.7M / 2.7M / 1.2M).
+        assert 2.0e6 < params[1.0] < 6.0e6
+        assert 0.8e6 < params[0.5] < 2.0e6
+
+    def test_forward_shapes(self):
+        det = SSDDetector(tiny_spec(1.0), rng=RNG)
+        conf, loc = det.forward(RNG.normal(size=(2, 3, 48, 64)))
+        assert conf.shape == (2, det.num_anchors, 3)
+        assert loc.shape == (2, det.num_anchors, 4)
+
+    def test_wrong_input_shape(self):
+        det = SSDDetector(tiny_spec(1.0), rng=RNG)
+        with pytest.raises(ShapeError):
+            det.forward(RNG.normal(size=(1, 3, 32, 32)))
+
+    def test_anchor_feature_consistency(self):
+        det = SSDDetector(tiny_spec(1.0), rng=RNG)
+        expected = sum(
+            fh * fw * len(det.spec.aspect_ratios) for fh, fw in det.feature_shapes
+        )
+        assert det.num_anchors == expected
+
+    def test_loss_finite_and_backward(self):
+        det = SSDDetector(tiny_spec(0.5), rng=RNG)
+        x = RNG.normal(size=(2, 3, 48, 64)) * 0.1
+        boxes = [np.array([[0.2, 0.2, 0.5, 0.7]]), np.zeros((0, 4))]
+        labels = [np.array([0]), np.zeros(0, dtype=int)]
+        loss, grads = det.compute_loss(x, boxes, labels)
+        assert np.isfinite(loss) and loss > 0.0
+        gx = det.backward(grads)
+        assert gx.shape == x.shape
+        assert np.isfinite(gx).all()
+
+    def test_loss_batch_mismatch(self):
+        det = SSDDetector(tiny_spec(0.5), rng=RNG)
+        x = RNG.normal(size=(2, 3, 48, 64))
+        with pytest.raises(ShapeError):
+            det.compute_loss(x, [np.zeros((0, 4))], [np.zeros(0)])
+
+    def test_predict_structure(self):
+        det = SSDDetector(tiny_spec(0.5), rng=RNG)
+        det.eval()
+        results = det.predict(RNG.normal(size=(2, 3, 48, 64)) * 0.1, score_threshold=0.1)
+        assert len(results) == 2
+        for dets in results:
+            for d in dets:
+                assert 0 <= d.label < 2
+                assert 0.0 <= d.score <= 1.0
+                xmin, ymin, xmax, ymax = d.box
+                assert 0.0 <= xmin <= xmax <= 1.0
+                assert 0.0 <= ymin <= ymax <= 1.0
+
+    def test_full_scale_has_extras(self):
+        det = SSDDetector(full_scale_spec(0.5))
+        assert len(det.feature_shapes) == 4
+        # Extra levels halve the spatial dims each time.
+        assert det.feature_shapes[2][0] < det.feature_shapes[1][0]
+
+    def test_head_type_validation(self):
+        from repro.vision.ssd import SSDSpec
+
+        with pytest.raises(ShapeError):
+            SSDSpec(input_hw=(48, 64), head_type="transformer")

@@ -1,0 +1,110 @@
+"""Tests for repro.world."""
+
+import pytest
+
+from repro.errors import WorldError
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.vec import Vec2
+from repro.world import (
+    ObjectClass,
+    Obstacle,
+    Room,
+    SceneObject,
+    cluttered_room,
+    paper_object_layout,
+    paper_room,
+)
+from repro.world.objects import OBJECT_DIMENSIONS
+
+
+class TestRoom:
+    def test_dimensions(self):
+        room = Room(6.5, 5.5)
+        assert room.width == 6.5
+        assert room.length == 5.5
+        assert room.center() == Vec2(3.25, 2.75)
+
+    def test_bad_dimensions(self):
+        with pytest.raises(WorldError):
+            Room(0.0, 5.0)
+
+    def test_is_free(self):
+        room = Room(4.0, 3.0)
+        assert room.is_free(Vec2(2.0, 1.5))
+        assert not room.is_free(Vec2(-0.1, 1.0))
+        assert not room.is_free(Vec2(3.95, 1.0), margin=0.1)
+
+    def test_obstacle_blocks(self):
+        obs = Obstacle(AABB(1.0, 1.0, 2.0, 2.0), name="box")
+        room = Room(4.0, 3.0, [obs])
+        assert not room.is_free(Vec2(1.5, 1.5))
+        assert room.is_free(Vec2(0.5, 0.5))
+        # Margin keeps clearance from the obstacle boundary too.
+        assert not room.is_free(Vec2(0.95, 1.5), margin=0.1)
+
+    def test_obstacle_outside_rejected(self):
+        with pytest.raises(WorldError):
+            Room(2.0, 2.0, [Obstacle(AABB(1.5, 1.5, 3.0, 3.0))])
+
+    def test_clearance(self):
+        room = Room(4.0, 4.0)
+        assert room.clearance(Vec2(2.0, 2.0)) == pytest.approx(2.0)
+        assert room.clearance(Vec2(-1.0, 2.0)) == 0.0
+
+    def test_segments_count(self):
+        room = Room(4.0, 3.0, [Obstacle(Circle(Vec2(2.0, 1.5), 0.3))])
+        assert len(room.all_segments()) == 4 + 16
+
+
+class TestLayouts:
+    def test_paper_room(self):
+        room = paper_room()
+        assert room.width == 6.5
+        assert room.length == 5.5
+
+    def test_paper_objects(self):
+        objs = paper_object_layout()
+        assert len(objs) == 6
+        bottles = [o for o in objs if o.object_class is ObjectClass.BOTTLE]
+        cans = [o for o in objs if o.object_class is ObjectClass.TIN_CAN]
+        assert len(bottles) == 3 and len(cans) == 3
+        room = paper_room()
+        for obj in objs:
+            assert room.is_free(obj.position)
+        names = [o.name for o in objs]
+        assert len(set(names)) == 6
+        # Two near the centre, four near the corners.
+        center = room.center()
+        near_center = [o for o in objs if o.position.distance_to(center) < 1.0]
+        assert len(near_center) == 2
+
+    def test_cluttered_room_navigable(self):
+        room = cluttered_room(n_obstacles=4, seed=5)
+        assert len(room.obstacles) == 4
+        # Start cell stays free.
+        assert room.is_free(Vec2(1.0, 1.0), margin=0.1)
+
+    def test_cluttered_room_reproducible(self):
+        a = cluttered_room(n_obstacles=3, seed=9)
+        b = cluttered_room(n_obstacles=3, seed=9)
+        for oa, ob in zip(a.obstacles, b.obstacles):
+            assert type(oa.shape) is type(ob.shape)
+
+
+class TestSceneObject:
+    def test_dimensions(self):
+        bottle = SceneObject(ObjectClass.BOTTLE, Vec2(1.0, 1.0))
+        assert bottle.height_m == OBJECT_DIMENSIONS[ObjectClass.BOTTLE][0]
+        assert bottle.height_m > SceneObject(
+            ObjectClass.TIN_CAN, Vec2(0.0, 0.0)
+        ).height_m
+
+    def test_auto_name(self):
+        obj = SceneObject(ObjectClass.TIN_CAN, Vec2(1.0, 2.0))
+        assert "tin_can" in obj.name
+
+    def test_label_roundtrip(self):
+        for cls in ObjectClass:
+            assert ObjectClass.from_label_id(cls.label_id) is cls
+        with pytest.raises(ValueError):
+            ObjectClass.from_label_id(99)
