@@ -1,0 +1,75 @@
+"""Campaign engine throughput: serial vs. pooled missions/sec.
+
+Runs the same 16-mission campaign (4 scenarios x 2 policies x 2 runs)
+through the serial path and through a multiprocessing pool, reports
+missions/sec for both, and verifies the two paths produce bit-identical
+records. The speedup assertion only applies on machines with enough
+cores -- on a 1-2 core box the pool merely pays its fork overhead.
+"""
+
+import os
+import time
+
+from repro.experiments.reporting import ascii_table
+from repro.sim import Campaign, get_scenario, run_campaign
+
+#: Simulated flight time per mission; short enough to benchmark, long
+#: enough that execution dominates the pool's process start-up cost.
+FLIGHT_TIME_S = 30.0
+
+
+def build_campaign() -> Campaign:
+    return Campaign(
+        name="throughput",
+        scenarios=tuple(
+            get_scenario(n)
+            for n in ("paper-room", "apartment", "corridor-maze", "empty-arena")
+        ),
+        policies=("pseudo-random", "spiral"),
+        n_runs=2,
+        flight_time_s=FLIGHT_TIME_S,
+        seed=2023,
+    )
+
+
+def test_campaign_throughput():
+    campaign = build_campaign()
+    n = len(campaign.missions())
+    assert n == 16
+
+    start = time.perf_counter()
+    serial = run_campaign(campaign, workers=None)
+    serial_s = time.perf_counter() - start
+
+    cores = os.cpu_count() or 1
+    pool_workers = min(4, max(2, cores))
+    start = time.perf_counter()
+    pooled = run_campaign(campaign, workers=pool_workers)
+    pooled_s = time.perf_counter() - start
+
+    print()
+    print(
+        ascii_table(
+            ["path", "workers", "wall [s]", "missions/s"],
+            [
+                ["serial", "1", f"{serial_s:.2f}", f"{n / serial_s:.2f}"],
+                ["pool", str(pool_workers), f"{pooled_s:.2f}", f"{n / pooled_s:.2f}"],
+            ],
+            title=(
+                f"campaign throughput: {n} missions x {FLIGHT_TIME_S:.0f} s "
+                f"simulated flight ({cores} cores)"
+            ),
+        )
+    )
+    print(f"speedup: {serial_s / pooled_s:.2f}x")
+
+    # The two paths must be indistinguishable downstream.
+    assert serial.records == pooled.records
+    assert serial.to_json() == pooled.to_json()
+    # On a real multi-core machine the pool must pay for itself. Set
+    # REPRO_BENCH_RELAX=1 on loaded/oversubscribed machines where the
+    # wall-clock comparison is meaningless.
+    if cores >= 4 and os.environ.get("REPRO_BENCH_RELAX") != "1":
+        assert serial_s / pooled_s >= 2.0, (
+            f"expected >= 2x speedup on {cores} cores, got {serial_s / pooled_s:.2f}x"
+        )

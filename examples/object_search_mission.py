@@ -1,68 +1,65 @@
 """Closed-loop search mission: the paper's headline experiment (Sec. IV-C).
 
-Places three bottles and three tin cans in the testing room, flies the
-pseudo-random policy at 0.5 m/s with SSD-MbV2-1.0 (the paper's best
+Flies the ``paper-room`` scenario (three bottles + three tin cans) with
+the pseudo-random policy at 0.5 m/s and SSD-MbV2-1.0 (the paper's best
 configuration) and reports detection events, then sweeps all four
-policies for comparison.
+policies for comparison -- everything routed through the ``repro.sim``
+campaign engine.
 
 Usage:
-    python examples/object_search_mission.py [--runs N]
+    python examples/object_search_mission.py [--runs N] [--workers W]
 """
 
 import argparse
 
-import numpy as np
-
-from repro.evaluation import aggregate_detection_rate
-from repro.mission.closed_loop import ClosedLoopMission
-from repro.mission.detector_model import (
-    CalibratedDetectorModel,
-    paper_operating_points,
-)
-from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
-from repro.world import paper_object_layout, paper_room
+from repro.policies import POLICY_NAMES
+from repro.sim import Campaign, get_scenario, run_campaign
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--runs", type=int, default=5)
+    parser.add_argument(
+        "--workers", type=int, default=None, help="pool size; 0 = all cores"
+    )
     args = parser.parse_args()
 
-    room = paper_room()
-    objects = paper_object_layout()
-    op = paper_operating_points()["1.0"]
-    channel = CalibratedDetectorModel(op)
-
+    scenario = get_scenario("paper-room")
     print("objects placed:")
-    for obj in objects:
+    for obj in scenario.build_objects():
         print(f"  {obj.name:15s} at ({obj.position.x:.2f}, {obj.position.y:.2f}) m")
     print()
 
-    print(f"== best configuration: pseudo-random @ 0.5 m/s, {op.name} ==")
-    results = []
-    for run_idx in range(args.runs):
-        policy = make_policy("pseudo-random", PolicyConfig(cruise_speed=0.5))
-        mission = ClosedLoopMission(room, objects, policy, channel, op)
-        results.append(mission.run(seed=1000 + run_idx))
-    mean, std = aggregate_detection_rate(results)
-    print(f"detection rate over {args.runs} runs: {mean:.0%} (std {std:.0%})")
-    best = max(results, key=lambda r: r.detection_rate)
+    print("== best configuration: pseudo-random @ 0.5 m/s, SSD-MbV2-1.0 ==")
+    best_config = Campaign(
+        name="best-config",
+        scenarios=(scenario,),
+        policies=("pseudo-random",),
+        speeds=(0.5,),
+        n_runs=args.runs,
+        seed=1000,
+    )
+    result = run_campaign(best_config, workers=args.workers)
+    stat = result.aggregate(("policy",))[("pseudo-random",)]
+    print(f"detection rate over {args.runs} runs: {stat.mean:.0%} (std {stat.std:.0%})")
+    best = result.best("detection_rate")
     print(f"best run ({best.detection_rate:.0%}):")
-    for event in best.events:
-        print(
-            f"  {event.time_s:6.1f} s  {event.object_name:15s} "
-            f"({event.object_class}) at {event.distance_m:.2f} m"
-        )
+    for name, cls, time_s, distance_m in best.events:
+        print(f"  {time_s:6.1f} s  {name:15s} ({cls}) at {distance_m:.2f} m")
     print()
 
     print("== all policies at 0.5 m/s ==")
+    sweep = Campaign(
+        name="policy-sweep",
+        scenarios=(scenario,),
+        policies=POLICY_NAMES,
+        speeds=(0.5,),
+        n_runs=args.runs,
+        seed=2000,
+    )
+    agg = run_campaign(sweep, workers=args.workers).aggregate(("policy",))
     for name in POLICY_NAMES:
-        rates = []
-        for run_idx in range(args.runs):
-            policy = make_policy(name, PolicyConfig(cruise_speed=0.5))
-            mission = ClosedLoopMission(room, objects, policy, channel, op)
-            rates.append(mission.run(seed=2000 + run_idx).detection_rate)
-        print(f"  {name:20s} {float(np.mean(rates)):.0%}")
+        print(f"  {name:20s} {agg[(name,)].mean:.0%}")
 
 
 if __name__ == "__main__":

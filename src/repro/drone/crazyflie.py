@@ -24,6 +24,7 @@ from repro.sensors.camera import HimaxCamera
 from repro.sensors.flowdeck import FlowDeck
 from repro.sensors.imu import Gyro
 from repro.sensors.multiranger import MultiRangerDeck, RangerReading
+from repro.seeding import SeedLike
 from repro.world.room import Room
 
 #: Control-loop rate of the simulated platform, Hz.
@@ -63,7 +64,8 @@ class Crazyflie:
         start: initial position; defaults to 1 m from the south-west corner.
         heading: initial heading, rad.
         config: platform configuration.
-        seed: RNG seed for every sensor noise source.
+        seed: RNG seed for every sensor noise source (``None``, an int,
+            or a :class:`~numpy.random.SeedSequence` stream).
     """
 
     def __init__(
@@ -72,7 +74,7 @@ class Crazyflie:
         start: Optional[Vec2] = None,
         heading: float = 0.0,
         config: Optional[CrazyflieConfig] = None,
-        seed: Optional[int] = None,
+        seed: SeedLike = None,
     ):
         self.room = room
         self.config = config or CrazyflieConfig()

@@ -35,3 +35,7 @@ class DeploymentError(ReproError):
 
 class MissionError(ReproError):
     """Raised when a mission configuration is inconsistent."""
+
+
+class SimError(ReproError):
+    """Raised on invalid scenarios, campaigns or campaign results."""

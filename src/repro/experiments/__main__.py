@@ -15,14 +15,16 @@ import time
 from repro.experiments import FULL_SCALE, SMOKE_SCALE
 from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
 
+# Flight experiments route through the repro.sim campaign engine and
+# accept a worker-pool size; the static ones ignore it.
 _EXPERIMENTS = {
-    "table1": lambda s: table1.format_table(table1.run(s)),
-    "table2": lambda s: table2.format_table(table2.run(s)),
-    "table3": lambda s: table3.format_table(table3.run(s)),
-    "table4": lambda s: table4.format_table(table4.run(s)),
-    "fig3": lambda s: fig3.format_maps(fig3.run(s)),
-    "fig5": lambda s: fig5.format_table(fig5.run(s)),
-    "fig6": lambda s: fig6.format_figure(fig6.run(s)),
+    "table1": lambda s, w: table1.format_table(table1.run(s)),
+    "table2": lambda s, w: table2.format_table(table2.run(s)),
+    "table3": lambda s, w: table3.format_table(table3.run(s, workers=w)),
+    "table4": lambda s, w: table4.format_table(table4.run(s)),
+    "fig3": lambda s, w: fig3.format_maps(fig3.run(s)),
+    "fig5": lambda s, w: fig5.format_table(fig5.run(s, workers=w)),
+    "fig6": lambda s, w: fig6.format_figure(fig6.run(s, workers=w)),
 }
 
 
@@ -38,6 +40,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--full", action="store_true", help="paper-scale runs (slow)"
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker-pool size for the flight experiments; 0 = all cores",
+    )
     args = parser.parse_args(argv)
     if args.names == ["list"]:
         for name in _EXPERIMENTS:
@@ -50,7 +58,7 @@ def main(argv=None) -> int:
     scale = FULL_SCALE if args.full else SMOKE_SCALE
     for name in names:
         start = time.time()
-        output = _EXPERIMENTS[name](scale)
+        output = _EXPERIMENTS[name](scale, args.workers)
         print(f"\n===== {name} ({time.time() - start:.0f}s) =====")
         print(output)
     return 0

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
+from typing import Tuple
 
 
 @dataclass(frozen=True)
@@ -31,8 +32,18 @@ class ExperimentScale:
     pretrain_epochs: int = 5
     finetune_epochs: int = 3
     batch_size: int = 8
-    widths: tuple = (1.0, 0.75, 0.5)
+    widths: Tuple[float, ...] = (1.0, 0.75, 0.5)
     name: str = "smoke"
+
+    def __post_init__(self) -> None:
+        if self.n_runs <= 0:
+            raise ValueError(f"n_runs must be positive, got {self.n_runs}")
+        if self.flight_time_s <= 0.0:
+            raise ValueError(
+                f"flight_time_s must be positive, got {self.flight_time_s}"
+            )
+        if not self.widths:
+            raise ValueError("widths must not be empty")
 
 
 SMOKE_SCALE = ExperimentScale()

@@ -7,15 +7,12 @@ each, reporting the mean coverage percentage -- the paper's bar chart.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Tuple
 
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
-from repro.mission.explorer import ExplorationMission
-from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
-from repro.world import paper_room
+from repro.policies import POLICY_NAMES
+from repro.sim import Campaign, get_scenario, run_campaign
 
 #: The paper's three mean flight speeds, m/s.
 PAPER_SPEEDS = (0.1, 0.5, 1.0)
@@ -37,25 +34,27 @@ def run(
     scale: ExperimentScale = None,
     speeds: Tuple[float, ...] = PAPER_SPEEDS,
     seed: int = 100,
+    workers: Optional[int] = None,
 ) -> Fig5Result:
-    """Sweep every policy x speed configuration."""
+    """Sweep every policy x speed configuration via the campaign engine."""
     scale = scale or default_scale()
-    room = paper_room()
-    coverage = {}
-    stddev = {}
-    for name in POLICY_NAMES:
-        for speed in speeds:
-            scores: List[float] = []
-            for run_idx in range(scale.n_runs):
-                policy = make_policy(name, PolicyConfig(cruise_speed=speed))
-                mission = ExplorationMission(
-                    room, policy, flight_time_s=scale.flight_time_s
-                )
-                scores.append(mission.run(seed=seed + run_idx).coverage)
-            coverage[(name, speed)] = float(np.mean(scores))
-            stddev[(name, speed)] = float(np.std(scores))
+    campaign = Campaign(
+        name="fig5",
+        scenarios=(get_scenario("paper-room"),),
+        policies=POLICY_NAMES,
+        speeds=tuple(speeds),
+        n_runs=scale.n_runs,
+        flight_time_s=scale.flight_time_s,
+        kind="explore",
+        seed=seed,
+    )
+    result = run_campaign(campaign, workers=workers)
+    agg = result.aggregate(("policy", "speed"), value="coverage")
     return Fig5Result(
-        coverage=coverage, stddev=stddev, n_runs=scale.n_runs, scale_name=scale.name
+        coverage={key: stat.mean for key, stat in agg.items()},
+        stddev={key: stat.std for key, stat in agg.items()},
+        n_runs=scale.n_runs,
+        scale_name=scale.name,
     )
 
 

@@ -8,21 +8,22 @@ detection timeline of the six objects for the best run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_series
 from repro.mapping.coverage import CoverageSeries
-from repro.mission.closed_loop import ClosedLoopMission, SearchResult
-from repro.mission.detector_model import (
-    CalibratedDetectorModel,
-    DetectorOperatingPoint,
-    paper_operating_points,
+from repro.mission.closed_loop import SearchResult
+from repro.mission.detector_model import DetectorOperatingPoint
+from repro.sim import (
+    Campaign,
+    OperatingPointSpec,
+    get_scenario,
+    paper_operating_point_spec,
+    run_campaign,
 )
-from repro.policies import PolicyConfig, PseudoRandomPolicy
-from repro.world import paper_object_layout, paper_room
 
 
 @dataclass
@@ -40,20 +41,29 @@ def run(
     operating_point: Optional[DetectorOperatingPoint] = None,
     speed: float = 0.5,
     seed: int = 900,
+    workers: Optional[int] = None,
 ) -> Fig6Result:
-    """Fly the paper's best configuration ``n_runs`` times."""
+    """Fly the paper's best configuration ``n_runs`` times via the engine."""
     scale = scale or default_scale()
-    op = operating_point or paper_operating_points()["1.0"]
-    channel = CalibratedDetectorModel(op)
-    room = paper_room()
-    objects = paper_object_layout()
-    runs: List[SearchResult] = []
-    for run_idx in range(scale.n_runs):
-        policy = PseudoRandomPolicy(PolicyConfig(cruise_speed=speed))
-        mission = ClosedLoopMission(
-            room, objects, policy, channel, op, flight_time_s=scale.flight_time_s
-        )
-        runs.append(mission.run(seed=seed + run_idx))
+    op_spec = (
+        paper_operating_point_spec("1.0")
+        if operating_point is None
+        else OperatingPointSpec.from_operating_point("1.0", operating_point)
+    )
+    campaign = Campaign(
+        name="fig6",
+        scenarios=(get_scenario("paper-room"),),
+        policies=("pseudo-random",),
+        speeds=(speed,),
+        ssd_widths=("1.0",),
+        n_runs=scale.n_runs,
+        flight_time_s=scale.flight_time_s,
+        kind="search",
+        seed=seed,
+        operating_points=(op_spec,),
+    )
+    result = run_campaign(campaign, workers=workers)
+    runs: List[SearchResult] = [r.to_search_result() for r in result.records]
     grid_times = np.linspace(0.0, scale.flight_time_s, 61)
     mean, var = CoverageSeries.mean_and_variance(
         [r.series for r in runs], grid_times

@@ -11,20 +11,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-import numpy as np
-
-from repro.evaluation.detection_rate import aggregate_detection_rate
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.fig5 import PAPER_SPEEDS
 from repro.experiments.reporting import ascii_table
-from repro.mission.closed_loop import ClosedLoopMission
 from repro.mission.detector_model import (
-    CalibratedDetectorModel,
     DetectorOperatingPoint,
     paper_operating_points,
 )
-from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
-from repro.world import paper_object_layout, paper_room
+from repro.policies import POLICY_NAMES
+from repro.sim import Campaign, OperatingPointSpec, get_scenario, run_campaign
 
 
 @dataclass
@@ -39,14 +34,41 @@ class Table3Result:
         return max(self.rates, key=self.rates.get)
 
 
+def build_campaign(
+    scale: ExperimentScale = None,
+    operating_points: Optional[Dict[str, DetectorOperatingPoint]] = None,
+    widths: Tuple[str, ...] = ("1.0", "0.75"),
+    speeds: Tuple[float, ...] = PAPER_SPEEDS,
+    seed: int = 500,
+) -> Campaign:
+    """The Table III sweep as a :class:`~repro.sim.Campaign`."""
+    scale = scale or default_scale()
+    points = operating_points or paper_operating_points()
+    return Campaign(
+        name="table3",
+        scenarios=(get_scenario("paper-room"),),
+        policies=POLICY_NAMES,
+        speeds=tuple(speeds),
+        ssd_widths=tuple(widths),
+        n_runs=scale.n_runs,
+        flight_time_s=scale.flight_time_s,
+        kind="search",
+        seed=seed,
+        operating_points=tuple(
+            OperatingPointSpec.from_operating_point(w, points[w]) for w in widths
+        ),
+    )
+
+
 def run(
     scale: ExperimentScale = None,
     operating_points: Optional[Dict[str, DetectorOperatingPoint]] = None,
     widths: Tuple[str, ...] = ("1.0", "0.75"),
     speeds: Tuple[float, ...] = PAPER_SPEEDS,
     seed: int = 500,
+    workers: Optional[int] = None,
 ) -> Table3Result:
-    """Sweep SSD x policy x speed.
+    """Sweep SSD x policy x speed through the campaign engine.
 
     Args:
         scale: experiment scale.
@@ -55,36 +77,20 @@ def run(
             the loop end-to-end on this library's own numbers.
         widths: which SSDs to fly (the paper flies the best two).
         speeds: mean flight speeds.
-        seed: base RNG seed.
+        seed: campaign root seed; every flight spawns an independent
+            stream, so results do not depend on execution order.
+        workers: ``None`` for the serial path, ``0`` for one worker per
+            core, otherwise the pool size (identical results either way).
     """
     scale = scale or default_scale()
-    points = operating_points or paper_operating_points()
-    room = paper_room()
-    objects = paper_object_layout()
-    rates = {}
-    stddev = {}
-    for width in widths:
-        op = points[width]
-        channel = CalibratedDetectorModel(op)
-        for policy_name in POLICY_NAMES:
-            for speed in speeds:
-                results = []
-                for run_idx in range(scale.n_runs):
-                    policy = make_policy(policy_name, PolicyConfig(cruise_speed=speed))
-                    mission = ClosedLoopMission(
-                        room,
-                        objects,
-                        policy,
-                        channel,
-                        op,
-                        flight_time_s=scale.flight_time_s,
-                    )
-                    results.append(mission.run(seed=seed + run_idx))
-                mean, std = aggregate_detection_rate(results)
-                rates[(width, policy_name, speed)] = mean
-                stddev[(width, policy_name, speed)] = std
+    campaign = build_campaign(scale, operating_points, widths, speeds, seed)
+    result = run_campaign(campaign, workers=workers)
+    agg = result.aggregate(("ssd_width", "policy", "speed"), value="detection_rate")
     return Table3Result(
-        rates=rates, stddev=stddev, n_runs=scale.n_runs, scale_name=scale.name
+        rates={key: stat.mean for key, stat in agg.items()},
+        stddev={key: stat.std for key, stat in agg.items()},
+        n_runs=scale.n_runs,
+        scale_name=scale.name,
     )
 
 

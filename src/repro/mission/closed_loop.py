@@ -21,6 +21,7 @@ from repro.mapping.coverage import CoverageSeries
 from repro.mapping.mocap import MotionCaptureTracker
 from repro.mission.detector_model import DetectionChannel, DetectorOperatingPoint
 from repro.policies.base import ExplorationPolicy
+from repro.seeding import SeedLike, spawn_streams
 from repro.world.objects import SceneObject
 from repro.world.room import Room
 
@@ -45,6 +46,7 @@ class SearchResult:
     series: Optional[CoverageSeries] = None
     frames_processed: int = 0
     collisions: int = 0
+    distance_flown_m: float = 0.0  #: integrated path length
     samples: Optional[list] = None  #: mocap trajectory for visualization
 
     def time_to_full_detection(self) -> Optional[float]:
@@ -96,25 +98,39 @@ class ClosedLoopMission:
         self.start = start
         self.drone_config = drone_config
 
-    def run(self, seed: Optional[int] = None) -> SearchResult:
-        """Execute one flight; fully reproducible given ``seed``."""
+    def run(self, seed: SeedLike = None) -> SearchResult:
+        """Execute one flight; fully reproducible given ``seed``.
+
+        Args:
+            seed: ``None``, an integer, or a
+                :class:`~numpy.random.SeedSequence` (how the campaign
+                engine hands each mission its own independent stream).
+                The sensor, policy and detector RNGs are spawned as
+                independent child streams, so results are bit-identical
+                whether the mission runs serially or in a worker process.
+        """
+        drone_stream, policy_stream, detector_stream = spawn_streams(seed, 3)
         drone = Crazyflie(
-            self.room, start=self.start, config=self.drone_config, seed=seed
+            self.room, start=self.start, config=self.drone_config, seed=drone_stream
         )
-        self.policy.reset(seed)
+        self.policy.reset(policy_stream)
         self.channel.reset()
-        rng = np.random.default_rng(None if seed is None else seed + 10_000)
+        rng = np.random.default_rng(detector_stream)
         tracker = MotionCaptureTracker(self.room)
         series = CoverageSeries()
         frame_period = 1.0 / self.operating_point.fps
         next_frame_time = 0.0
         first_detection: Dict[str, DetectionEvent] = {}
         frames = 0
+        distance = 0.0
+        last_pos = drone.state.position
         n_steps = int(round(self.flight_time_s / drone.dt))
         for _ in range(n_steps):
             reading = drone.read_ranger()
             setpoint = self.policy.update(reading, drone.estimated_state)
             state = drone.step(setpoint)
+            distance += state.position.distance_to(last_pos)
+            last_pos = state.position
             if tracker.observe(state):
                 series.append(state.time, tracker.coverage())
             if state.time + 1e-9 >= next_frame_time:
@@ -140,5 +156,6 @@ class ClosedLoopMission:
             series=series,
             frames_processed=frames,
             collisions=drone.dynamics.collision_count,
+            distance_flown_m=distance,
             samples=tracker.samples,
         )

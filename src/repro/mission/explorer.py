@@ -17,6 +17,7 @@ from repro.mapping.coverage import CoverageSeries
 from repro.mapping.mocap import MotionCaptureTracker
 from repro.mapping.occupancy import OccupancyGrid
 from repro.policies.base import ExplorationPolicy
+from repro.seeding import SeedLike, spawn_streams
 from repro.world.room import Room
 
 #: Flight time of every run in the paper's evaluation, seconds.
@@ -66,21 +67,25 @@ class ExplorationMission:
         self.start_heading = start_heading
         self.drone_config = drone_config
 
-    def run(self, seed: Optional[int] = None) -> ExplorationResult:
+    def run(self, seed: SeedLike = None) -> ExplorationResult:
         """Execute one flight and return its statistics.
 
         Args:
-            seed: seeds both the sensor noise and the policy RNG, making
-                the run fully reproducible.
+            seed: ``None``, an integer, or a
+                :class:`~numpy.random.SeedSequence`. Sensor noise and the
+                policy RNG get independent spawned child streams, making
+                the run fully reproducible (also under the parallel
+                campaign runner).
         """
+        drone_stream, policy_stream = spawn_streams(seed, 2)
         drone = Crazyflie(
             self.room,
             start=self.start,
             heading=self.start_heading,
             config=self.drone_config,
-            seed=seed,
+            seed=drone_stream,
         )
-        self.policy.reset(seed)
+        self.policy.reset(policy_stream)
         tracker = MotionCaptureTracker(self.room)
         series = CoverageSeries()
         distance = 0.0

@@ -22,6 +22,7 @@ from repro.drone.controller import SetPoint
 from repro.drone.state_estimator import EstimatedState
 from repro.errors import PolicyError
 from repro.geometry.vec import angle_diff, normalize_angle
+from repro.seeding import SeedLike
 from repro.sensors.multiranger import RangerReading
 
 
@@ -73,7 +74,7 @@ class ExplorationPolicy(abc.ABC):
         self._turn_direction = 1.0
         self._was_reset = False
 
-    def reset(self, seed: Optional[int] = None) -> None:
+    def reset(self, seed: SeedLike = None) -> None:
         """Prepare the policy for a new flight."""
         self._rng = np.random.default_rng(seed)
         self._turn_target = None

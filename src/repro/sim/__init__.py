@@ -1,0 +1,54 @@
+"""Scenario registry + parallel mission campaign engine.
+
+The one subsystem owning all mission fan-out:
+
+- :mod:`repro.sim.scenario` -- declarative :class:`Scenario` specs and a
+  registry of named presets (the paper room plus synthetic layouts),
+- :mod:`repro.sim.campaign` -- :class:`Campaign` cartesian sweeps with
+  per-mission independent ``SeedSequence`` streams,
+- :mod:`repro.sim.runner` -- serial or ``multiprocessing`` execution
+  producing bit-identical results,
+- :mod:`repro.sim.results` -- the columnar result store with aggregation
+  and hash-keyed JSON persistence.
+
+``python -m repro.sim`` exposes the same machinery on the command line.
+"""
+
+from repro.sim.campaign import (
+    Campaign,
+    MissionSpec,
+    OperatingPointSpec,
+    paper_operating_point_spec,
+)
+from repro.sim.results import AggregateStat, CampaignResult, MissionRecord
+from repro.sim.runner import execute_mission, run_campaign
+from repro.sim.scenario import (
+    ObjectSpec,
+    ObstacleSpec,
+    RoomSpec,
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+
+__all__ = [
+    "AggregateStat",
+    "Campaign",
+    "CampaignResult",
+    "MissionRecord",
+    "MissionSpec",
+    "ObjectSpec",
+    "ObstacleSpec",
+    "OperatingPointSpec",
+    "RoomSpec",
+    "Scenario",
+    "execute_mission",
+    "get_scenario",
+    "iter_scenarios",
+    "paper_operating_point_spec",
+    "register_scenario",
+    "run_campaign",
+    "scenario_names",
+]

@@ -1,0 +1,165 @@
+"""CLI entry: list scenarios and execute mission campaigns.
+
+Usage:
+    python -m repro.sim list
+    python -m repro.sim show corridor-maze
+    python -m repro.sim run --scenario paper-room --runs 2 --flight-time 30
+    python -m repro.sim run --scenario paper-room apartment \\
+        --policy pseudo-random spiral --speed 0.5 1.0 --width 1.0 \\
+        --runs 3 --workers 0 --out results
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.errors import SimError
+from repro.experiments.reporting import ascii_table
+from repro.sim.campaign import Campaign
+from repro.sim.results import CampaignResult
+from repro.sim.runner import run_campaign
+from repro.sim.scenario import get_scenario, iter_scenarios
+
+
+def _cmd_list(_args) -> int:
+    rows = []
+    for s in iter_scenarios():
+        rows.append(
+            [
+                s.name,
+                f"{s.room.width:g} x {s.room.length:g}",
+                str(len(s.room.obstacles)),
+                str(len(s.objects)),
+                s.policy,
+                f"{s.cruise_speed:g}",
+                s.ssd_width,
+                f"{s.flight_time_s:g}",
+                s.description,
+            ]
+        )
+    print(
+        ascii_table(
+            ["scenario", "room [m]", "#obst", "#obj", "policy", "speed", "ssd", "t [s]", "description"],
+            rows,
+            title="registered scenarios",
+        )
+    )
+    return 0
+
+
+def _cmd_show(args) -> int:
+    s = get_scenario(args.scenario)
+    print(f"{s.name}: {s.description}")
+    print(f"  room: {s.room.width:g} x {s.room.length:g} m, {len(s.room.obstacles)} obstacles")
+    for o in s.room.obstacles:
+        print(f"    {o.kind:9s} {o.name or '-':18s} params={tuple(round(p, 2) for p in o.params)}")
+    print(f"  objects ({len(s.objects)}):")
+    for o in s.objects:
+        print(f"    {o.name or o.object_class:18s} {o.object_class:8s} at ({o.x:.2f}, {o.y:.2f})")
+    start = "platform default" if s.start is None else f"({s.start[0]:g}, {s.start[1]:g})"
+    print(
+        f"  defaults: policy={s.policy}, speed={s.cruise_speed:g} m/s, "
+        f"ssd={s.ssd_width}, flight={s.flight_time_s:g} s, start={start}, "
+        f"noisy={s.noisy}"
+    )
+    return 0
+
+
+def _progress(done: int, total: int, record) -> None:
+    line = (
+        f"[{done}/{total}] {record.scenario}/{record.policy}"
+        f"@{record.speed:g} run {record.run_idx}: "
+        f"coverage {record.coverage:.0%}"
+    )
+    if record.kind == "search":
+        line += f", detection {record.detection_rate:.0%}"
+    print(line, flush=True)
+
+
+def _summary(result: CampaignResult) -> str:
+    value = "detection_rate" if result.campaign["kind"] == "search" else "coverage"
+    agg = result.aggregate(("scenario", "policy", "speed", "ssd_width"), value=value)
+    rows = [
+        [scenario, policy, f"{speed:g}", width, f"{stat.mean:.0%}", f"{stat.std:.0%}", str(stat.n)]
+        for (scenario, policy, speed, width), stat in sorted(agg.items())
+    ]
+    return ascii_table(
+        ["scenario", "policy", "speed", "ssd", f"mean {value}", "std", "runs"],
+        rows,
+        title=f"campaign {result.name!r} ({len(result)} missions)",
+    )
+
+
+def _cmd_run(args) -> int:
+    scenarios = tuple(get_scenario(name) for name in args.scenario)
+    campaign = Campaign(
+        name=args.name,
+        scenarios=scenarios,
+        policies=tuple(args.policy or ()),
+        speeds=tuple(args.speed or ()),
+        ssd_widths=tuple(args.width or ()),
+        n_runs=args.runs,
+        flight_time_s=args.flight_time,
+        kind=args.kind,
+        seed=args.seed,
+    )
+    total = len(campaign.missions())
+    workers = args.workers
+    mode = "serial" if (workers is None or workers == 1) else f"pool({workers or 'auto'})"
+    print(
+        f"campaign {campaign.name!r}: {total} missions, {mode}, "
+        f"hash {campaign.campaign_hash()[:12]}",
+        flush=True,
+    )
+    start = time.perf_counter()
+    result = run_campaign(
+        campaign, workers=workers, progress=None if args.quiet else _progress
+    )
+    elapsed = time.perf_counter() - start
+    print()
+    print(_summary(result))
+    rate = len(result) / elapsed if elapsed > 0 else float("inf")
+    print(f"\n{len(result)} missions in {elapsed:.1f} s ({rate:.2f} missions/s)")
+    if args.out:
+        path = result.save(args.out)
+        print(f"results written to {path}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.sim", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list registered scenarios").set_defaults(fn=_cmd_list)
+
+    show = sub.add_parser("show", help="describe one scenario in detail")
+    show.add_argument("scenario")
+    show.set_defaults(fn=_cmd_show)
+
+    run = sub.add_parser("run", help="execute a campaign")
+    run.add_argument("--scenario", nargs="+", default=["paper-room"], help="scenario names to fly")
+    run.add_argument("--policy", nargs="*", default=None, help="policies to sweep (default: scenario's)")
+    run.add_argument("--speed", nargs="*", type=float, default=None, help="cruise speeds, m/s")
+    run.add_argument("--width", nargs="*", default=None, help="SSD width keys, e.g. 1.0 0.75")
+    run.add_argument("--runs", type=int, default=1, help="flights per configuration")
+    run.add_argument("--flight-time", type=float, default=None, help="override flight time, s")
+    run.add_argument("--kind", choices=("search", "explore"), default="search")
+    run.add_argument("--seed", type=int, default=0, help="campaign root seed")
+    run.add_argument("--workers", type=int, default=None, help="pool size; 0 = all cores; default serial")
+    run.add_argument("--name", default="cli", help="campaign name used in the result file")
+    run.add_argument("--out", default=None, help="directory for the JSON result (default: don't persist)")
+    run.add_argument("--quiet", action="store_true", help="suppress per-mission progress lines")
+    run.set_defaults(fn=_cmd_run)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except SimError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,264 @@
+"""Campaigns: cartesian mission sweeps with independent seed streams.
+
+A :class:`Campaign` expands ``scenario x ssd_width x policy x speed x
+n_runs`` into a flat list of :class:`MissionSpec`, each carrying its own
+:class:`numpy.random.SeedSequence` spawn key. The ``i``-th mission uses
+``SeedSequence(campaign.seed, spawn_key=(i,))`` -- exactly the stream
+``SeedSequence(campaign.seed).spawn(n)[i]`` would produce -- so every
+mission draws from a provably independent RNG regardless of execution
+order or process placement, and serial and pooled runs are bit-identical.
+
+The campaign also serializes to a canonical dict whose SHA-256 digest
+(:meth:`Campaign.campaign_hash`) keys persisted results: the same sweep
+always lands in the same file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.mission.detector_model import DetectorOperatingPoint, paper_operating_points
+from repro.policies import POLICY_NAMES
+from repro.sim.scenario import Scenario
+
+#: Mission kinds a campaign can sweep.
+CAMPAIGN_KINDS = ("search", "explore")
+
+
+@dataclass(frozen=True)
+class OperatingPointSpec:
+    """Declarative detector operating point, keyed by SSD width.
+
+    Campaigns default to the paper's Table I/II operating points; an
+    explicit spec overrides them (e.g. to close the loop on this
+    library's own measured Table 1 numbers).
+    """
+
+    width: str
+    name: str
+    fps: float
+    map_score: float
+
+    def build(self) -> DetectorOperatingPoint:
+        """Instantiate the live operating point."""
+        return DetectorOperatingPoint(self.name, fps=self.fps, map_score=self.map_score)
+
+    @classmethod
+    def from_operating_point(
+        cls, width: str, op: DetectorOperatingPoint
+    ) -> "OperatingPointSpec":
+        """Describe an existing operating point declaratively."""
+        return cls(width=width, name=op.name, fps=op.fps, map_score=op.map_score)
+
+
+def paper_operating_point_spec(width: str) -> OperatingPointSpec:
+    """The paper's operating point for one SSD width key."""
+    points = paper_operating_points()
+    try:
+        op = points[width]
+    except KeyError:
+        known = ", ".join(sorted(points))
+        raise SimError(f"unknown SSD width {width!r}; known: {known}") from None
+    return OperatingPointSpec.from_operating_point(width, op)
+
+
+@dataclass(frozen=True)
+class MissionSpec:
+    """One fully-specified mission inside a campaign.
+
+    Self-contained and picklable: a worker process rebuilds the world
+    from the embedded scenario and derives its RNG streams from
+    ``(seed_entropy, spawn_key)`` without any shared state.
+    """
+
+    index: int
+    scenario: Scenario
+    kind: str
+    policy: str
+    speed: float
+    ssd_width: str
+    flight_time_s: float
+    run_idx: int
+    seed_entropy: int
+    spawn_key: Tuple[int, ...]
+    op: Optional[OperatingPointSpec] = None
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The mission's independent root stream."""
+        return np.random.SeedSequence(self.seed_entropy, spawn_key=self.spawn_key)
+
+    def operating_point(self) -> DetectorOperatingPoint:
+        """The detector operating point this mission flies."""
+        spec = self.op or paper_operating_point_spec(self.ssd_width)
+        return spec.build()
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named cartesian sweep over scenarios and mission parameters.
+
+    Empty axis tuples fall back to each scenario's own default, so
+    ``Campaign(name="x", scenarios=(get_scenario("paper-room"),))``
+    is already a valid 1-mission campaign.
+
+    Attributes:
+        name: label used in persisted result files.
+        scenarios: scenarios to fly.
+        policies: policy names to sweep (empty = scenario default).
+        speeds: cruise speeds to sweep, m/s (empty = scenario default).
+        ssd_widths: SSD width keys to sweep (empty = scenario default).
+        n_runs: independent flights per configuration.
+        flight_time_s: override flight duration (``None`` = scenario default).
+        kind: ``"search"`` (closed-loop detection) or ``"explore"``
+            (coverage only; the ``ssd_widths`` axis is not expanded
+            since exploration never touches the detector).
+        seed: root entropy for every mission's seed stream.
+        operating_points: detector overrides keyed by width.
+    """
+
+    name: str
+    scenarios: Tuple[Scenario, ...]
+    policies: Tuple[str, ...] = ()
+    speeds: Tuple[float, ...] = ()
+    ssd_widths: Tuple[str, ...] = ()
+    n_runs: int = 1
+    flight_time_s: Optional[float] = None
+    kind: str = "search"
+    seed: int = 0
+    operating_points: Tuple[OperatingPointSpec, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Tolerate lists/generators at the call site.
+        for name in ("scenarios", "policies", "speeds", "ssd_widths", "operating_points"):
+            object.__setattr__(self, name, tuple(getattr(self, name)))
+        if not self.name:
+            raise SimError("campaign needs a name")
+        if not self.scenarios:
+            raise SimError("campaign needs at least one scenario")
+        if self.n_runs <= 0:
+            raise SimError(f"n_runs must be positive, got {self.n_runs}")
+        if self.kind not in CAMPAIGN_KINDS:
+            raise SimError(f"unknown campaign kind {self.kind!r}; known: {CAMPAIGN_KINDS}")
+        if self.flight_time_s is not None and self.flight_time_s <= 0.0:
+            raise SimError("flight time must be positive")
+        for policy in self.policies:
+            if policy not in POLICY_NAMES:
+                known = ", ".join(POLICY_NAMES)
+                raise SimError(f"unknown policy {policy!r}; known: {known}")
+        for speed in self.speeds:
+            if speed <= 0.0:
+                raise SimError(f"speeds must be positive, got {speed}")
+        known_widths = set(paper_operating_points()) | {
+            op.width for op in self.operating_points
+        }
+        for width in self.ssd_widths:
+            if width not in known_widths:
+                known = ", ".join(sorted(known_widths))
+                raise SimError(f"unknown SSD width {width!r}; known: {known}")
+        # Empty axes fall back to per-scenario defaults at expansion time;
+        # validate those too, so a bad default fails at construction
+        # instead of mid-campaign inside a worker process.
+        for scenario in self.scenarios:
+            if not self.policies and scenario.policy not in POLICY_NAMES:
+                known = ", ".join(POLICY_NAMES)
+                raise SimError(
+                    f"scenario {scenario.name!r} default policy "
+                    f"{scenario.policy!r} is unknown; known: {known}"
+                )
+            if (
+                not self.ssd_widths
+                and self.kind == "search"
+                and scenario.ssd_width not in known_widths
+            ):
+                known = ", ".join(sorted(known_widths))
+                raise SimError(
+                    f"scenario {scenario.name!r} default SSD width "
+                    f"{scenario.ssd_width!r} is unknown; known: {known}"
+                )
+
+    # -- expansion --------------------------------------------------------
+
+    def _op_map(self) -> Dict[str, OperatingPointSpec]:
+        return {spec.width: spec for spec in self.operating_points}
+
+    def size(self) -> int:
+        """Number of missions the campaign expands to."""
+        return len(self.missions())
+
+    def missions(self) -> Tuple[MissionSpec, ...]:
+        """Expand the sweep into per-mission specs with spawned seeds.
+
+        The ``i``-th spec gets spawn key ``(i,)``, matching
+        ``SeedSequence(self.seed).spawn(total)[i]``.
+        """
+        ops = self._op_map()
+        specs = []
+        index = 0
+        for scenario in self.scenarios:
+            # Exploration never touches the detector: expanding the
+            # width axis would duplicate physically-identical missions
+            # labelled as a sweep, so it collapses to one value.
+            if self.kind == "explore":
+                widths = (scenario.ssd_width,)
+            else:
+                widths = self.ssd_widths or (scenario.ssd_width,)
+            policies = self.policies or (scenario.policy,)
+            speeds = self.speeds or (scenario.cruise_speed,)
+            flight_time = self.flight_time_s or scenario.flight_time_s
+            for width in widths:
+                for policy in policies:
+                    for speed in speeds:
+                        for run_idx in range(self.n_runs):
+                            specs.append(
+                                MissionSpec(
+                                    index=index,
+                                    scenario=scenario,
+                                    kind=self.kind,
+                                    policy=policy,
+                                    speed=speed,
+                                    ssd_width=width,
+                                    flight_time_s=flight_time,
+                                    run_idx=run_idx,
+                                    seed_entropy=self.seed,
+                                    spawn_key=(index,),
+                                    op=ops.get(width),
+                                )
+                            )
+                            index += 1
+        return tuple(specs)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (JSON- and hash-friendly)."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "seed": self.seed,
+            "n_runs": self.n_runs,
+            "flight_time_s": self.flight_time_s,
+            "policies": list(self.policies),
+            "speeds": list(self.speeds),
+            "ssd_widths": list(self.ssd_widths),
+            "operating_points": [asdict(op) for op in self.operating_points],
+            "scenarios": [s.to_dict() for s in self.scenarios],
+        }
+
+    def campaign_hash(self) -> str:
+        """Stable SHA-256 content hash of the campaign definition.
+
+        Cosmetic fields (scenario descriptions) are excluded: fixing a
+        typo in a preset's documentation must not re-key every persisted
+        result file.
+        """
+        data = self.to_dict()
+        for scenario in data["scenarios"]:
+            scenario.pop("description", None)
+        blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

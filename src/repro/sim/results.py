@@ -1,0 +1,322 @@
+"""Columnar campaign results: aggregation and JSON persistence.
+
+Every executed mission becomes a flat :class:`MissionRecord`; a
+:class:`CampaignResult` holds the records column-wise-accessible plus the
+campaign definition and its content hash. Results persist as a single
+JSON document named after the hash, so re-running the identical campaign
+overwrites (rather than duplicates) its file.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import asdict, dataclass
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.mapping.coverage import CoverageSeries
+from repro.mission.closed_loop import DetectionEvent, SearchResult
+from repro.mission.explorer import ExplorationResult
+
+#: Scalar per-mission columns exposed by :meth:`CampaignResult.columns`.
+SCALAR_COLUMNS = (
+    "index",
+    "scenario",
+    "kind",
+    "policy",
+    "speed",
+    "ssd_width",
+    "run_idx",
+    "flight_time_s",
+    "detection_rate",
+    "coverage",
+    "collisions",
+    "frames_processed",
+    "n_objects",
+    "distance_flown_m",
+)
+
+
+@dataclass(frozen=True)
+class MissionRecord:
+    """Flat outcome of one mission, JSON- and pickle-friendly.
+
+    ``events`` rows are ``(object_name, object_class, time_s,
+    distance_m)`` tuples; ``series_times``/``series_coverage`` hold the
+    coverage-over-time trace.
+    """
+
+    index: int
+    scenario: str
+    kind: str
+    policy: str
+    speed: float
+    ssd_width: str
+    run_idx: int
+    flight_time_s: float
+    detection_rate: float
+    coverage: float
+    collisions: int
+    frames_processed: int
+    n_objects: int
+    distance_flown_m: float
+    events: Tuple[Tuple[str, str, float, float], ...] = ()
+    series_times: Tuple[float, ...] = ()
+    series_coverage: Tuple[float, ...] = ()
+
+    def time_to_full_detection(self) -> Optional[float]:
+        """Time of the last first-detection if every object was found."""
+        if self.detection_rate < 1.0 or not self.events:
+            return None
+        return max(e[2] for e in self.events)
+
+    def build_series(self) -> CoverageSeries:
+        """Rebuild the live coverage-over-time series."""
+        series = CoverageSeries()
+        for t, c in zip(self.series_times, self.series_coverage):
+            series.append(t, c)
+        return series
+
+    def to_search_result(self) -> SearchResult:
+        """Rebuild a :class:`~repro.mission.closed_loop.SearchResult`.
+
+        The trajectory samples and occupancy grid are not persisted, so
+        those fields come back ``None``.
+        """
+        return SearchResult(
+            detection_rate=self.detection_rate,
+            events=[
+                DetectionEvent(
+                    object_name=name,
+                    object_class=cls,
+                    time_s=time_s,
+                    distance_m=distance_m,
+                )
+                for name, cls, time_s, distance_m in self.events
+            ],
+            coverage=self.coverage,
+            series=self.build_series(),
+            frames_processed=self.frames_processed,
+            collisions=self.collisions,
+            distance_flown_m=self.distance_flown_m,
+        )
+
+    @classmethod
+    def from_search(cls, spec, result: SearchResult) -> "MissionRecord":
+        """Record a closed-loop search outcome for mission ``spec``."""
+        series = result.series
+        return cls(
+            index=spec.index,
+            scenario=spec.scenario.name,
+            kind=spec.kind,
+            policy=spec.policy,
+            speed=spec.speed,
+            ssd_width=spec.ssd_width,
+            run_idx=spec.run_idx,
+            flight_time_s=spec.flight_time_s,
+            detection_rate=result.detection_rate,
+            coverage=result.coverage,
+            collisions=result.collisions,
+            frames_processed=result.frames_processed,
+            n_objects=len(spec.scenario.objects),
+            distance_flown_m=result.distance_flown_m,
+            events=tuple(
+                (e.object_name, e.object_class, e.time_s, e.distance_m)
+                for e in result.events
+            ),
+            series_times=() if series is None else tuple(series.times.tolist()),
+            series_coverage=() if series is None else tuple(series.coverage.tolist()),
+        )
+
+    @classmethod
+    def from_exploration(cls, spec, result: ExplorationResult) -> "MissionRecord":
+        """Record an exploration-only outcome for mission ``spec``."""
+        return cls(
+            index=spec.index,
+            scenario=spec.scenario.name,
+            kind=spec.kind,
+            policy=spec.policy,
+            speed=spec.speed,
+            ssd_width=spec.ssd_width,
+            run_idx=spec.run_idx,
+            flight_time_s=spec.flight_time_s,
+            detection_rate=0.0,
+            coverage=result.coverage,
+            collisions=result.collisions,
+            frames_processed=0,
+            n_objects=0,
+            distance_flown_m=result.distance_flown_m,
+            series_times=tuple(result.series.times.tolist()),
+            series_coverage=tuple(result.series.coverage.tolist()),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data form for JSON persistence."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MissionRecord":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["events"] = tuple(tuple(e) for e in data.get("events", ()))
+        data["series_times"] = tuple(data.get("series_times", ()))
+        data["series_coverage"] = tuple(data.get("series_coverage", ()))
+        return cls(**data)
+
+
+class AggregateStat(NamedTuple):
+    """Mean/std/count of one value column over a group of runs."""
+
+    mean: float
+    std: float
+    n: int
+
+
+class CampaignResult:
+    """The columnar result store of one executed campaign.
+
+    Args:
+        campaign: the campaign definition as a plain dict
+            (:meth:`~repro.sim.campaign.Campaign.to_dict`).
+        campaign_hash: stable content hash of the definition.
+        records: one record per executed mission, in mission order.
+    """
+
+    def __init__(
+        self,
+        campaign: dict,
+        campaign_hash: str,
+        records: Sequence[MissionRecord],
+    ):
+        self.campaign = campaign
+        self.campaign_hash = campaign_hash
+        self.records: List[MissionRecord] = sorted(records, key=lambda r: r.index)
+
+    @property
+    def name(self) -> str:
+        """Campaign name."""
+        return self.campaign.get("name", "campaign")
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- columnar access --------------------------------------------------
+
+    def column(self, field: str) -> list:
+        """One scalar column across every record."""
+        if field not in SCALAR_COLUMNS:
+            raise SimError(f"unknown column {field!r}; known: {SCALAR_COLUMNS}")
+        return [getattr(r, field) for r in self.records]
+
+    def columns(self) -> Dict[str, list]:
+        """Every scalar column, keyed by name."""
+        return {field: self.column(field) for field in SCALAR_COLUMNS}
+
+    def filter(self, **criteria) -> "CampaignResult":
+        """Sub-result with the records matching every ``field=value``.
+
+        The sub-result records the filter criteria in its campaign dict
+        and derives a new content hash, so saving it cannot overwrite
+        the parent campaign's persisted file with partial records.
+        """
+        for field in criteria:
+            if field not in SCALAR_COLUMNS:
+                raise SimError(f"unknown column {field!r}; known: {SCALAR_COLUMNS}")
+        kept = [
+            r
+            for r in self.records
+            if all(getattr(r, f) == v for f, v in criteria.items())
+        ]
+        campaign = dict(self.campaign)
+        campaign["filter"] = {**campaign.get("filter", {}), **criteria}
+        blob = json.dumps(
+            {"parent": self.campaign_hash, "filter": campaign["filter"]},
+            sort_keys=True,
+            default=str,
+        )
+        derived_hash = hashlib.sha256(blob.encode("utf-8")).hexdigest()
+        return CampaignResult(campaign, derived_hash, kept)
+
+    # -- aggregation ------------------------------------------------------
+
+    def aggregate(
+        self,
+        group_by: Sequence[str],
+        value: str = "detection_rate",
+    ) -> Dict[tuple, AggregateStat]:
+        """Mean/std of ``value`` per unique ``group_by`` key tuple.
+
+        Matches the paper's aggregation (mean and population std over
+        the independent runs of one configuration).
+        """
+        for field in tuple(group_by) + (value,):
+            if field not in SCALAR_COLUMNS:
+                raise SimError(f"unknown column {field!r}; known: {SCALAR_COLUMNS}")
+        groups: Dict[tuple, List[float]] = {}
+        for r in self.records:
+            key = tuple(getattr(r, f) for f in group_by)
+            groups.setdefault(key, []).append(getattr(r, value))
+        return {
+            key: AggregateStat(
+                mean=float(np.mean(vals)), std=float(np.std(vals)), n=len(vals)
+            )
+            for key, vals in groups.items()
+        }
+
+    def best(self, value: str = "detection_rate") -> MissionRecord:
+        """The record maximizing ``value``."""
+        if not self.records:
+            raise SimError("empty campaign result")
+        return max(self.records, key=lambda r: getattr(r, value))
+
+    # -- persistence ------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full plain-data form: definition, hash and all records."""
+        return {
+            "schema": "repro.sim.campaign-result/v1",
+            "campaign_hash": self.campaign_hash,
+            "campaign": self.campaign,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """JSON form of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), sort_keys=True, indent=indent)
+
+    def result_filename(self) -> str:
+        """Canonical file name, keyed by the campaign hash.
+
+        The campaign name is sanitized to a filename-safe slug so that
+        names containing path separators cannot escape (or break) the
+        target directory.
+        """
+        slug = re.sub(r"[^A-Za-z0-9._-]+", "-", self.name).strip("-.") or "campaign"
+        return f"campaign-{slug}-{self.campaign_hash[:12]}.json"
+
+    def save(self, directory: str) -> str:
+        """Persist to ``directory`` (created if missing); returns the path."""
+        os.makedirs(directory, exist_ok=True)
+        path = os.path.join(directory, self.result_filename())
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(self.to_json(indent=1))
+        return path
+
+    @classmethod
+    def load(cls, path: str) -> "CampaignResult":
+        """Load a result previously written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+        schema = data.get("schema", "")
+        if not schema.startswith("repro.sim.campaign-result/"):
+            raise SimError(f"{path}: not a campaign result file (schema {schema!r})")
+        return cls(
+            campaign=data["campaign"],
+            campaign_hash=data["campaign_hash"],
+            records=[MissionRecord.from_dict(r) for r in data["records"]],
+        )

@@ -1,0 +1,124 @@
+"""Campaign execution: serial loop or a ``multiprocessing`` pool.
+
+Missions are embarrassingly parallel -- each :class:`MissionSpec` is
+self-contained and owns an independent seed stream -- so the pooled and
+serial paths produce bit-identical records, merely in a different
+wall-clock order. Records are re-sorted by mission index before they
+enter the :class:`~repro.sim.results.CampaignResult`, which makes the
+two paths indistinguishable downstream.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Callable, Optional
+
+from repro.errors import SimError
+from repro.mission.closed_loop import ClosedLoopMission
+from repro.mission.detector_model import CalibratedDetectorModel
+from repro.mission.explorer import ExplorationMission
+from repro.policies import PolicyConfig, make_policy
+from repro.sim.campaign import Campaign, MissionSpec
+from repro.sim.results import CampaignResult, MissionRecord
+
+#: Progress callback signature: ``(done, total, record)``.
+ProgressCallback = Callable[[int, int, MissionRecord], None]
+
+
+def execute_mission(spec: MissionSpec) -> MissionRecord:
+    """Run one mission from its spec (also the pool worker entry point)."""
+    scenario = spec.scenario
+    room = scenario.build_room()
+    policy = make_policy(spec.policy, PolicyConfig(cruise_speed=spec.speed))
+    seed = spec.seed_sequence()
+    if spec.kind == "explore":
+        mission = ExplorationMission(
+            room,
+            policy,
+            flight_time_s=spec.flight_time_s,
+            start=scenario.start_position(),
+            start_heading=scenario.start_heading,
+            drone_config=scenario.drone_config(),
+        )
+        return MissionRecord.from_exploration(spec, mission.run(seed=seed))
+    op = spec.operating_point()
+    mission = ClosedLoopMission(
+        room,
+        scenario.build_objects(),
+        policy,
+        CalibratedDetectorModel(op),
+        op,
+        flight_time_s=spec.flight_time_s,
+        start=scenario.start_position(),
+        drone_config=scenario.drone_config(),
+    )
+    return MissionRecord.from_search(spec, mission.run(seed=seed))
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count: ``None`` -> serial, ``0`` -> all cores."""
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise SimError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+def run_campaign(
+    campaign: Campaign,
+    workers: Optional[int] = None,
+    progress: Optional[ProgressCallback] = None,
+) -> CampaignResult:
+    """Execute every mission of ``campaign`` and collect the results.
+
+    Args:
+        campaign: the sweep to run.
+        workers: ``None``/``1`` for the serial path, ``0`` for one worker
+            per CPU core, otherwise the pool size. If the pool cannot be
+            created (restricted environments), execution silently falls
+            back to the serial path -- results are identical either way.
+        progress: optional callback invoked after each finished mission
+            with ``(done, total, record)``. Under the pool it runs in the
+            parent process, in completion order.
+
+    Returns:
+        A :class:`~repro.sim.results.CampaignResult` with one record per
+        mission, sorted by mission index.
+    """
+    specs = campaign.missions()
+    total = len(specs)
+    n_workers = resolve_workers(workers)
+    records = None
+    if n_workers > 1 and total > 1:
+        records = _run_pooled(specs, min(n_workers, total), total, progress)
+    if records is None:
+        records = []
+        for spec in specs:
+            records.append(execute_mission(spec))
+            if progress is not None:
+                progress(len(records), total, records[-1])
+    return CampaignResult(campaign.to_dict(), campaign.campaign_hash(), records)
+
+
+def _run_pooled(specs, n_workers: int, total: int, progress):
+    """Pool execution; returns ``None`` if no pool can be created."""
+    try:
+        pool = multiprocessing.Pool(processes=n_workers)
+    except (OSError, ValueError, ImportError):  # pragma: no cover - env specific
+        return None
+    records = []
+    try:
+        # ``with pool`` terminates on exit: when a mission raises, the
+        # queued remainder is killed immediately instead of burning the
+        # rest of the campaign's wall-clock before the error surfaces.
+        with pool:
+            for record in pool.imap_unordered(execute_mission, specs):
+                records.append(record)
+                if progress is not None:
+                    progress(len(records), total, record)
+    finally:
+        pool.join()
+    return records

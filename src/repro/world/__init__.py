@@ -5,9 +5,13 @@ from repro.world.room import Obstacle, Room
 from repro.world.layouts import (
     PAPER_ROOM_LENGTH_M,
     PAPER_ROOM_WIDTH_M,
+    apartment_room,
     cluttered_room,
+    corridor_maze_room,
+    empty_arena_room,
     paper_object_layout,
     paper_room,
+    scattered_object_layout,
 )
 
 __all__ = [
@@ -19,5 +23,9 @@ __all__ = [
     "PAPER_ROOM_WIDTH_M",
     "paper_room",
     "paper_object_layout",
+    "apartment_room",
     "cluttered_room",
+    "corridor_maze_room",
+    "empty_arena_room",
+    "scattered_object_layout",
 ]

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.errors import WorldError
 from repro.geometry.shapes import AABB, Circle
 from repro.geometry.vec import Vec2
 from repro.world.objects import ObjectClass, SceneObject
@@ -47,6 +48,125 @@ def paper_object_layout() -> List[SceneObject]:
         SceneObject(ObjectClass.TIN_CAN, Vec2(w - margin, margin), name="can-se"),
         SceneObject(ObjectClass.TIN_CAN, Vec2(margin, h - margin), name="can-nw"),
     ]
+
+
+def empty_arena_room(width: float = 12.0, length: float = 9.0) -> Room:
+    """A large empty arena, stressing coverage at scale.
+
+    Roughly 3x the paper room's floor area: policies that rely on wall
+    contact (wall-following, spiral) degrade here while the pseudo-random
+    policy keeps exploring, making it a useful contrast scenario.
+    """
+    return Room(width, length)
+
+
+#: Thickness of the interior partition walls, metres.
+PARTITION_THICKNESS_M = 0.15
+
+
+def corridor_maze_room(width: float = 9.0, length: float = 7.0) -> Room:
+    """An S-shaped corridor maze built from two interior partition walls.
+
+    One partition grows from the south wall, the next from the north
+    wall, leaving ~2 m gaps, so the drone must snake through three
+    corridor legs to cover the floor.
+    """
+    t = PARTITION_THICKNESS_M
+    x1 = width / 3.0
+    x2 = 2.0 * width / 3.0
+    gap = 2.0
+    walls = [
+        Obstacle(AABB(x1 - t / 2.0, 0.0, x1 + t / 2.0, length - gap), name="maze-south"),
+        Obstacle(AABB(x2 - t / 2.0, gap, x2 + t / 2.0, length), name="maze-north"),
+    ]
+    return Room(width, length, walls)
+
+
+def apartment_room(width: float = 10.0, length: float = 8.0) -> Room:
+    """A multi-room apartment: two bedrooms, a hallway and an open area.
+
+    A vertical partition splits the flat in half with a central doorway;
+    a horizontal partition splits the left half into two rooms connected
+    by a second doorway. Every room stays reachable through >= 1.2 m
+    doors, so all four policies can (eventually) visit every cell.
+    """
+    t = PARTITION_THICKNESS_M
+    x_split = width / 2.0
+    y_split = length / 2.0
+    door = 1.2
+    door_y = y_split - door / 2.0
+    door_x = x_split / 2.0 - door / 2.0
+    walls = [
+        # Vertical partition with a central doorway.
+        Obstacle(
+            AABB(x_split - t / 2.0, 0.0, x_split + t / 2.0, door_y),
+            name="partition-south",
+        ),
+        Obstacle(
+            AABB(x_split - t / 2.0, door_y + door, x_split + t / 2.0, length),
+            name="partition-north",
+        ),
+        # Horizontal partition across the left half, doorway near centre.
+        Obstacle(
+            AABB(0.0, y_split - t / 2.0, door_x, y_split + t / 2.0),
+            name="partition-west",
+        ),
+        Obstacle(
+            AABB(door_x + door, y_split - t / 2.0, x_split - t / 2.0, y_split + t / 2.0),
+            name="partition-east",
+        ),
+    ]
+    return Room(width, length, walls)
+
+
+def scattered_object_layout(
+    room: Room,
+    n_objects: int = 6,
+    seed: int = 0,
+    margin: float = 0.6,
+    min_spacing: float = 0.8,
+) -> List[SceneObject]:
+    """Deterministically scatter objects over the free space of ``room``.
+
+    Alternates bottles and tin cans (like the paper's 3+3 layout),
+    rejecting positions inside or too close to obstacles and positions
+    crowding an already-placed object.
+
+    Args:
+        room: the environment to populate.
+        n_objects: how many objects to place.
+        seed: RNG seed; the same seed always yields the same layout.
+        margin: clearance from walls and obstacles, metres.
+        min_spacing: minimum centre distance between objects, metres.
+
+    Raises:
+        WorldError: if the attempt budget runs out before ``n_objects``
+            fit -- a silently smaller object set would skew every
+            detection-rate denominator computed over the layout.
+    """
+    rng = np.random.default_rng(seed)
+    classes = (ObjectClass.BOTTLE, ObjectClass.TIN_CAN)
+    objects: List[SceneObject] = []
+    attempts = 0
+    while len(objects) < n_objects and attempts < 1000:
+        attempts += 1
+        p = Vec2(
+            rng.uniform(margin, room.width - margin),
+            rng.uniform(margin, room.length - margin),
+        )
+        if not room.is_free(p, margin=margin):
+            continue
+        if any(p.distance_to(o.position) < min_spacing for o in objects):
+            continue
+        cls = classes[len(objects) % 2]
+        objects.append(SceneObject(cls, p, name=f"{cls.value}-{len(objects)}"))
+    if len(objects) < n_objects:
+        raise WorldError(
+            f"could only place {len(objects)}/{n_objects} objects in the "
+            f"{room.width:g} x {room.length:g} m room (margin {margin:g}, "
+            f"spacing {min_spacing:g}); relax the constraints"
+        )
+    return objects
 
 
 def cluttered_room(

@@ -1,0 +1,107 @@
+"""Tests for the ``python -m repro.sim`` command-line interface."""
+
+import json
+import os
+
+import pytest
+
+from repro.sim import scenario_names
+from repro.sim.__main__ import main
+
+
+class TestList:
+    def test_lists_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in scenario_names():
+            assert name in out
+
+    def test_show(self, capsys):
+        assert main(["show", "apartment"]) == 0
+        out = capsys.readouterr().out
+        assert "apartment" in out
+        assert "doorways" in out
+
+    def test_show_unknown_is_an_error(self, capsys):
+        assert main(["show", "narnia"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_smoke_campaign_persists_json(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        code = main(
+            [
+                "run",
+                "--scenario",
+                "paper-room",
+                "--runs",
+                "2",
+                "--flight-time",
+                "5",
+                "--seed",
+                "3",
+                "--out",
+                out_dir,
+                "--quiet",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "2 missions" in out
+        files = os.listdir(out_dir)
+        assert len(files) == 1
+        assert files[0].startswith("campaign-cli-")
+        with open(os.path.join(out_dir, files[0])) as fh:
+            data = json.load(fh)
+        assert data["schema"].startswith("repro.sim.campaign-result/")
+        assert len(data["records"]) == 2
+        assert data["campaign"]["scenarios"][0]["name"] == "paper-room"
+
+    def test_rerun_same_campaign_overwrites_same_file(self, tmp_path):
+        out_dir = str(tmp_path / "results")
+        argv = [
+            "run",
+            "--scenario",
+            "paper-room",
+            "--flight-time",
+            "5",
+            "--out",
+            out_dir,
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        assert main(argv) == 0
+        assert len(os.listdir(out_dir)) == 1
+
+    def test_explore_kind(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "--scenario",
+                    "paper-room",
+                    "--kind",
+                    "explore",
+                    "--flight-time",
+                    "5",
+                    "--quiet",
+                ]
+            )
+            == 0
+        )
+        assert "mean coverage" in capsys.readouterr().out
+
+    def test_progress_lines(self, capsys):
+        assert (
+            main(
+                ["run", "--scenario", "paper-room", "--flight-time", "5", "--runs", "2"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+
+    def test_unknown_scenario_is_an_error(self, capsys):
+        assert main(["run", "--scenario", "narnia"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

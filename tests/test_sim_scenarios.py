@@ -1,0 +1,115 @@
+"""Tests for the declarative scenario specs and the registry."""
+
+import pytest
+
+from repro.errors import SimError
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.vec import Vec2
+from repro.sim import (
+    ObjectSpec,
+    ObstacleSpec,
+    RoomSpec,
+    Scenario,
+    get_scenario,
+    iter_scenarios,
+    register_scenario,
+    scenario_names,
+)
+from repro.world import Obstacle, Room, paper_object_layout, paper_room
+
+
+class TestSpecs:
+    def test_room_spec_round_trip(self):
+        room = Room(
+            5.0,
+            4.0,
+            [
+                Obstacle(AABB(1.0, 1.0, 2.0, 2.0), name="desk"),
+                Obstacle(Circle(Vec2(3.0, 3.0), 0.3), name="column"),
+            ],
+        )
+        spec = RoomSpec.from_room(room)
+        rebuilt = spec.build()
+        assert rebuilt.width == room.width
+        assert rebuilt.length == room.length
+        assert RoomSpec.from_room(rebuilt) == spec
+
+    def test_object_spec_round_trip(self):
+        for obj in paper_object_layout():
+            spec = ObjectSpec.from_object(obj)
+            rebuilt = spec.build()
+            assert rebuilt.object_class == obj.object_class
+            assert rebuilt.position.x == obj.position.x
+            assert rebuilt.position.y == obj.position.y
+            assert rebuilt.name == obj.name
+
+    def test_obstacle_spec_validation(self):
+        with pytest.raises(SimError):
+            ObstacleSpec("pyramid", (1.0, 2.0, 3.0))
+        with pytest.raises(SimError):
+            ObstacleSpec("box", (1.0, 2.0, 3.0))  # needs 4 params
+
+    def test_scenario_dict_round_trip(self):
+        scenario = get_scenario("corridor-maze")
+        data = scenario.to_dict()
+        assert Scenario.from_dict(data) == scenario
+
+    def test_scenario_validation(self):
+        with pytest.raises(SimError):
+            Scenario(name="", room=RoomSpec.from_room(paper_room()))
+        with pytest.raises(SimError):
+            Scenario(
+                name="x", room=RoomSpec.from_room(paper_room()), cruise_speed=0.0
+            )
+
+
+class TestRegistry:
+    def test_at_least_five_presets(self):
+        assert len(scenario_names()) >= 5
+        assert "paper-room" in scenario_names()
+
+    def test_every_preset_is_flyable(self):
+        for scenario in iter_scenarios():
+            scenario.validate()
+            room = scenario.build_room()
+            objects = scenario.build_objects()
+            assert objects, scenario.name
+            names = [o.name for o in objects]
+            assert len(set(names)) == len(names), scenario.name
+            for obj in objects:
+                assert room.is_free(obj.position), (scenario.name, obj.name)
+
+    def test_paper_scenario_matches_layouts(self):
+        scenario = get_scenario("paper-room")
+        room = scenario.build_room()
+        assert room.width == paper_room().width
+        assert room.length == paper_room().length
+        assert len(scenario.objects) == len(paper_object_layout())
+
+    def test_unknown_scenario(self):
+        with pytest.raises(SimError, match="unknown scenario"):
+            get_scenario("atlantis")
+
+    def test_duplicate_registration_rejected(self):
+        scenario = get_scenario("paper-room")
+        with pytest.raises(SimError, match="already registered"):
+            register_scenario(scenario)
+        # Overwriting explicitly is allowed and idempotent.
+        assert register_scenario(scenario, overwrite=True) is scenario
+
+    def test_infeasible_scatter_raises(self):
+        from repro.errors import WorldError
+        from repro.world import scattered_object_layout
+
+        with pytest.raises(WorldError, match="could only place"):
+            scattered_object_layout(paper_room(), n_objects=200, min_spacing=1.5)
+
+    def test_unflyable_scenario_rejected(self):
+        bad = Scenario(
+            name="object-in-wall",
+            room=RoomSpec(width=4.0, length=4.0),
+            objects=(ObjectSpec("bottle", 9.0, 9.0, "outside"),),
+        )
+        with pytest.raises(SimError, match="free space"):
+            register_scenario(bad)
+        assert "object-in-wall" not in scenario_names()
