@@ -14,7 +14,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 
-@dataclass(frozen=True)
 class SetPoint:
     """A velocity set-point in the drone body frame.
 
@@ -22,11 +21,36 @@ class SetPoint:
         forward: desired forward speed, m/s (+x body axis).
         side: desired leftward speed, m/s (+y body axis).
         yaw_rate: desired yaw rate, rad/s (counter-clockwise positive).
+
+    A ``__slots__`` value class: policies emit one per control tick.
     """
 
-    forward: float = 0.0
-    side: float = 0.0
-    yaw_rate: float = 0.0
+    __slots__ = ("forward", "side", "yaw_rate")
+
+    def __init__(
+        self, forward: float = 0.0, side: float = 0.0, yaw_rate: float = 0.0
+    ):
+        self.forward = forward
+        self.side = side
+        self.yaw_rate = yaw_rate
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is SetPoint:
+            return (
+                self.forward == other.forward
+                and self.side == other.side
+                and self.yaw_rate == other.yaw_rate
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.forward, self.side, self.yaw_rate))
+
+    def __repr__(self) -> str:
+        return (
+            f"SetPoint(forward={self.forward!r}, side={self.side!r}, "
+            f"yaw_rate={self.yaw_rate!r})"
+        )
 
     @staticmethod
     def hover() -> "SetPoint":
@@ -47,13 +71,26 @@ class VelocityController:
     max_yaw_rate: float = 3.5
 
     def clamp(self, setpoint: SetPoint) -> SetPoint:
-        """Saturate a set-point to the platform limits."""
+        """Saturate a set-point to the platform limits.
 
-        def _clip(v: float, limit: float) -> float:
-            return max(-limit, min(limit, v))
+        An in-envelope set-point is returned as-is (set-points are
+        treated as immutable values), so the common unsaturated tick
+        allocates nothing.
+        """
+        v = self.max_speed
+        w = self.max_yaw_rate
+        if (
+            -v <= setpoint.forward <= v
+            and -v <= setpoint.side <= v
+            and -w <= setpoint.yaw_rate <= w
+        ):
+            return setpoint
+
+        def _clip(value: float, limit: float) -> float:
+            return max(-limit, min(limit, value))
 
         return SetPoint(
-            forward=_clip(setpoint.forward, self.max_speed),
-            side=_clip(setpoint.side, self.max_speed),
-            yaw_rate=_clip(setpoint.yaw_rate, self.max_yaw_rate),
+            forward=_clip(setpoint.forward, v),
+            side=_clip(setpoint.side, v),
+            yaw_rate=_clip(setpoint.yaw_rate, w),
         )

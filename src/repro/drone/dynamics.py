@@ -11,7 +11,7 @@ collision contact.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 
 from repro.errors import WorldError
 from repro.drone.controller import SetPoint
@@ -22,16 +22,70 @@ from repro.world.room import Room
 CRAZYFLIE_RADIUS_M = 0.07
 
 
-@dataclass(frozen=True)
 class DroneState:
-    """Ground-truth state of the drone."""
+    """Ground-truth state of the drone.
 
-    position: Vec2
-    heading: float
-    vx_body: float = 0.0  #: forward speed, m/s
-    vy_body: float = 0.0  #: leftward speed, m/s
-    yaw_rate: float = 0.0  #: rad/s
-    time: float = 0.0  #: simulation time, s
+    Attributes:
+        position: world position, m.
+        heading: yaw, rad.
+        vx_body: forward speed, m/s.
+        vy_body: leftward speed, m/s.
+        yaw_rate: rad/s.
+        time: simulation time, s.
+
+    A ``__slots__`` value class rather than a frozen dataclass: one is
+    created per control tick and the dataclass init machinery was a
+    measurable slice of the tick loop.
+    """
+
+    __slots__ = ("position", "heading", "vx_body", "vy_body", "yaw_rate", "time")
+
+    def __init__(
+        self,
+        position: Vec2,
+        heading: float,
+        vx_body: float = 0.0,
+        vy_body: float = 0.0,
+        yaw_rate: float = 0.0,
+        time: float = 0.0,
+    ):
+        self.position = position
+        self.heading = heading
+        self.vx_body = vx_body
+        self.vy_body = vy_body
+        self.yaw_rate = yaw_rate
+        self.time = time
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is DroneState:
+            return (
+                self.position == other.position
+                and self.heading == other.heading
+                and self.vx_body == other.vx_body
+                and self.vy_body == other.vy_body
+                and self.yaw_rate == other.yaw_rate
+                and self.time == other.time
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.position,
+                self.heading,
+                self.vx_body,
+                self.vy_body,
+                self.yaw_rate,
+                self.time,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"DroneState(position={self.position!r}, heading={self.heading!r}, "
+            f"vx_body={self.vx_body!r}, vy_body={self.vy_body!r}, "
+            f"yaw_rate={self.yaw_rate!r}, time={self.time!r})"
+        )
 
     def velocity_world(self) -> Vec2:
         """Body velocity rotated into the world frame."""
@@ -72,6 +126,7 @@ class DroneDynamics:
             raise WorldError(
                 f"initial position {self.state.position} is not free space"
             )
+        self._alpha_cache = None
 
     def step(self, setpoint: SetPoint, dt: float) -> DroneState:
         """Advance the simulation by ``dt`` seconds under a set-point.
@@ -80,17 +135,24 @@ class DroneDynamics:
             The new ground-truth state.
         """
         s = self.state
-        alpha_v = 1.0 - math.exp(-dt / self.velocity_tau)
-        alpha_w = 1.0 - math.exp(-dt / self.yaw_tau)
+        # The first-order response coefficients depend only on dt, which
+        # is fixed at the control rate; cache them across ticks.
+        cached = self._alpha_cache
+        if cached is not None and cached[0] == dt:
+            alpha_v, alpha_w = cached[1], cached[2]
+        else:
+            alpha_v = 1.0 - math.exp(-dt / self.velocity_tau)
+            alpha_w = 1.0 - math.exp(-dt / self.yaw_tau)
+            self._alpha_cache = (dt, alpha_v, alpha_w)
         vx = s.vx_body + alpha_v * (setpoint.forward - s.vx_body)
         vy = s.vy_body + alpha_v * (setpoint.side - s.vy_body)
         wz = s.yaw_rate + alpha_w * (setpoint.yaw_rate - s.yaw_rate)
 
         heading = normalize_angle(s.heading + wz * dt)
-        candidate = replace(
-            s, heading=heading, vx_body=vx, vy_body=vy, yaw_rate=wz
-        )
-        delta = candidate.velocity_world() * dt
+        # World-frame displacement (velocity_world() * dt inlined to skip
+        # building a candidate state just to rotate the body velocity).
+        ch, sh = math.cos(heading), math.sin(heading)
+        delta = Vec2((ch * vx - sh * vy) * dt, (sh * vx + ch * vy) * dt)
         new_pos, blocked = self._resolve_motion(s.position, delta)
         if blocked:
             self.collision_count += 1

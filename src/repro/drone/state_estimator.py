@@ -10,22 +10,66 @@ on this class of platform.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from typing import Optional
 
 from repro.geometry.vec import Vec2, normalize_angle
 from repro.sensors.flowdeck import OdometrySample
 
 
-@dataclass(frozen=True)
 class EstimatedState:
-    """The estimator's belief about the drone pose."""
+    """The estimator's belief about the drone pose.
 
-    position: Vec2
-    heading: float
-    vx_body: float
-    vy_body: float
-    yaw_rate: float
-    time: float
+    A ``__slots__`` value class (see :class:`DroneState` for why).
+    """
+
+    __slots__ = ("position", "heading", "vx_body", "vy_body", "yaw_rate", "time")
+
+    def __init__(
+        self,
+        position: Vec2,
+        heading: float,
+        vx_body: float,
+        vy_body: float,
+        yaw_rate: float,
+        time: float,
+    ):
+        self.position = position
+        self.heading = heading
+        self.vx_body = vx_body
+        self.vy_body = vy_body
+        self.yaw_rate = yaw_rate
+        self.time = time
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is EstimatedState:
+            return (
+                self.position == other.position
+                and self.heading == other.heading
+                and self.vx_body == other.vx_body
+                and self.vy_body == other.vy_body
+                and self.yaw_rate == other.yaw_rate
+                and self.time == other.time
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(
+            (
+                self.position,
+                self.heading,
+                self.vx_body,
+                self.vy_body,
+                self.yaw_rate,
+                self.time,
+            )
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"EstimatedState(position={self.position!r}, heading={self.heading!r}, "
+            f"vx_body={self.vx_body!r}, vy_body={self.vy_body!r}, "
+            f"yaw_rate={self.yaw_rate!r}, time={self.time!r})"
+        )
 
 
 class StateEstimator:
@@ -38,29 +82,43 @@ class StateEstimator:
         self._vy = 0.0
         self._yaw_rate = 0.0
         self._time = 0.0
+        self._estimate: Optional[EstimatedState] = None
 
     @property
     def estimate(self) -> EstimatedState:
-        """Current belief."""
-        return EstimatedState(
-            position=self._position,
-            heading=self._heading,
-            vx_body=self._vx,
-            vy_body=self._vy,
-            yaw_rate=self._yaw_rate,
-            time=self._time,
-        )
+        """Current belief (cached between updates; treat it as read-only)."""
+        if self._estimate is None:
+            self._estimate = EstimatedState(
+                position=self._position,
+                heading=self._heading,
+                vx_body=self._vx,
+                vy_body=self._vy,
+                yaw_rate=self._yaw_rate,
+                time=self._time,
+            )
+        return self._estimate
 
     def update(self, odometry: OdometrySample, gyro_yaw_rate: float, dt: float) -> EstimatedState:
         """Fuse one odometry + gyro sample taken over the last ``dt`` s."""
+        self.update_raw(odometry.vx, odometry.vy, gyro_yaw_rate, dt)
+        return self.estimate
+
+    def update_raw(
+        self, vx: float, vy: float, gyro_yaw_rate: float, dt: float
+    ) -> None:
+        """:meth:`update` without the sample wrapper (hot tick path).
+
+        The belief object is rebuilt lazily on the next :attr:`estimate`
+        access, so a tick costs one pose integration and nothing else.
+        """
         self._heading = normalize_angle(self._heading + gyro_yaw_rate * dt)
         self._yaw_rate = gyro_yaw_rate
-        self._vx = odometry.vx
-        self._vy = odometry.vy
+        self._vx = vx
+        self._vy = vy
         c, s = math.cos(self._heading), math.sin(self._heading)
         self._position = Vec2(
-            self._position.x + (c * odometry.vx - s * odometry.vy) * dt,
-            self._position.y + (s * odometry.vx + c * odometry.vy) * dt,
+            self._position.x + (c * vx - s * vy) * dt,
+            self._position.y + (s * vx + c * vy) * dt,
         )
         self._time += dt
-        return self.estimate
+        self._estimate = None

@@ -16,9 +16,10 @@ from repro.geometry.vec import (
 )
 from repro.geometry.segments import Segment, ray_segment_intersection
 from repro.geometry.shapes import AABB, Circle
-from repro.geometry.raycast import RayCaster
+from repro.geometry.raycast import GRID_SEGMENT_THRESHOLD, RayCaster
 
 __all__ = [
+    "GRID_SEGMENT_THRESHOLD",
     "Vec2",
     "angle_diff",
     "heading_to_unit",

@@ -8,19 +8,42 @@ clockwise from the +x axis, and normalized to ``(-pi, pi]`` by
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
 
 import numpy as np
 
 TWO_PI = 2.0 * math.pi
 
 
-@dataclass(frozen=True)
 class Vec2:
-    """Immutable 2-D vector with the handful of operations the sim needs."""
+    """Immutable-by-convention 2-D vector for the simulator hot path.
 
-    x: float
-    y: float
+    Hand-rolled with ``__slots__`` rather than a frozen dataclass: the
+    simulator creates several vectors per control tick, and the dataclass
+    ``__init__`` machinery was a measurable slice of the tick loop. Value
+    semantics (equality, hashing, repr) match the previous dataclass.
+    Every operation returns a new vector; nothing in the codebase mutates
+    one, and neither should you (it is hashed by value).
+    """
+
+    __slots__ = ("x", "y")
+
+    def __init__(self, x: float, y: float):
+        self.x = x
+        self.y = y
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is Vec2:
+            return self.x == other.x and self.y == other.y
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y))
+
+    def __repr__(self) -> str:
+        return f"Vec2(x={self.x!r}, y={self.y!r})"
+
+    def __reduce__(self):
+        return (Vec2, (self.x, self.y))
 
     def __add__(self, other: "Vec2") -> "Vec2":
         return Vec2(self.x + other.x, self.y + other.y)

@@ -119,7 +119,6 @@ class ClosedLoopMission:
         tracker = MotionCaptureTracker(self.room)
         series = CoverageSeries()
         frame_period = 1.0 / self.operating_point.fps
-        next_frame_time = 0.0
         first_detection: Dict[str, DetectionEvent] = {}
         frames = 0
         distance = 0.0
@@ -133,8 +132,10 @@ class ClosedLoopMission:
             last_pos = state.position
             if tracker.observe(state):
                 series.append(state.time, tracker.coverage())
-            if state.time + 1e-9 >= next_frame_time:
-                next_frame_time += frame_period
+            # Frame times derive from the frame index: repeatedly adding
+            # frame_period accumulates float error over the ~18k ticks of
+            # a 180 s flight and slowly drifts the camera schedule.
+            if state.time + 1e-9 >= frames * frame_period:
                 frames += 1
                 observations = drone.camera.observe(
                     self.room.raycaster, state.position, state.heading, self.objects

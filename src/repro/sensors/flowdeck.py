@@ -10,21 +10,48 @@ have to live with (none of them relies on absolute position).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.errors import SensorError
 
 
-@dataclass(frozen=True)
 class OdometrySample:
-    """One odometry measurement in the body frame."""
+    """One odometry measurement in the body frame.
 
-    vx: float  #: forward velocity estimate, m/s
-    vy: float  #: left velocity estimate, m/s
-    height: float  #: height-over-ground estimate, m
+    Attributes:
+        vx: forward velocity estimate, m/s.
+        vy: left velocity estimate, m/s.
+        height: height-over-ground estimate, m.
+
+    A ``__slots__`` value class: one is created per control tick.
+    """
+
+    __slots__ = ("vx", "vy", "height")
+
+    def __init__(self, vx: float, vy: float, height: float):
+        self.vx = vx
+        self.vy = vy
+        self.height = height
+
+    def __eq__(self, other) -> bool:
+        if other.__class__ is OdometrySample:
+            return (
+                self.vx == other.vx
+                and self.vy == other.vy
+                and self.height == other.height
+            )
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.vx, self.vy, self.height))
+
+    def __repr__(self) -> str:
+        return (
+            f"OdometrySample(vx={self.vx!r}, vy={self.vy!r}, "
+            f"height={self.height!r})"
+        )
 
 
 class FlowDeck:
@@ -52,16 +79,43 @@ class FlowDeck:
         self.velocity_noise_std = velocity_noise_std
         self.height_noise_std = height_noise_std
         if rng is None:
-            self._scale = 1.0
+            self.scale = 1.0
         else:
-            self._scale = 1.0 + rng.normal(0.0, scale_error)
+            self.scale = 1.0 + rng.normal(0.0, scale_error)
 
-    def read(self, vx_body: float, vy_body: float, height: float) -> OdometrySample:
-        """Measure the true body-frame velocity and height."""
+    def read(
+        self,
+        vx_body: float,
+        vy_body: float,
+        height: float,
+        z: Optional[Sequence[float]] = None,
+    ) -> OdometrySample:
+        """Measure the true body-frame velocity and height.
+
+        Args:
+            vx_body: true forward velocity, m/s.
+            vy_body: true left velocity, m/s.
+            height: true height over ground, m.
+            z: optional three pre-drawn standard normals (vx, vy, height)
+                from the deck's stream. Passing a block avoids three
+                scalar generator calls per control tick while consuming
+                the bit stream in exactly the same order, so readings are
+                bit-identical either way.
+        """
         if self._rng is None:
             return OdometrySample(vx_body, vy_body, height)
+        if z is None:
+            return OdometrySample(
+                vx=self.scale * vx_body
+                + self._rng.normal(0.0, self.velocity_noise_std),
+                vy=self.scale * vy_body
+                + self._rng.normal(0.0, self.velocity_noise_std),
+                height=height + self._rng.normal(0.0, self.height_noise_std),
+            )
+        # normal(0, s) is 0.0 + s * standard_normal() internally, so
+        # scaling the pre-drawn block reproduces the scalar draws.
         return OdometrySample(
-            vx=self._scale * vx_body + self._rng.normal(0.0, self.velocity_noise_std),
-            vy=self._scale * vy_body + self._rng.normal(0.0, self.velocity_noise_std),
-            height=height + self._rng.normal(0.0, self.height_noise_std),
+            vx=self.scale * vx_body + self.velocity_noise_std * float(z[0]),
+            vy=self.scale * vy_body + self.velocity_noise_std * float(z[1]),
+            height=height + self.height_noise_std * float(z[2]),
         )

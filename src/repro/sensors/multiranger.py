@@ -15,7 +15,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.geometry.raycast import RayCaster
-from repro.geometry.vec import Vec2
+from repro.geometry.vec import Vec2, normalize_angle
 from repro.sensors.tof import ToFSensor, VL53L1X_MAX_RANGE_M, VL53L1X_RATE_HZ
 
 
@@ -72,6 +72,9 @@ class MultiRangerDeck:
     ):
         self.rate_hz = VL53L1X_RATE_HZ
         self.max_range = max_range
+        self.noise_std = noise_std
+        self.dropout_prob = dropout_prob
+        self._rng = rng
         self._sensors = {
             name: ToFSensor(
                 angle,
@@ -82,11 +85,16 @@ class MultiRangerDeck:
             )
             for name, angle in BEAM_ANGLES.items()
         }
+        # Normalized mount angles in beam order, so the batched read uses
+        # exactly the per-sensor beam headings.
+        self._mount_angles = tuple(s.mount_angle for s in self._sensors.values())
 
     def read(self, caster: RayCaster, position: Vec2, heading: float) -> RangerReading:
-        """Sample all beams at the given pose.
+        """Sample all beams at the given pose (per-beam reference path).
 
-        The up beam always saturates in the planar world model.
+        The up beam always saturates in the planar world model. This is
+        the historical one-cast-per-beam implementation, kept as the
+        reference :meth:`read_batched` is pinned against.
         """
         distances = {
             name: sensor.measure(caster, position, heading)
@@ -98,4 +106,47 @@ class MultiRangerDeck:
             left=distances["left"],
             right=distances["right"],
             up=self.max_range,
+        )
+
+    def read_batched(
+        self, caster: RayCaster, position: Vec2, heading: float
+    ) -> RangerReading:
+        """Sample all beams through one batched cast.
+
+        Bit-identical to :meth:`read`: the four horizontal beams go
+        through a single ``cast_many`` kernel call (whose entries equal
+        the per-beam ``cast`` results exactly) and the noise stream is
+        consumed in the same per-beam order -- one dropout uniform, then
+        one gaussian only if the sample survived.
+        """
+        max_range = self.max_range
+        cos, sin = math.cos, math.sin
+        beams = [normalize_angle(heading + a) for a in self._mount_angles]
+        hits = caster.hit_distances(
+            position, [cos(b) for b in beams], [sin(b) for b in beams], max_range
+        )
+        rng = self._rng
+        if rng is None:
+            front, left, back, right = (
+                d if d < max_range else max_range for d in hits
+            )
+        else:
+            noisy_dists = []
+            noise_std = self.noise_std
+            dropout = self.dropout_prob
+            for true_dist in hits:
+                if true_dist > max_range:
+                    true_dist = max_range
+                if rng.uniform() < dropout:
+                    noisy_dists.append(max_range)
+                    continue
+                noisy = true_dist + rng.normal(0.0, noise_std)
+                if noisy < 0.0:
+                    noisy = 0.0
+                elif noisy > max_range:
+                    noisy = max_range
+                noisy_dists.append(noisy)
+            front, left, back, right = noisy_dists
+        return RangerReading(
+            front=front, back=back, left=left, right=right, up=max_range
         )

@@ -4,12 +4,20 @@ The room exposes a single flattened segment set (walls + obstacle
 boundaries) that the :class:`~repro.geometry.raycast.RayCaster` consumes;
 that one abstraction feeds the ToF sensors, the camera occlusion test and
 the collision checker.
+
+Free-space queries (:meth:`Room.is_free`, :meth:`Room.clearance`) run on
+obstacle geometry flattened into numpy arrays at construction time: the
+collision checker calls ``is_free`` up to three times per control tick,
+and rebuilding obstacle boundary segments per call used to dominate dense
+scenarios.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import List, Optional, Sequence, Union
+
+import numpy as np
 
 from repro.errors import WorldError
 from repro.geometry.raycast import RayCaster
@@ -36,6 +44,67 @@ class Obstacle:
         return self.shape.contains(p)
 
 
+class _SegmentDistanceField:
+    """Point-to-segment distances over a fixed segment set, vectorized.
+
+    Evaluates the same arithmetic as
+    :meth:`~repro.geometry.segments.Segment.distance_to_point` for every
+    segment in one numpy pass, with preallocated scratch buffers. One
+    caveat: the final ``np.hypot`` can differ from ``math.hypot`` by
+    1 ulp (CPython ships its own corrected algorithm), so a distance
+    sitting within ~1e-16 relative of a ``margin`` threshold could
+    compare differently than the scalar loop -- everything upstream of
+    the hypot is term-for-term identical, and the mission-level
+    equivalence suite pins the observable behaviour.
+    """
+
+    def __init__(self, segments: Sequence[Segment]):
+        self._n = len(segments)
+        if self._n == 0:
+            return
+        self._ax = np.array([s.a.x for s in segments], dtype=np.float64)
+        self._ay = np.array([s.a.y for s in segments], dtype=np.float64)
+        self._dx = np.array([s.b.x - s.a.x for s in segments], dtype=np.float64)
+        self._dy = np.array([s.b.y - s.a.y for s in segments], dtype=np.float64)
+        self._len_sq = self._dx * self._dx + self._dy * self._dy
+        self._t = np.empty(self._n, dtype=np.float64)
+        self._u = np.empty(self._n, dtype=np.float64)
+        self._wx = np.empty(self._n, dtype=np.float64)
+        self._wy = np.empty(self._n, dtype=np.float64)
+
+    def min_distance(self, p: Vec2) -> float:
+        """Distance from ``p`` to the closest segment of the set."""
+        if self._n == 0:
+            return float("inf")
+        return float(np.min(self._distances(p)))
+
+    def any_within(self, p: Vec2, radius: float) -> bool:
+        """True if any segment passes within ``radius`` of ``p``."""
+        if self._n == 0:
+            return False
+        return bool(np.any(self._distances(p) < radius))
+
+    def _distances(self, p: Vec2) -> np.ndarray:
+        # t = clamp((p - a) . d / |d|^2, 0, 1); dist = |a + t*d - p|
+        wx = np.subtract(p.x, self._ax, out=self._wx)
+        wy = np.subtract(p.y, self._ay, out=self._wy)
+        t = np.multiply(wx, self._dx, out=self._t)
+        u = np.multiply(wy, self._dy, out=self._u)
+        t += u
+        t /= self._len_sq
+        np.clip(t, 0.0, 1.0, out=t)
+        # closest point (a + t*d) minus p, matching Segment.point_at +
+        # distance_to term-for-term (see the class docstring for the
+        # one hypot ulp caveat).
+        np.multiply(t, self._dx, out=self._u)
+        self._u += self._ax
+        self._u -= p.x
+        np.multiply(t, self._dy, out=self._t)
+        self._t += self._ay
+        self._t -= p.y
+        return np.hypot(self._u, self._t, out=self._u)
+
+
 class Room:
     """A rectangular room with walls and optional interior obstacles."""
 
@@ -44,6 +113,7 @@ class Room:
         width: float,
         length: float,
         obstacles: Optional[Sequence[Obstacle]] = None,
+        accel: str = "auto",
     ):
         """Create a room spanning ``[0, width] x [0, length]`` metres.
 
@@ -51,6 +121,8 @@ class Room:
             width: extent along x, in metres.
             length: extent along y, in metres.
             obstacles: interior obstacles; must lie fully inside the walls.
+            accel: ray-caster acceleration mode (``"auto"``, ``"grid"`` or
+                ``"none"``), forwarded to :class:`RayCaster`.
         """
         if width <= 0.0 or length <= 0.0:
             raise WorldError(f"non-positive room dimensions {width} x {length}")
@@ -58,7 +130,18 @@ class Room:
         self._obstacles: List[Obstacle] = list(obstacles or [])
         for obs in self._obstacles:
             self._check_inside(obs)
-        self._raycaster = RayCaster(self.all_segments())
+        self._raycaster = RayCaster(self.all_segments(), accel=accel)
+        self._build_query_arrays()
+
+    def _build_query_arrays(self) -> None:
+        """Flatten obstacle geometry for the vectorized free-space tests."""
+        obstacle_segments: List[Segment] = []
+        for obs in self._obstacles:
+            obstacle_segments.extend(obs.segments())
+        self._obstacle_field = _SegmentDistanceField(obstacle_segments)
+        self._all_field = _SegmentDistanceField(
+            self._bounds.boundary_segments() + obstacle_segments
+        )
 
     @property
     def bounds(self) -> AABB:
@@ -106,10 +189,8 @@ class Room:
         for obs in self._obstacles:
             if obs.contains(p):
                 return False
-            if margin > 0.0 and any(
-                s.distance_to_point(p) < margin for s in obs.segments()
-            ):
-                return False
+        if margin > 0.0 and self._obstacle_field.any_within(p, margin):
+            return False
         return True
 
     def clearance(self, p: Vec2) -> float:
@@ -119,7 +200,7 @@ class Room:
         """
         if not self.is_free(p):
             return 0.0
-        return min(s.distance_to_point(p) for s in self.all_segments())
+        return self._all_field.min_distance(p)
 
     def _check_inside(self, obs: Obstacle) -> None:
         for seg in obs.segments():

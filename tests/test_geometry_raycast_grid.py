@@ -1,0 +1,259 @@
+"""Grid-accelerated ray casting: brute-force equivalence + golden values.
+
+Two safety nets around the vectorized simulation core:
+
+- property/randomized tests that the uniform-grid caster returns results
+  *bit-identical* to the brute-force reference on segment soups, grazing
+  rays and the batched entry points;
+- golden-value tests pinning ``cast``/``cast_hit``/``line_of_sight``
+  outputs captured from the pre-refactor scalar implementation (float
+  hex, so equality is exact).
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.geometry.raycast import GRID_SEGMENT_THRESHOLD, RayCaster
+from repro.geometry.segments import Segment
+from repro.geometry.shapes import AABB
+from repro.geometry.vec import Vec2
+from repro.sim import get_scenario
+
+
+def random_soup(rng, n, span=8.0):
+    segs = []
+    while len(segs) < n:
+        a = Vec2(rng.uniform(-span, span), rng.uniform(-span, span))
+        b = Vec2(rng.uniform(-span, span), rng.uniform(-span, span))
+        if a.distance_to(b) > 1e-9:
+            segs.append(Segment(a, b))
+    return segs
+
+
+def casters_for(segs):
+    """The same segment set under brute-force and grid execution."""
+    return (
+        RayCaster(segs, accel="none"),
+        RayCaster(segs, accel="grid"),
+    )
+
+
+class TestGridMatchesBruteForce:
+    def test_randomized_soup_cast_hit_bit_identical(self):
+        rng = np.random.default_rng(1234)
+        for n in (3, 17, 60):
+            brute, grid = casters_for(random_soup(rng, n))
+            for _ in range(150):
+                origin = Vec2(rng.uniform(-9, 9), rng.uniform(-9, 9))
+                heading = rng.uniform(-math.pi, math.pi)
+                a = brute.cast_hit(origin, heading)
+                b = grid.cast_hit(origin, heading)
+                assert a == b, (n, origin, heading)
+
+    def test_randomized_soup_bounded_cast(self):
+        rng = np.random.default_rng(99)
+        brute, grid = casters_for(random_soup(rng, 40))
+        for _ in range(150):
+            origin = Vec2(rng.uniform(-9, 9), rng.uniform(-9, 9))
+            heading = rng.uniform(-math.pi, math.pi)
+            max_range = rng.uniform(0.1, 12.0)
+            assert brute.cast(origin, heading, max_range) == grid.cast(
+                origin, heading, max_range
+            )
+
+    def test_cast_many_matches_per_ray_cast(self):
+        rng = np.random.default_rng(7)
+        for accel in ("none", "grid"):
+            caster = RayCaster(random_soup(rng, 25), accel=accel)
+            origin = Vec2(0.5, -0.25)
+            headings = [rng.uniform(-math.pi, math.pi) for _ in range(11)]
+            batch = caster.cast_many(origin, headings, max_range=6.0)
+            singles = [caster.cast(origin, h, max_range=6.0) for h in headings]
+            assert batch.tolist() == singles
+
+    def test_line_of_sight_many_matches_scalar(self):
+        rng = np.random.default_rng(21)
+        for accel in ("none", "grid"):
+            caster = RayCaster(random_soup(rng, 30), accel=accel)
+            origin = Vec2(0.0, 0.0)
+            targets = [
+                Vec2(rng.uniform(-8, 8), rng.uniform(-8, 8)) for _ in range(20)
+            ]
+            slacks = [rng.uniform(0.0, 0.3) for _ in range(20)]
+            batch = caster.line_of_sight_many(origin, targets, slack=slacks)
+            singles = [
+                caster.line_of_sight(origin, t, slack=s)
+                for t, s in zip(targets, slacks)
+            ]
+            assert batch.tolist() == singles
+
+    def test_los_many_and_brute_agree_across_accel(self):
+        rng = np.random.default_rng(3)
+        segs = random_soup(rng, 45)
+        brute, grid = casters_for(segs)
+        origin = Vec2(1.0, 1.0)
+        targets = [Vec2(rng.uniform(-8, 8), rng.uniform(-8, 8)) for _ in range(30)]
+        assert (
+            brute.line_of_sight_many(origin, targets).tolist()
+            == grid.line_of_sight_many(origin, targets).tolist()
+        )
+
+    def test_endpoint_grazing_rays(self):
+        # Rays aimed exactly at segment endpoints and along shared
+        # vertices of a polyline must agree between the two paths.
+        segs = [
+            Segment(Vec2(2.0, -1.0), Vec2(2.0, 1.0)),
+            Segment(Vec2(2.0, 1.0), Vec2(4.0, 1.0)),  # shares (2, 1)
+            Segment(Vec2(4.0, 1.0), Vec2(4.0, -1.0)),  # shares (4, 1)
+        ]
+        brute, grid = casters_for(segs)
+        origin = Vec2(0.0, 0.0)
+        targets = [Vec2(2.0, 1.0), Vec2(2.0, -1.0), Vec2(4.0, 1.0), Vec2(3.0, 1.0)]
+        for t in targets:
+            heading = (t - origin).heading()
+            assert brute.cast_hit(origin, heading) == grid.cast_hit(origin, heading)
+        # Ray collinear with a horizontal segment.
+        collinear = RayCaster([Segment(Vec2(1.0, 0.0), Vec2(3.0, 0.0))], accel="grid")
+        ref = RayCaster([Segment(Vec2(1.0, 0.0), Vec2(3.0, 0.0))], accel="none")
+        assert collinear.cast_hit(origin, 0.0) == ref.cast_hit(origin, 0.0)
+
+    def test_axis_parallel_rays_from_outside(self):
+        segs = AABB(1.0, 1.0, 3.0, 2.0).boundary_segments()
+        brute, grid = casters_for(segs)
+        cases = [
+            (Vec2(0.0, 1.5), 0.0),  # enters through the left edge
+            (Vec2(5.0, 1.5), math.pi),
+            (Vec2(2.0, -3.0), math.pi / 2),
+            (Vec2(2.0, 5.0), -math.pi / 2),
+            (Vec2(0.0, 5.0), 0.0),  # misses entirely
+            (Vec2(-4.0, -4.0), math.pi / 4),
+        ]
+        for origin, heading in cases:
+            assert brute.cast_hit(origin, heading) == grid.cast_hit(origin, heading)
+
+    @settings(max_examples=120, deadline=None)
+    @given(
+        ox=st.floats(-6, 6),
+        oy=st.floats(-6, 6),
+        heading=st.floats(-math.pi, math.pi),
+    )
+    def test_property_soup_agreement(self, ox, oy, heading):
+        rng = np.random.default_rng(5150)
+        segs = random_soup(rng, 24, span=5.0)
+        brute, grid = casters_for(segs)
+        origin = Vec2(ox, oy)
+        assert brute.cast_hit(origin, heading) == grid.cast_hit(origin, heading)
+
+    def test_auto_threshold_selects_grid(self):
+        rng = np.random.default_rng(2)
+        small = RayCaster(random_soup(rng, GRID_SEGMENT_THRESHOLD - 1))
+        large = RayCaster(random_soup(rng, GRID_SEGMENT_THRESHOLD))
+        assert small.accel == "none"
+        assert large.accel == "grid"
+
+
+class TestRayCasterApi:
+    def test_segments_not_copied_per_access(self):
+        segs = AABB(0.0, 0.0, 2.0, 2.0).boundary_segments()
+        caster = RayCaster(segs)
+        assert caster.segments is caster.segments
+        assert list(caster.segments) == segs
+
+    def test_cast_many_empty(self):
+        caster = RayCaster(AABB(0.0, 0.0, 2.0, 2.0).boundary_segments())
+        assert caster.cast_many(Vec2(1.0, 1.0), []).shape == (0,)
+        assert caster.line_of_sight_many(Vec2(1.0, 1.0), []).shape == (0,)
+
+    def test_line_of_sight_many_coincident_target(self):
+        caster = RayCaster(AABB(0.0, 0.0, 2.0, 2.0).boundary_segments())
+        p = Vec2(1.0, 1.0)
+        assert caster.line_of_sight_many(p, [p]).tolist() == [True]
+
+
+# Golden values captured from the pre-refactor scalar implementation
+# (commit 3616cb0), as (origin, heading, expected) with float-hex
+# coordinates so comparisons are exact.
+
+_GOLDEN_PAPER_ROOM_CAST = [
+    (("0x1.3ad9c3e0d9dfep+1", "0x1.374fc0930070ep+2"), "-0x1.02b3bce4e65ecp+0", "0x1.0000000000000p+2"),
+    (("0x1.a7db5516a5470p+1", "0x1.4937f08ae7d1fp+0"), "0x1.69e72822cc6ecp+1", "0x1.bdadd40111b75p+1"),
+    (("0x1.daa67fbc9f563p+0", "0x1.3acfd30606949p+2"), "-0x1.94cc7141a5200p-1", "0x1.0000000000000p+2"),
+    (("0x1.828a59207c052p+2", "0x1.1a086a0a19984p+1"), "0x1.3ed8bb75fb620p+0", "0x1.70b630c3306bcp+0"),
+    (("0x1.5655119425d92p+2", "0x1.169d4a23aacf5p+2"), "0x1.61b20dfcbcebap+1", "0x1.8d570e74c2d86p+1"),
+    (("0x1.318527b1d89fcp+2", "0x1.2969456d0ba4fp+2"), "-0x1.6f4b7155931f9p+0", "0x1.0000000000000p+2"),
+    (("0x1.794e71156d817p+2", "0x1.ebfb7aae99151p+1"), "-0x1.9af1163689340p-2", "0x1.5043d4b2c7cf9p-1"),
+    (("0x1.0a337b7cb0759p+2", "0x1.bc29262d7b8c2p+1"), "-0x1.0f69475b03582p+1", "0x1.0000000000000p+2"),
+    (("0x1.51026bc2829c2p+2", "0x1.5e4141fe3cbb0p-2"), "-0x1.6f888d63b3ce8p+1", "0x1.4800967050c3cp+0"),
+    (("0x1.3d50a5b32c2aep+2", "0x1.03a70707c744fp+2"), "-0x1.9ac55c2c6a844p-1", "0x1.1bf591da32f4ep+1"),
+    (("0x1.453046c277ee7p+2", "0x1.8b235effedb28p+1"), "-0x1.ec0784c46b972p+0", "0x1.a4d2f6d7dcafep+1"),
+    (("0x1.379d023a68126p+1", "0x1.136c1176f952bp+2"), "-0x1.4cad021dd9214p+0", "0x1.0000000000000p+2"),
+]
+
+_GOLDEN_DENSE_DEPOT_CAST_HIT = [
+    (("0x1.50edf237563c8p+1", "0x1.c63dcded66c03p+1"), "0x1.8c06a008542dep+1", "0x1.514feb9fd861ap+1"),
+    (("0x1.ad35b4b993c7cp+2", "0x1.f81eef2253dafp+0"), "-0x1.839304210c67bp+1", "0x1.40bd214856084p+2"),
+    (("0x1.951e77c6d4272p+2", "0x1.fabdc00d0bb21p+1"), "0x1.37d99d0328f60p-2", "0x1.ec6bbed575b7bp+1"),
+    (("0x1.7e6d6bc08f588p-1", "0x1.9214410bf75b1p+1"), "-0x1.0eabe6dabd619p+1", "0x1.718eb455eb344p+0"),
+    (("0x1.877b6447a3bf5p+1", "0x1.cd8b54299a09fp+2"), "-0x1.6da0faf7913fep+0", "0x1.d246370497ee4p+2"),
+    (("0x1.3404f798a2e0ap+2", "0x1.94346cb8c60e0p+2"), "0x1.43870cb62148cp+0", "0x1.c4550ba8e44a4p+0"),
+    (("0x1.1031a06381343p+2", "0x1.0e7ac26c0a5dep+0"), "0x1.42d71603acf8cp+1", "0x1.4e4c5589518cbp+2"),
+    (("0x1.7751c4c7ae342p+1", "0x1.9294fd9fb2878p+2"), "0x1.5229576bcbfa8p-1", "0x1.64b5033d3b889p+1"),
+    (("0x1.8a8d219e69cc0p+1", "0x1.91a78b621d9cbp+2"), "0x1.e157b1405eec8p-1", "0x1.1141f0bd1e3f3p+1"),
+    (("0x1.22596174841edp+3", "0x1.b1467f169e5cap+2"), "0x1.69f20909f5844p-1", "0x1.37f71ff85ce48p+0"),
+    (("0x1.8c2281233bc5ap-1", "0x1.6284070ee0fa0p-1"), "-0x1.2c13483bdc3d5p+0", "0x1.80ad27176e84bp-1"),
+    (("0x1.1bec86d9017dfp+3", "0x1.676091ef9e277p+2"), "0x1.966ba3455d574p+0", "0x1.3149ddfe4fc26p+1"),
+    (("0x1.ab5ad99d78f79p+2", "0x1.3e96d52228674p+1"), "0x1.d91760754d30cp+0", "0x1.6eb4b5e594e7ep+2"),
+    (("0x1.3bfe92770e0abp+2", "0x1.9a5d808444506p+2"), "0x1.6d55361ccb8d4p+0", "0x1.9ac616ec57bf3p+0"),
+    (("0x1.81c624a0d3615p+1", "0x1.9544faff793ebp+2"), "-0x1.cc41a9bfa42d1p+0", "0x1.9ff29fab812b2p+2"),
+]
+
+_GOLDEN_APARTMENT_LOS = [
+    (("0x1.8218f9b0f6dafp+1", "0x1.da31a684df5e5p+1"), ("0x1.e4b8fb01fb814p-1", "0x1.589145b2a26a4p+2"), True),
+    (("0x1.e126e2a57d0b6p+2", "0x1.4871581cdf4f5p+1"), ("0x1.33c27591135d7p+2", "0x1.b7764b44843c4p+1"), False),
+    (("0x1.56065435acceep+0", "0x1.4ccedd384f99cp+2"), ("0x1.8fadc7f974f77p+0", "0x1.b0438d0a212f0p-1"), False),
+    (("0x1.896e99e56a4d8p+2", "0x1.d03b6af4e9db5p+1"), ("0x1.d532b46e8320ap+2", "0x1.b373e4067734ep+1"), True),
+    (("0x1.27e66413a4c20p+3", "0x1.d7e8bbba57286p+2"), ("0x1.eef802c97a2a4p-1", "0x1.bac9ba60fc692p+2"), False),
+    (("0x1.63bfd3d6acce5p+2", "0x1.4f8e5b72c9889p+2"), ("0x1.1ce3829283b10p+3", "0x1.c190587b4fc3bp+2"), True),
+    (("0x1.2b8dc1e286bc1p+2", "0x1.cdfdc6ca43784p+2"), ("0x1.0836967135546p+2", "0x1.2c3fc8ae644a6p+2"), True),
+    (("0x1.49dac54128a12p+2", "0x1.afffa3fc49f47p+2"), ("0x1.137a03ce35c4fp+3", "0x1.b52999e66f99cp+2"), True),
+    (("0x1.c63f477a38ea8p+1", "0x1.ffb9c1c2055eep+1"), ("0x1.274bae0fd8103p+2", "0x1.9c9020090f114p+1"), False),
+    (("0x1.bdf9851e2cfcbp+2", "0x1.8196cb26f5cf7p+2"), ("0x1.4282e44fc948ep-1", "0x1.88a2ef199ab31p+2"), False),
+    (("0x1.0e1b6014f4b24p+3", "0x1.019cb3623768bp+2"), ("0x1.063d306f1c920p+0", "0x1.573ee8210a02cp+2"), False),
+    (("0x1.8b5e381d2e514p+0", "0x1.f0f801b58ec91p+1"), ("0x1.3f8c3f2564436p+2", "0x1.249cd633defaep+2"), False),
+    (("0x1.800b36e2b2bd3p+2", "0x1.9770dc18aeb2ap+2"), ("0x1.30417ae7d90bep+3", "0x1.faba8fb192763p+1"), True),
+    (("0x1.dafa426148ee2p+2", "0x1.2748060f62eebp+1"), ("0x1.43fac18a98f6ep+1", "0x1.c98199152e3adp+1"), False),
+    (("0x1.39d9c52d568fap+2", "0x1.f6fd09ab0ceb8p+1"), ("0x1.0b8e326400644p-1", "0x1.68448e73004c7p+1"), False),
+]
+
+
+def _vec(pair):
+    return Vec2(float.fromhex(pair[0]), float.fromhex(pair[1]))
+
+
+class TestGoldenValues:
+    @pytest.mark.parametrize("accel", ["none", "grid"])
+    def test_paper_room_cast(self, accel):
+        room = get_scenario("paper-room").build_room()
+        caster = RayCaster(room.raycaster.segments, accel=accel)
+        for origin, heading, expected in _GOLDEN_PAPER_ROOM_CAST:
+            got = caster.cast(_vec(origin), float.fromhex(heading), max_range=4.0)
+            assert got == float.fromhex(expected)
+
+    @pytest.mark.parametrize("accel", ["none", "grid"])
+    def test_dense_depot_cast_hit(self, accel):
+        room = get_scenario("dense-depot").build_room()
+        caster = RayCaster(room.raycaster.segments, accel=accel)
+        for origin, heading, expected in _GOLDEN_DENSE_DEPOT_CAST_HIT:
+            got = caster.cast_hit(_vec(origin), float.fromhex(heading))
+            want = None if expected is None else float.fromhex(expected)
+            assert got == want
+
+    @pytest.mark.parametrize("accel", ["none", "grid"])
+    def test_apartment_line_of_sight(self, accel):
+        room = get_scenario("apartment").build_room()
+        caster = RayCaster(room.raycaster.segments, accel=accel)
+        for a, b, expected in _GOLDEN_APARTMENT_LOS:
+            assert caster.line_of_sight(_vec(a), _vec(b), slack=0.1) is expected

@@ -1,0 +1,246 @@
+"""Batched simulation core vs. the scalar reference path.
+
+The vectorized tick loop (batched Multi-ranger casts, block noise draws,
+batched camera occlusion, grid-accelerated raycasting, vectorized
+free-space queries) must be *bit-identical* to the per-beam / per-draw /
+per-object reference path it replaced: same RNG stream consumption, same
+IEEE arithmetic, same trajectories, detections and coverage.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.drone.crazyflie import Crazyflie, CrazyflieConfig
+from repro.mapping.coverage import CoverageSeries
+from repro.mapping.mocap import MotionCaptureTracker
+from repro.mapping.occupancy import OccupancyGrid
+from repro.mission.closed_loop import ClosedLoopMission
+from repro.mission.detector_model import (
+    CalibratedDetectorModel,
+    DetectorOperatingPoint,
+    paper_operating_points,
+)
+from repro.policies import PolicyConfig
+from repro.policies.registry import make_policy
+from repro.sensors.camera import CameraIntrinsics
+from repro.sim import get_scenario
+from repro.world.room import Room
+from repro.geometry.vec import Vec2
+
+
+def build_mission(name, flight_time=12.0, batched=True, accel="auto", op=None):
+    scenario = get_scenario(name)
+    op = op or paper_operating_points()[scenario.ssd_width]
+    policy = make_policy(
+        scenario.policy, PolicyConfig(cruise_speed=scenario.cruise_speed)
+    )
+    room = Room(
+        scenario.room.width,
+        scenario.room.length,
+        [o.build() for o in scenario.room.obstacles],
+        accel=accel,
+    )
+    config = CrazyflieConfig(noisy=scenario.noisy, batched_sensors=batched)
+    return ClosedLoopMission(
+        room,
+        scenario.build_objects(),
+        policy,
+        CalibratedDetectorModel(op),
+        op,
+        flight_time_s=flight_time,
+        start=scenario.start_position(),
+        drone_config=config,
+    )
+
+
+def assert_results_identical(a, b):
+    assert a.events == b.events
+    assert a.coverage == b.coverage
+    assert a.collisions == b.collisions
+    assert a.distance_flown_m == b.distance_flown_m
+    assert a.frames_processed == b.frames_processed
+    assert a.series.times.tolist() == b.series.times.tolist()
+    assert a.series.coverage.tolist() == b.series.coverage.tolist()
+    assert [(s.time, s.position, s.heading) for s in a.samples] == [
+        (s.time, s.position, s.heading) for s in b.samples
+    ]
+
+
+class TestMissionBitIdentity:
+    @pytest.mark.parametrize(
+        "scenario", ["paper-room", "dense-depot", "apartment", "corridor-maze"]
+    )
+    def test_batched_equals_reference(self, scenario):
+        reference = build_mission(scenario, batched=False, accel="none").run(seed=7)
+        batched = build_mission(scenario, batched=True, accel="auto").run(seed=7)
+        assert_results_identical(reference, batched)
+
+    def test_batched_equals_reference_noise_free(self):
+        scenario = get_scenario("paper-room")
+        op = paper_operating_points()["1.0"]
+        results = []
+        for batched in (False, True):
+            policy = make_policy(scenario.policy, PolicyConfig(cruise_speed=0.5))
+            config = CrazyflieConfig(noisy=False, batched_sensors=batched)
+            results.append(
+                ClosedLoopMission(
+                    scenario.build_room(),
+                    scenario.build_objects(),
+                    policy,
+                    CalibratedDetectorModel(op),
+                    op,
+                    flight_time_s=10.0,
+                    drone_config=config,
+                ).run(seed=3)
+            )
+        assert_results_identical(results[0], results[1])
+
+    def test_ranger_reading_bit_identical(self):
+        room = get_scenario("dense-depot").build_room()
+        readings = []
+        for batched in (False, True):
+            drone = Crazyflie(
+                room,
+                start=Vec2(1.0, 1.0),
+                config=CrazyflieConfig(batched_sensors=batched),
+                seed=42,
+            )
+            reading = drone.read_ranger()
+            readings.append(
+                (reading.front, reading.back, reading.left, reading.right, reading.up)
+            )
+        assert readings[0] == readings[1]
+
+
+class TestFramePacing:
+    def _run(self, fps, flight_time):
+        op = DetectorOperatingPoint("pacing", fps=fps, map_score=0.5)
+        return build_mission("paper-room", flight_time=flight_time, op=op).run(seed=1)
+
+    def test_frame_count_exact_for_inexact_period(self):
+        # fps=2.3 has a non-representable period; index-derived frame
+        # times must not drift: 33 s * 2.3 fps = 75.9 -> 76 frames
+        # (one at t~0, then one per full period).
+        result = self._run(fps=2.3, flight_time=33.0)
+        assert result.frames_processed == 76
+
+    def test_frame_count_exact_for_exact_period(self):
+        # fps=1.6 -> period 0.625 is exactly representable; 30 s covers
+        # frame times 0, 0.625, ..., 30.0 (the final tick lands within
+        # the 1 ns trigger slack of t=30.0) -> 49 frames.
+        result = self._run(fps=1.6, flight_time=30.0)
+        assert result.frames_processed == 49
+
+    def test_high_fps_capped_by_tick_rate(self):
+        # At 200 fps > 50 Hz control, at most one frame per tick.
+        result = self._run(fps=200.0, flight_time=2.0)
+        assert result.frames_processed == 100
+
+
+class TestCoverageSeriesVectorized:
+    def _series(self, times, cov):
+        s = CoverageSeries()
+        for t, c in zip(times, cov):
+            s.append(t, c)
+        return s
+
+    def test_at_many_matches_at(self):
+        s = self._series([0.5, 1.0, 2.5, 7.0], [0.1, 0.2, 0.5, 0.9])
+        grid = np.array([0.0, 0.49, 0.5, 0.75, 1.0, 2.5, 3.0, 7.0, 100.0])
+        assert s.at_many(grid).tolist() == [s.at(t) for t in grid]
+
+    def test_at_many_empty_series(self):
+        s = CoverageSeries()
+        assert s.at_many(np.array([0.0, 1.0])).tolist() == [0.0, 0.0]
+
+    def test_mean_and_variance_matches_per_point_loop(self):
+        rng = np.random.default_rng(8)
+        series = []
+        for _ in range(5):
+            n = int(rng.integers(1, 30))
+            times = np.sort(rng.uniform(0.0, 60.0, size=n))
+            cov = np.sort(rng.uniform(0.0, 1.0, size=n))
+            series.append(self._series(times, cov))
+        grid = np.linspace(0.0, 70.0, 101)
+        mean, var = CoverageSeries.mean_and_variance(series, grid)
+        ref_values = np.array(
+            [[s.at(t) for t in grid] for s in series], dtype=np.float64
+        )
+        assert mean.tolist() == ref_values.mean(axis=0).tolist()
+        assert var.tolist() == ref_values.var(axis=0).tolist()
+
+    def test_mean_and_variance_needs_series(self):
+        with pytest.raises(ValueError):
+            CoverageSeries.mean_and_variance([], np.array([0.0]))
+
+
+class TestLeanStateTracking:
+    def test_occupancy_incremental_count_matches_mask(self):
+        room = get_scenario("paper-room").build_room()
+        grid = OccupancyGrid(room)
+        rng = np.random.default_rng(0)
+        for _ in range(500):
+            p = Vec2(rng.uniform(0, room.width), rng.uniform(0, room.length))
+            grid.record(p, 0.02)
+        assert grid.visited_count() == int(grid.visited_mask.sum())
+        assert grid.coverage() == grid.visited_count() / grid.n_cells
+        assert grid.occupancy_time.sum() == pytest.approx(500 * 0.02)
+
+    def test_tracker_samples_materialized(self):
+        room = get_scenario("paper-room").build_room()
+        tracker = MotionCaptureTracker(room)
+        drone = Crazyflie(room, config=CrazyflieConfig(noisy=False))
+        from repro.drone.controller import SetPoint
+
+        for _ in range(25):
+            state = drone.step(SetPoint(forward=0.4))
+            tracker.observe(state)
+        samples = tracker.samples
+        times, xs, ys, headings = tracker.trajectory_arrays()
+        assert len(samples) == len(times) > 0
+        assert [s.time for s in samples] == times.tolist()
+        assert [s.position.x for s in samples] == xs.tolist()
+        assert [s.position.y for s in samples] == ys.tolist()
+        assert [s.heading for s in samples] == headings.tolist()
+
+    def test_room_queries_match_reference_loops(self):
+        room = get_scenario("dense-depot").build_room()
+        rng = np.random.default_rng(4)
+        margin = 0.07
+
+        def reference_is_free(p):
+            if not room.bounds.contains(p, margin=margin):
+                return False
+            for obs in room.obstacles:
+                if obs.contains(p):
+                    return False
+                if any(s.distance_to_point(p) < margin for s in obs.segments()):
+                    return False
+            return True
+
+        for _ in range(400):
+            p = Vec2(rng.uniform(-0.5, room.width + 0.5), rng.uniform(-0.5, room.length + 0.5))
+            assert room.is_free(p, margin=margin) == reference_is_free(p), p
+        for _ in range(100):
+            p = Vec2(rng.uniform(0, room.width), rng.uniform(0, room.length))
+            if room.is_free(p):
+                ref = min(s.distance_to_point(p) for s in room.all_segments())
+                assert room.clearance(p) == pytest.approx(ref, abs=1e-12)
+
+
+class TestCameraIntrinsicsCache:
+    def test_focal_cached_and_correct(self):
+        intr = CameraIntrinsics(320, 240, math.radians(65.0))
+        expected = (320 / 2.0) / math.tan(math.radians(65.0) / 2.0)
+        assert "focal_px" not in intr.__dict__
+        assert intr.focal_px == expected
+        assert "focal_px" in intr.__dict__  # cached after first access
+        assert intr.vfov_rad == 2.0 * math.atan((240 / 2.0) / expected)
+
+    def test_scaled_keeps_fov(self):
+        intr = CameraIntrinsics(320, 240, math.radians(65.0))
+        half = intr.scaled(160, 120)
+        assert half.hfov_rad == intr.hfov_rad
+        assert half.focal_px == pytest.approx(intr.focal_px / 2.0)
