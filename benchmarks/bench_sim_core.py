@@ -49,7 +49,7 @@ from repro.policies import PolicyConfig
 from repro.policies.registry import make_policy
 from repro.sensors.camera import HimaxCamera
 from repro.sensors.tof import ToFSensor
-from repro.sim import get_scenario
+from repro.sim import generate_scenario, get_scenario
 from repro.world.layouts import cluttered_room
 from repro.world.room import Room
 
@@ -62,6 +62,10 @@ MISSION_SCENARIOS = ("paper-room", "dense-depot", "apartment")
 #: and the smoke bar is lower.
 REQUIRED_PAPER_ROOM_SPEEDUP = 3.0
 REQUIRED_PAPER_ROOM_SPEEDUP_QUICK = 2.5
+
+#: Required grid-vs-brute speedup for ``is_free`` point queries on a
+#: generated 1000+-segment world (the PR-3 acceptance bar).
+REQUIRED_POINT_QUERY_SPEEDUP = 2.0
 
 _EPS = 1e-12
 
@@ -429,11 +433,73 @@ def bench_raycast(repeats: int, inner: int = 400):
     return rows
 
 
+def bench_point_queries(repeats: int, n_points: int = 1500):
+    """``is_free``/``clearance`` latency, grid vs. brute, on generated worlds.
+
+    Uses the scenario generators' 1000+-segment maze and warehouse --
+    the workloads the point-query grid exists for -- and asserts the
+    two paths agree bit-for-bit on every sampled point before timing.
+    """
+    worlds = {
+        "perfect-maze": generate_scenario(
+            "perfect-maze", {"cols": 24, "rows": 18, "cell_m": 1.0}, seed=5
+        ),
+        "cluttered-warehouse": generate_scenario(
+            "cluttered-warehouse",
+            {"width": 40.0, "length": 30.0, "aisle": 1.2, "shelf_depth": 0.5, "unit_len": 1.0},
+            seed=5,
+        ),
+    }
+    rng = np.random.default_rng(11)
+    rows = []
+    for label, scenario in worlds.items():
+        spec = scenario.room
+        obstacles = [o.build() for o in spec.obstacles]
+        brute = Room(spec.width, spec.length, obstacles, accel="none")
+        grid = Room(spec.width, spec.length, obstacles, accel="auto")
+        n_segments = len(brute.all_segments())
+        assert n_segments >= 1000, (label, n_segments)
+        points = [
+            Vec2(rng.uniform(0.0, spec.width), rng.uniform(0.0, spec.length))
+            for _ in range(n_points)
+        ]
+        for p in points:
+            assert brute.is_free(p, margin=0.12) == grid.is_free(p, margin=0.12)
+            assert brute.clearance(p) == grid.clearance(p)
+
+        def _free(room):
+            return lambda: [room.is_free(p, margin=0.12) for p in points]
+
+        def _clear(room):
+            return lambda: [room.clearance(p) for p in points]
+
+        free_brute_us = _time_calls(_free(brute), repeats, 1) / n_points * 1e6
+        free_grid_us = _time_calls(_free(grid), repeats, 1) / n_points * 1e6
+        clear_brute_us = _time_calls(_clear(brute), repeats, 1) / n_points * 1e6
+        clear_grid_us = _time_calls(_clear(grid), repeats, 1) / n_points * 1e6
+        rows.append(
+            {
+                "world": label,
+                "n_segments": n_segments,
+                "n_obstacles": len(obstacles),
+                "is_free_brute_us": free_brute_us,
+                "is_free_grid_us": free_grid_us,
+                "clearance_brute_us": clear_brute_us,
+                "clearance_grid_us": clear_grid_us,
+                "speedup_is_free": free_brute_us / free_grid_us,
+                "speedup_clearance": clear_brute_us / clear_grid_us,
+                "bit_identical": True,  # asserted above over every point
+            }
+        )
+    return rows
+
+
 def run_benchmarks(quick: bool, out_path: str):
     flight_time = 10.0 if quick else 30.0
     repeats = 2 if quick else 3
     missions = bench_missions(flight_time, repeats)
     raycast = bench_raycast(repeats)
+    point_queries = bench_point_queries(repeats)
 
     print()
     print(
@@ -471,6 +537,22 @@ def run_benchmarks(quick: bool, out_path: str):
             title="4-beam cast latency by kernel",
         )
     )
+    print(
+        ascii_table(
+            ["world", "segs", "is_free brute/grid [us]", "clearance brute/grid [us]", "speedups"],
+            [
+                [
+                    r["world"],
+                    str(r["n_segments"]),
+                    f"{r['is_free_brute_us']:.1f} / {r['is_free_grid_us']:.1f}",
+                    f"{r['clearance_brute_us']:.1f} / {r['clearance_grid_us']:.1f}",
+                    f"{r['speedup_is_free']:.1f}x / {r['speedup_clearance']:.1f}x",
+                ]
+                for r in point_queries
+            ],
+            title="point-query latency on generated worlds (bit-identical asserted)",
+        )
+    )
 
     payload = {
         "benchmark": "sim_core",
@@ -489,6 +571,7 @@ def run_benchmarks(quick: bool, out_path: str):
         ),
         "missions": missions,
         "raycast": raycast,
+        "point_queries": point_queries,
     }
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -503,6 +586,12 @@ def run_benchmarks(quick: bool, out_path: str):
             f"paper-room speedup {paper['speedup']:.2f}x below the "
             f"{bar:.1f}x bar (set REPRO_BENCH_RELAX=1 on loaded machines)"
         )
+        for r in point_queries:
+            assert r["speedup_is_free"] >= REQUIRED_POINT_QUERY_SPEEDUP, (
+                f"{r['world']}: is_free grid speedup {r['speedup_is_free']:.2f}x "
+                f"below the {REQUIRED_POINT_QUERY_SPEEDUP:.1f}x bar "
+                f"(set REPRO_BENCH_RELAX=1 on loaded machines)"
+            )
     return payload
 
 

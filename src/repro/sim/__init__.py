@@ -1,17 +1,23 @@
-"""Scenario registry + parallel mission campaign engine.
+"""Scenario registry + generators + parallel mission campaign engine.
 
 The one subsystem owning all mission fan-out:
 
 - :mod:`repro.sim.scenario` -- declarative :class:`Scenario` specs and a
   registry of named presets (the paper room plus synthetic layouts),
+- :mod:`repro.sim.generators` -- parametric :class:`ScenarioFamily`
+  generators (procedural apartments, mazes, warehouses, scatter fields
+  from a seed) registered alongside the presets,
 - :mod:`repro.sim.campaign` -- :class:`Campaign` cartesian sweeps with
-  per-mission independent ``SeedSequence`` streams,
+  per-mission independent ``SeedSequence`` streams, over presets and
+  ``(family, params, seed)`` references alike,
 - :mod:`repro.sim.runner` -- serial or ``multiprocessing`` execution
   producing bit-identical results,
 - :mod:`repro.sim.results` -- the columnar result store with aggregation
   and hash-keyed JSON persistence.
 
 ``python -m repro.sim`` exposes the same machinery on the command line.
+See ``docs/architecture.md`` / ``docs/scenarios.md`` /
+``docs/determinism.md`` for the guided tour.
 """
 
 from repro.sim.campaign import (
@@ -19,6 +25,17 @@ from repro.sim.campaign import (
     MissionSpec,
     OperatingPointSpec,
     paper_operating_point_spec,
+)
+from repro.sim.generators import (
+    GeneratedSpec,
+    ParamSpec,
+    ScenarioFamily,
+    ascii_layout,
+    family_names,
+    generate_scenario,
+    get_family,
+    iter_families,
+    register_family,
 )
 from repro.sim.results import AggregateStat, CampaignResult, MissionRecord
 from repro.sim.runner import execute_mission, run_campaign
@@ -37,17 +54,26 @@ __all__ = [
     "AggregateStat",
     "Campaign",
     "CampaignResult",
+    "GeneratedSpec",
     "MissionRecord",
     "MissionSpec",
     "ObjectSpec",
     "ObstacleSpec",
     "OperatingPointSpec",
+    "ParamSpec",
     "RoomSpec",
     "Scenario",
+    "ScenarioFamily",
+    "ascii_layout",
     "execute_mission",
+    "family_names",
+    "generate_scenario",
+    "get_family",
     "get_scenario",
+    "iter_families",
     "iter_scenarios",
     "paper_operating_point_spec",
+    "register_family",
     "register_scenario",
     "run_campaign",
     "scenario_names",

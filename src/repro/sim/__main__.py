@@ -1,12 +1,12 @@
-"""CLI entry: list scenarios and execute mission campaigns.
+"""CLI entry: list scenarios/families and execute mission campaigns.
 
 Usage:
     python -m repro.sim list
-    python -m repro.sim show corridor-maze
+    python -m repro.sim show corridor-maze --map
+    python -m repro.sim show perfect-maze --seed 3 --param cols=12 --param rows=8
     python -m repro.sim run --scenario paper-room --runs 2 --flight-time 30
-    python -m repro.sim run --scenario paper-room apartment \\
-        --policy pseudo-random spiral --speed 0.5 1.0 --width 1.0 \\
-        --runs 3 --workers 0 --out results
+    python -m repro.sim run --family perfect-maze --family-seed 1 2 3 \\
+        --param cell_m=1.0 --runs 2 --workers 0 --out results
 """
 
 from __future__ import annotations
@@ -18,6 +18,13 @@ import time
 from repro.errors import SimError
 from repro.experiments.reporting import ascii_table
 from repro.sim.campaign import Campaign
+from repro.sim.generators import (
+    GeneratedSpec,
+    ascii_layout,
+    family_names,
+    get_family,
+    iter_families,
+)
 from repro.sim.results import CampaignResult
 from repro.sim.runner import run_campaign
 from repro.sim.scenario import get_scenario, iter_scenarios
@@ -46,24 +53,88 @@ def _cmd_list(_args) -> int:
             title="registered scenarios",
         )
     )
+    fam_rows = [
+        [
+            f.name,
+            str(len(f.params)),
+            ", ".join(p.name for p in f.params),
+            f.description,
+        ]
+        for f in iter_families()
+    ]
+    print()
+    print(
+        ascii_table(
+            ["family", "#par", "parameters", "description"],
+            fam_rows,
+            title="registered scenario families (procedural; see `show <family>`)",
+        )
+    )
     return 0
 
 
-def _cmd_show(args) -> int:
-    s = get_scenario(args.scenario)
+def _parse_params(pairs) -> dict:
+    params = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SimError(f"--param expects key=value, got {pair!r}")
+        try:
+            params[key] = float(value)
+        except ValueError:
+            raise SimError(f"--param {key}: {value!r} is not a number") from None
+    return params
+
+
+def _show_scenario(s, with_map: bool, room=None) -> None:
     print(f"{s.name}: {s.description}")
     print(f"  room: {s.room.width:g} x {s.room.length:g} m, {len(s.room.obstacles)} obstacles")
-    for o in s.room.obstacles:
+    shown = s.room.obstacles[:12]
+    for o in shown:
         print(f"    {o.kind:9s} {o.name or '-':18s} params={tuple(round(p, 2) for p in o.params)}")
+    if len(s.room.obstacles) > len(shown):
+        print(f"    ... and {len(s.room.obstacles) - len(shown)} more")
     print(f"  objects ({len(s.objects)}):")
     for o in s.objects:
         print(f"    {o.name or o.object_class:18s} {o.object_class:8s} at ({o.x:.2f}, {o.y:.2f})")
-    start = "platform default" if s.start is None else f"({s.start[0]:g}, {s.start[1]:g})"
+    start = "platform default" if s.start is None else f"({s.start[0]:.2f}, {s.start[1]:.2f})"
     print(
         f"  defaults: policy={s.policy}, speed={s.cruise_speed:g} m/s, "
         f"ssd={s.ssd_width}, flight={s.flight_time_s:g} s, start={start}, "
         f"noisy={s.noisy}"
     )
+    if with_map:
+        print()
+        print(ascii_layout(s, room=room))
+
+
+def _cmd_show(args) -> int:
+    name = args.scenario
+    if name in family_names():
+        family = get_family(name)
+        print(f"{family.name} (scenario family): {family.description}")
+        print(
+            ascii_table(
+                ["param", "default", "range", "description"],
+                [
+                    [
+                        p.name,
+                        f"{p.default:g}",
+                        f"[{p.low:g}, {p.high:g}]" + (" int" if p.integer else ""),
+                        p.doc,
+                    ]
+                    for p in family.params
+                ],
+                title="parameters",
+            )
+        )
+        scenario = family.generate(_parse_params(args.param), seed=args.seed)
+        room = scenario.build_room()
+        segments = len(room.all_segments())
+        print(f"\ninstance (seed {args.seed}): {scenario.name}, {segments} segments")
+        _show_scenario(scenario, with_map=not args.no_map, room=room)
+        return 0
+    _show_scenario(get_scenario(name), with_map=args.map)
     return 0
 
 
@@ -93,7 +164,19 @@ def _summary(result: CampaignResult) -> str:
 
 
 def _cmd_run(args) -> int:
-    scenarios = tuple(get_scenario(name) for name in args.scenario)
+    scenarios = tuple(get_scenario(name) for name in args.scenario or ())
+    params = _parse_params(args.param)
+    generated = tuple(
+        GeneratedSpec.create(family, params, seed)
+        for family in args.family or ()
+        for seed in args.family_seed
+    )
+    # Default to the paper room only when neither axis was *requested*;
+    # an explicitly emptied axis (e.g. `--family x --family-seed` with
+    # zero values) must surface the campaign error, not silently fly a
+    # different world.
+    if not args.scenario and not args.family:
+        scenarios = (get_scenario("paper-room"),)
     campaign = Campaign(
         name=args.name,
         scenarios=scenarios,
@@ -104,6 +187,7 @@ def _cmd_run(args) -> int:
         flight_time_s=args.flight_time,
         kind=args.kind,
         seed=args.seed,
+        generated=generated,
     )
     total = len(campaign.missions())
     workers = args.workers
@@ -132,14 +216,40 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.sim", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list registered scenarios").set_defaults(fn=_cmd_list)
+    sub.add_parser(
+        "list", help="list registered scenarios and families"
+    ).set_defaults(fn=_cmd_list)
 
-    show = sub.add_parser("show", help="describe one scenario in detail")
-    show.add_argument("scenario")
+    show = sub.add_parser("show", help="describe one scenario or family in detail")
+    show.add_argument("scenario", help="preset name or family name")
+    show.add_argument("--map", action="store_true", help="ASCII floor plan (presets)")
+    show.add_argument(
+        "--no-map", action="store_true", help="skip the ASCII floor plan (families)"
+    )
+    show.add_argument("--seed", type=int, default=0, help="family instance seed")
+    show.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="family parameter override (repeatable)",
+    )
     show.set_defaults(fn=_cmd_show)
 
     run = sub.add_parser("run", help="execute a campaign")
-    run.add_argument("--scenario", nargs="+", default=["paper-room"], help="scenario names to fly")
+    run.add_argument(
+        "--scenario", nargs="*", default=None,
+        help="scenario presets to fly (default: paper-room unless --family is given)",
+    )
+    run.add_argument(
+        "--family", nargs="*", default=None,
+        help="scenario families to generate worlds from",
+    )
+    run.add_argument(
+        "--family-seed", nargs="*", type=int, default=[0],
+        help="generator seeds; each (family, seed) pair becomes one world",
+    )
+    run.add_argument(
+        "--param", action="append", default=None, metavar="KEY=VALUE",
+        help="family parameter override applied to every --family (repeatable)",
+    )
     run.add_argument("--policy", nargs="*", default=None, help="policies to sweep (default: scenario's)")
     run.add_argument("--speed", nargs="*", type=float, default=None, help="cruise speeds, m/s")
     run.add_argument("--width", nargs="*", default=None, help="SSD width keys, e.g. 1.0 0.75")

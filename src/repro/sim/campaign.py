@@ -25,6 +25,7 @@ import numpy as np
 from repro.errors import SimError
 from repro.mission.detector_model import DetectorOperatingPoint, paper_operating_points
 from repro.policies import POLICY_NAMES
+from repro.sim.generators import GeneratedSpec
 from repro.sim.scenario import Scenario
 
 #: Mission kinds a campaign can sweep.
@@ -74,7 +75,11 @@ class MissionSpec:
 
     Self-contained and picklable: a worker process rebuilds the world
     from the embedded scenario and derives its RNG streams from
-    ``(seed_entropy, spawn_key)`` without any shared state.
+    ``(seed_entropy, spawn_key)`` without any shared state. Missions
+    expanded from a generated family additionally carry the
+    ``(family, params, seed)`` reference they were realized from in
+    ``generator`` -- the realized scenario is embedded too, so workers
+    never need to re-run the generator.
     """
 
     index: int
@@ -88,6 +93,7 @@ class MissionSpec:
     seed_entropy: int
     spawn_key: Tuple[int, ...]
     op: Optional[OperatingPointSpec] = None
+    generator: Optional[GeneratedSpec] = None
 
     def seed_sequence(self) -> np.random.SeedSequence:
         """The mission's independent root stream."""
@@ -107,9 +113,16 @@ class Campaign:
     ``Campaign(name="x", scenarios=(get_scenario("paper-room"),))``
     is already a valid 1-mission campaign.
 
+    Besides fixed scenarios, a campaign can sweep *generated* worlds: a
+    :class:`~repro.sim.generators.GeneratedSpec` references a scenario
+    family by ``(family, params, seed)`` and is realized exactly once at
+    campaign construction. The realized scenario is embedded in every
+    :class:`MissionSpec` (keeping workers generator-free), while the
+    campaign hash covers the compact reference triple.
+
     Attributes:
         name: label used in persisted result files.
-        scenarios: scenarios to fly.
+        scenarios: fixed scenarios to fly.
         policies: policy names to sweep (empty = scenario default).
         speeds: cruise speeds to sweep, m/s (empty = scenario default).
         ssd_widths: SSD width keys to sweep (empty = scenario default).
@@ -120,10 +133,25 @@ class Campaign:
             since exploration never touches the detector).
         seed: root entropy for every mission's seed stream.
         operating_points: detector overrides keyed by width.
+        generated: ``(family, params, seed)`` scenario references swept
+            alongside (or instead of) the fixed scenarios.
+
+    Example:
+        >>> from repro.sim import Campaign, GeneratedSpec, get_scenario
+        >>> campaign = Campaign(
+        ...     name="doc",
+        ...     scenarios=(get_scenario("paper-room"),),
+        ...     generated=(GeneratedSpec.create("perfect-maze", seed=1),),
+        ...     n_runs=2,
+        ... )
+        >>> campaign.size()
+        4
+        >>> campaign.missions()[-1].generator.family
+        'perfect-maze'
     """
 
     name: str
-    scenarios: Tuple[Scenario, ...]
+    scenarios: Tuple[Scenario, ...] = ()
     policies: Tuple[str, ...] = ()
     speeds: Tuple[float, ...] = ()
     ssd_widths: Tuple[str, ...] = ()
@@ -132,15 +160,30 @@ class Campaign:
     kind: str = "search"
     seed: int = 0
     operating_points: Tuple[OperatingPointSpec, ...] = ()
+    generated: Tuple[GeneratedSpec, ...] = ()
 
     def __post_init__(self) -> None:
         # Tolerate lists/generators at the call site.
-        for name in ("scenarios", "policies", "speeds", "ssd_widths", "operating_points"):
+        for name in (
+            "scenarios",
+            "policies",
+            "speeds",
+            "ssd_widths",
+            "operating_points",
+            "generated",
+        ):
             object.__setattr__(self, name, tuple(getattr(self, name)))
         if not self.name:
             raise SimError("campaign needs a name")
-        if not self.scenarios:
-            raise SimError("campaign needs at least one scenario")
+        if not self.scenarios and not self.generated:
+            raise SimError("campaign needs at least one scenario or generated spec")
+        # Realize each generated reference once; missions embed the
+        # realized scenario so pool workers never re-run a generator.
+        object.__setattr__(
+            self,
+            "_generated_scenarios",
+            tuple(spec.realize() for spec in self.generated),
+        )
         if self.n_runs <= 0:
             raise SimError(f"n_runs must be positive, got {self.n_runs}")
         if self.kind not in CAMPAIGN_KINDS:
@@ -164,7 +207,7 @@ class Campaign:
         # Empty axes fall back to per-scenario defaults at expansion time;
         # validate those too, so a bad default fails at construction
         # instead of mid-campaign inside a worker process.
-        for scenario in self.scenarios:
+        for scenario in self.scenarios + self._generated_scenarios:
             if not self.policies and scenario.policy not in POLICY_NAMES:
                 known = ", ".join(POLICY_NAMES)
                 raise SimError(
@@ -200,7 +243,9 @@ class Campaign:
         ops = self._op_map()
         specs = []
         index = 0
-        for scenario in self.scenarios:
+        sources = [(s, None) for s in self.scenarios]
+        sources += list(zip(self._generated_scenarios, self.generated))
+        for scenario, generator in sources:
             # Exploration never touches the detector: expanding the
             # width axis would duplicate physically-identical missions
             # labelled as a sweep, so it collapses to one value.
@@ -228,6 +273,7 @@ class Campaign:
                                     seed_entropy=self.seed,
                                     spawn_key=(index,),
                                     op=ops.get(width),
+                                    generator=generator,
                                 )
                             )
                             index += 1
@@ -236,8 +282,15 @@ class Campaign:
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Canonical plain-data form (JSON- and hash-friendly)."""
-        return {
+        """Canonical plain-data form (JSON- and hash-friendly).
+
+        Generated references serialize as their compact
+        ``(family, params, seed)`` triple -- realized worlds are fully
+        determined by it. The key is omitted when no family is swept so
+        that the hashes of existing preset-only campaigns (and their
+        persisted result files) stay stable.
+        """
+        data = {
             "name": self.name,
             "kind": self.kind,
             "seed": self.seed,
@@ -249,6 +302,9 @@ class Campaign:
             "operating_points": [asdict(op) for op in self.operating_points],
             "scenarios": [s.to_dict() for s in self.scenarios],
         }
+        if self.generated:
+            data["generated"] = [spec.to_dict() for spec in self.generated]
+        return data
 
     def campaign_hash(self) -> str:
         """Stable SHA-256 content hash of the campaign definition.

@@ -1,0 +1,1010 @@
+"""Parametric scenario families: procedural worlds from a seed.
+
+A :class:`ScenarioFamily` is a *generator* of scenarios: a name, a
+parameter schema (defaults + bounds) and a builder that turns
+``(params, seed)`` into a fully valid :class:`~repro.sim.scenario.Scenario`.
+Families are registered next to the fixed presets -- sharing one
+namespace through :mod:`repro.sim.registry` so the two kinds can never
+shadow each other -- and campaigns sweep ``family x params x seed``
+through :class:`GeneratedSpec` references exactly like they sweep preset
+names today.
+
+Every generator is deterministic: the same ``(family, params, seed)``
+triple produces a bit-identical scenario (same
+:meth:`~repro.sim.scenario.Scenario.content_hash`) in any process, so
+generated missions stay reproducible across the multiprocessing runner.
+And every generator *guarantees* a flyable world before returning it:
+the free space is rasterized, flood-filled from the start pose, and the
+scenario is rejected unless the start is clear, the free space is
+connected, and every target object sits on a reachable cell (objects are
+in fact *placed* on reachable cells, so validity holds by construction).
+
+Four families ship by default:
+
+- ``random-apartment`` -- BSP room partitioning with doorways cut into
+  every split wall (junction-aware, so no door is walled shut) plus
+  furniture boxes,
+- ``perfect-maze`` -- recursive-backtracker corridors at a configurable
+  cell pitch; the spanning-tree carving makes every cell reachable,
+- ``cluttered-warehouse`` -- aisle/shelf-row grids with density and
+  aisle-width knobs; a perimeter aisle keeps every aisle connected,
+- ``scatter-field`` -- Poisson-disk cylinder/box clutter with a minimum
+  boundary gap wide enough to fly through.
+
+Mazes and warehouses routinely exceed 1000 boundary segments, which is
+what the grid-bucketed ``Room.is_free``/``clearance`` point queries (see
+:mod:`repro.world.room`) were built for.
+
+Example:
+    >>> from repro.sim import generate_scenario
+    >>> a = generate_scenario("perfect-maze", {"cols": 6, "rows": 5, "cell_m": 1.0}, seed=3)
+    >>> b = generate_scenario("perfect-maze", {"cols": 6, "rows": 5, "cell_m": 1.0}, seed=3)
+    >>> a.content_hash() == b.content_hash()
+    True
+    >>> a.build_room().width
+    6.0
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import SimError
+from repro.geometry.shapes import AABB, Circle
+from repro.geometry.vec import Vec2
+from repro.sim.registry import Registry
+from repro.sim.scenario import ObjectSpec, ObstacleSpec, RoomSpec, Scenario
+from repro.world.layouts import door_wall_obstacles
+from repro.world.objects import ObjectClass
+from repro.world.room import Obstacle, Room
+
+#: Clearance (metres) the validity raster requires from walls and
+#: obstacles -- matches the start-pose margin of ``Scenario.validate``
+#: and exceeds the Crazyflie collision radius (0.07 m).
+VALIDATION_MARGIN_M = 0.1
+
+#: Wall thickness used by the maze and BSP generators, metres.
+GENERATOR_WALL_THICKNESS_M = 0.1
+
+#: Minimum centre spacing between placed target objects, metres.
+_OBJECT_SPACING_M = 0.8
+
+#: Objects placed when a family schema omits the ``n_objects`` param.
+_DEFAULT_N_OBJECTS = 6
+
+
+# -- parameter schema ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ParamSpec:
+    """One knob of a scenario family: default value plus inclusive bounds.
+
+    Attributes:
+        name: parameter key.
+        default: value used when the caller does not override.
+        low: inclusive lower bound.
+        high: inclusive upper bound.
+        doc: one-line description for the CLI parameter table.
+        integer: whether values are coerced to ``int`` (e.g. counts).
+
+    Raises:
+        SimError: if the bounds are inverted or the default violates
+            them.
+    """
+
+    name: str
+    default: float
+    low: float
+    high: float
+    doc: str = ""
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise SimError(f"param {self.name!r}: bounds [{self.low}, {self.high}] inverted")
+        if not self.low <= self.default <= self.high:
+            raise SimError(
+                f"param {self.name!r}: default {self.default} outside "
+                f"[{self.low}, {self.high}]"
+            )
+
+    def coerce(self, value: float) -> Union[int, float]:
+        """Bounds-check ``value`` and cast it to the parameter's type.
+
+        Raises:
+            SimError: when ``value`` falls outside ``[low, high]`` or is
+                not a number.
+        """
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise SimError(f"param {self.name!r}: expected a number, got {value!r}")
+        if not self.low <= value <= self.high:
+            raise SimError(
+                f"param {self.name!r}: {value} outside [{self.low:g}, {self.high:g}]"
+            )
+        return int(value) if self.integer else float(value)
+
+
+def _objects_param(default: int = 6) -> ParamSpec:
+    return ParamSpec(
+        "n_objects", default, 1, 10, "target objects to place", integer=True
+    )
+
+
+# -- world drafts and shared finishing -------------------------------------
+
+
+@dataclass
+class _DraftWorld:
+    """What a family builder hands back before shared finishing.
+
+    ``passage`` is the narrowest corridor the layout intends (door
+    width, maze corridor, aisle, clutter gap); it sizes the validity
+    raster so the flood fill cannot miss a legitimate passage.
+    """
+
+    width: float
+    length: float
+    obstacles: List[Obstacle]
+    passage: float
+    policy: str = "pseudo-random"
+    flight_time_s: float = 240.0
+
+
+def free_space_mask(
+    room: Room, resolution: float, margin: float = VALIDATION_MARGIN_M
+) -> np.ndarray:
+    """Conservative free-space raster of ``room`` at ``resolution``.
+
+    A cell is marked free only when its centre keeps at least ``margin``
+    clearance from the walls and every obstacle (axis-aligned boxes are
+    inflated by ``margin`` on each side, a conservative superset of the
+    true Euclidean margin band). Used by the generator validity checks
+    and object placement.
+
+    Args:
+        room: the world to rasterize.
+        resolution: approximate cell edge, metres.
+        margin: required clearance, metres.
+
+    Returns:
+        A ``(ny, nx)`` boolean array; entry ``[iy, ix]`` covers the cell
+        centred at ``((ix + 0.5) * width / nx, (iy + 0.5) * length / ny)``.
+    """
+    nx = max(1, int(math.ceil(room.width / resolution)))
+    ny = max(1, int(math.ceil(room.length / resolution)))
+    xs = (np.arange(nx) + 0.5) * (room.width / nx)
+    ys = (np.arange(ny) + 0.5) * (room.length / ny)
+    free = np.ones((ny, nx), dtype=bool)
+    free &= ((xs >= margin) & (xs <= room.width - margin))[None, :]
+    free &= (((ys >= margin) & (ys <= room.length - margin))[:, None])
+    for obs in room.obstacles:
+        shape = obs.shape
+        if isinstance(shape, AABB):
+            xm = (xs >= shape.xmin - margin) & (xs <= shape.xmax + margin)
+            ym = (ys >= shape.ymin - margin) & (ys <= shape.ymax + margin)
+            if xm.any() and ym.any():
+                free[np.ix_(ym, xm)] = False
+        elif isinstance(shape, Circle):
+            r = shape.radius + margin
+            xm = (xs >= shape.center.x - r) & (xs <= shape.center.x + r)
+            ym = (ys >= shape.center.y - r) & (ys <= shape.center.y + r)
+            if xm.any() and ym.any():
+                dx = xs[xm] - shape.center.x
+                dy = ys[ym] - shape.center.y
+                free[np.ix_(ym, xm)] &= (
+                    dy[:, None] ** 2 + dx[None, :] ** 2 > r * r
+                )
+        else:  # pragma: no cover - no other shapes exist
+            raise SimError(f"cannot rasterize shape {type(shape).__name__}")
+    return free
+
+
+def flood_fill(free: np.ndarray, start: Tuple[int, int]) -> np.ndarray:
+    """Cells 4-connected to ``start`` through the free mask.
+
+    Args:
+        free: boolean free-space raster (``(ny, nx)``).
+        start: seed cell as ``(iy, ix)``.
+
+    Returns:
+        A boolean mask of the reachable component (all-``False`` when
+        the seed cell itself is blocked).
+    """
+    ny, nx = free.shape
+    flat = free.ravel()
+    reach = np.zeros(ny * nx, dtype=bool)
+    s = start[0] * nx + start[1]
+    if not flat[s]:
+        return reach.reshape(ny, nx)
+    reach[s] = True
+    frontier = np.array([s], dtype=np.intp)
+    while frontier.size:
+        steps = [
+            frontier[frontier % nx != 0] - 1,
+            frontier[frontier % nx != nx - 1] + 1,
+            frontier[frontier >= nx] - nx,
+            frontier[frontier < (ny - 1) * nx] + nx,
+        ]
+        cand = np.concatenate(steps)
+        cand = cand[flat[cand] & ~reach[cand]]
+        if not cand.size:
+            break
+        cand = np.unique(cand)
+        reach[cand] = True
+        frontier = cand
+    return reach.reshape(ny, nx)
+
+
+def _raster_resolution(passage: float) -> float:
+    """Cell edge fine enough that a ``passage``-wide corridor is seen.
+
+    The free band of a corridor is ``passage - 2 * margin`` wide; two
+    cells across that band keep the 4-connected fill from snapping it
+    shut at diagonals.
+    """
+    return min(0.3, max(0.08, (passage - 2.0 * VALIDATION_MARGIN_M) / 2.0))
+
+
+def _cell_center(iy: int, ix: int, room: Room, shape: Tuple[int, int]) -> Vec2:
+    ny, nx = shape
+    return Vec2((ix + 0.5) * room.width / nx, (iy + 0.5) * room.length / ny)
+
+
+def _finish(
+    family: "ScenarioFamily",
+    draft: _DraftWorld,
+    resolved: Dict[str, float],
+    rng: np.random.Generator,
+    seed: int,
+) -> Scenario:
+    """Shared tail of every builder: start, objects, validity, Scenario."""
+    room = Room(draft.width, draft.length, draft.obstacles)
+    name = _instance_name(family.name, resolved, seed)
+    res = _raster_resolution(draft.passage)
+    free = free_space_mask(room, res)
+    if not free.any():
+        raise SimError(f"{name}: no free space at margin {VALIDATION_MARGIN_M} m")
+    shape = free.shape
+    # Start: the free cell nearest the usual launch corner.
+    free_cells = np.argwhere(free)
+    centers_x = (free_cells[:, 1] + 0.5) * room.width / shape[1]
+    centers_y = (free_cells[:, 0] + 0.5) * room.length / shape[0]
+    corner = np.argmin((centers_x - 0.75) ** 2 + (centers_y - 0.75) ** 2)
+    start_cell = (int(free_cells[corner, 0]), int(free_cells[corner, 1]))
+    reach = flood_fill(free, start_cell)
+    n_free = int(free.sum())
+    n_reach = int(reach.sum())
+    if n_reach < 0.98 * n_free:
+        raise SimError(
+            f"{name}: free space is fragmented -- only {n_reach}/{n_free} "
+            f"cells reachable from the start pose"
+        )
+    start = _cell_center(start_cell[0], start_cell[1], room, shape)
+    objects = _place_objects(
+        room,
+        reach,
+        start,
+        int(resolved.get("n_objects", _DEFAULT_N_OBJECTS)),
+        rng,
+        name,
+    )
+    scenario = Scenario(
+        name=name,
+        room=RoomSpec(
+            width=draft.width,
+            length=draft.length,
+            obstacles=tuple(ObstacleSpec.from_obstacle(o) for o in draft.obstacles),
+        ),
+        objects=objects,
+        policy=draft.policy,
+        flight_time_s=draft.flight_time_s,
+        start=(start.x, start.y),
+        description=(
+            f"generated {family.name} (seed {seed}, "
+            + ", ".join(f"{k}={v:g}" for k, v in sorted(resolved.items()))
+            + ")"
+        ),
+    )
+    scenario.validate()
+    return scenario
+
+
+def _place_objects(
+    room: Room,
+    reach: np.ndarray,
+    start: Vec2,
+    n_objects: int,
+    rng: np.random.Generator,
+    name: str,
+) -> Tuple[ObjectSpec, ...]:
+    """Scatter targets over *reachable* cells (reachability by construction).
+
+    Alternates bottles and tin cans like the paper's layout. The
+    spacing constraint halves (at most twice) when the world is too
+    tight, mirroring :func:`repro.world.layouts.scattered_object_layout`
+    in refusing to silently return fewer objects than asked.
+    """
+    cells = np.argwhere(reach)
+    order = rng.permutation(len(cells))
+    classes = (ObjectClass.BOTTLE, ObjectClass.TIN_CAN)
+    spacing = _OBJECT_SPACING_M
+    for _ in range(3):
+        chosen: List[Vec2] = []
+        for idx in order:
+            p = _cell_center(int(cells[idx, 0]), int(cells[idx, 1]), room, reach.shape)
+            if p.distance_to(start) < spacing:
+                continue
+            if any(p.distance_to(q) < spacing for q in chosen):
+                continue
+            chosen.append(p)
+            if len(chosen) == n_objects:
+                break
+        if len(chosen) == n_objects:
+            return tuple(
+                ObjectSpec(
+                    object_class=classes[i % 2].value,
+                    x=p.x,
+                    y=p.y,
+                    name=f"{classes[i % 2].value}-{i}",
+                )
+                for i, p in enumerate(chosen)
+            )
+        spacing /= 2.0
+    raise SimError(
+        f"{name}: could not place {n_objects} objects on reachable free space"
+    )
+
+
+def _instance_name(family: str, resolved: Dict[str, float], seed: int) -> str:
+    blob = json.dumps(
+        {"family": family, "params": resolved, "seed": seed}, sort_keys=True
+    )
+    digest = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:6]
+    return f"{family}-s{seed}-{digest}"
+
+
+# -- the family abstraction ------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScenarioFamily:
+    """A parametric scenario generator registered alongside presets.
+
+    Attributes:
+        name: registry key, e.g. ``"perfect-maze"``; shares one
+            namespace with preset scenario names.
+        description: one-line summary for the CLI listing.
+        params: the parameter schema (defaults, bounds, docs).
+        builder: callable mapping ``(resolved_params, rng)`` to the
+            draft world the shared finishing pass completes.
+
+    Example:
+        >>> from repro.sim import get_family
+        >>> maze = get_family("perfect-maze")
+        >>> sorted(p.name for p in maze.params)[:2]
+        ['cell_m', 'cols']
+        >>> s = maze.generate({"cols": 5, "rows": 4}, seed=1)
+        >>> s.name.startswith("perfect-maze-s1-")
+        True
+    """
+
+    name: str
+    description: str
+    params: Tuple[ParamSpec, ...]
+    builder: Callable[[Dict[str, float], np.random.Generator], _DraftWorld] = field(
+        compare=False
+    )
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SimError("scenario family needs a name")
+        seen = set()
+        for p in self.params:
+            if p.name in seen:
+                raise SimError(f"family {self.name!r}: duplicate param {p.name!r}")
+            seen.add(p.name)
+
+    def defaults(self) -> Dict[str, float]:
+        """Default value of every parameter, keyed by name."""
+        return {p.name: (int(p.default) if p.integer else float(p.default)) for p in self.params}
+
+    def resolve(self, overrides: Optional[Dict[str, float]] = None) -> Dict[str, float]:
+        """Merge ``overrides`` into the defaults, enforcing the schema.
+
+        Args:
+            overrides: partial ``{param: value}`` mapping; ``None``
+                means all-defaults.
+
+        Returns:
+            A complete, bounds-checked parameter dict.
+
+        Raises:
+            SimError: on unknown parameter names or out-of-bounds
+                values.
+        """
+        resolved = self.defaults()
+        schema = {p.name: p for p in self.params}
+        for key, value in (overrides or {}).items():
+            if key not in schema:
+                known = ", ".join(sorted(schema))
+                raise SimError(
+                    f"family {self.name!r} has no param {key!r}; known: {known}"
+                )
+            resolved[key] = schema[key].coerce(value)
+        return resolved
+
+    def generate(
+        self, params: Optional[Dict[str, float]] = None, seed: int = 0
+    ) -> Scenario:
+        """Generate one deterministic, validated scenario.
+
+        Args:
+            params: parameter overrides (see :meth:`resolve`).
+            seed: root entropy; the same ``(params, seed)`` pair always
+                yields a bit-identical scenario in any process.
+
+        Returns:
+            A :class:`~repro.sim.scenario.Scenario` whose world passed
+            the flood-fill validity check (connected free space, clear
+            start pose, every object reachable).
+
+        Raises:
+            SimError: on bad parameters, or if the drawn world cannot
+                be validated (fragmented free space, unplaceable
+                objects).
+        """
+        resolved = self.resolve(params)
+        rng = np.random.default_rng(np.random.SeedSequence(seed))
+        draft = self.builder(resolved, rng)
+        return _finish(self, draft, resolved, rng, seed)
+
+
+# -- family registry -------------------------------------------------------
+
+#: Family registry; shares its namespace with the preset registry of
+#: :mod:`repro.sim.scenario` (see :mod:`repro.sim.registry`).
+_FAMILIES: Registry = Registry("scenario family")
+
+
+def register_family(family: ScenarioFamily, overwrite: bool = False) -> ScenarioFamily:
+    """Add ``family`` to the registry.
+
+    Args:
+        family: the generator to register.
+        overwrite: allow replacing an existing family of the same name.
+            Names owned by a scenario *preset* are rejected regardless.
+
+    Returns:
+        The registered family (handy for chaining).
+
+    Raises:
+        SimError: on duplicate names (unless ``overwrite``) or on a
+            name that would shadow a registered preset.
+    """
+    return _FAMILIES.register(family.name, family, overwrite=overwrite)
+
+
+def get_family(name: str) -> ScenarioFamily:
+    """Look up a registered scenario family by name.
+
+    Raises:
+        SimError: for an unknown name, listing the known ones (and
+            pointing at the preset registry if the name is a preset).
+    """
+    return _FAMILIES.get(name)
+
+
+def family_names() -> Tuple[str, ...]:
+    """Registered family names, sorted.
+
+    Example:
+        >>> from repro.sim import family_names
+        >>> "perfect-maze" in family_names()
+        True
+    """
+    return _FAMILIES.names()
+
+
+def iter_families() -> Iterable[ScenarioFamily]:
+    """Registered families in name order."""
+    return _FAMILIES.values()
+
+
+def generate_scenario(
+    family: str, params: Optional[Dict[str, float]] = None, seed: int = 0
+) -> Scenario:
+    """Shorthand for ``get_family(family).generate(params, seed)``."""
+    return get_family(family).generate(params, seed)
+
+
+@dataclass(frozen=True)
+class GeneratedSpec:
+    """A picklable ``(family, params, seed)`` scenario reference.
+
+    Campaigns carry these instead of realized scenarios when sweeping a
+    family (:attr:`repro.sim.campaign.Campaign.generated`); the triple
+    is what the campaign hash covers, and :meth:`realize` deterministically
+    reconstructs the identical scenario anywhere.
+
+    Attributes:
+        family: registered family name.
+        params: canonical (sorted) tuple of ``(name, value)`` overrides.
+        seed: generator seed.
+
+    Example:
+        >>> from repro.sim import GeneratedSpec
+        >>> ref = GeneratedSpec.create("perfect-maze", {"cols": 5, "rows": 4}, seed=2)
+        >>> ref.realize().content_hash() == ref.realize().content_hash()
+        True
+    """
+
+    family: str
+    params: Tuple[Tuple[str, float], ...] = ()
+    seed: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        family: str,
+        params: Optional[Dict[str, float]] = None,
+        seed: int = 0,
+    ) -> "GeneratedSpec":
+        """Build a spec with canonical parameter ordering.
+
+        Raises:
+            SimError: for an unknown family or parameters violating its
+                schema (failing early, not inside a worker process).
+        """
+        fam = get_family(family)
+        overrides = params or {}
+        fam.resolve(overrides)  # validate names and bounds up front
+        # Store schema-coerced values: {'cols': 5} and {'cols': 5.0}
+        # realize identical worlds and must hash identically too, or
+        # re-running the same sweep re-keys its result file.
+        schema = {p.name: p for p in fam.params}
+        canonical = tuple(
+            sorted((k, schema[k].coerce(v)) for k, v in overrides.items())
+        )
+        return cls(family=family, params=canonical, seed=seed)
+
+    def params_dict(self) -> Dict[str, float]:
+        """The parameter overrides as a plain dict."""
+        return dict(self.params)
+
+    def realize(self) -> Scenario:
+        """Generate the referenced scenario (deterministic).
+
+        Raises:
+            SimError: for an unknown family or invalid parameters.
+        """
+        return generate_scenario(self.family, self.params_dict(), self.seed)
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (JSON- and hash-friendly)."""
+        return {
+            "family": self.family,
+            "params": {k: v for k, v in self.params},
+            "seed": self.seed,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneratedSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls.create(
+            data["family"], dict(data.get("params", {})), int(data.get("seed", 0))
+        )
+
+
+# -- ASCII rendering -------------------------------------------------------
+
+
+def ascii_layout(
+    scenario: Scenario, width_chars: int = 64, room: Optional[Room] = None
+) -> str:
+    """Render a scenario's floor plan as ASCII art (north up).
+
+    ``#`` marks walls/obstacles, ``B``/``C`` bottles and tin cans,
+    ``S`` the start pose, ``.`` free floor. A character cell is drawn
+    blocked when its centre is non-free or closer to geometry than half
+    a cell, so thin partition walls stay visible at coarse samplings.
+
+    Args:
+        scenario: the scenario to draw.
+        width_chars: horizontal resolution of the rendering.
+        room: optionally, the scenario's already-built room (building a
+            dense world's query grids twice is the expensive part).
+
+    Returns:
+        The multi-line drawing (framed, no trailing newline).
+    """
+    if room is None:
+        room = scenario.build_room()
+    nx = max(8, int(width_chars))
+    dx = room.width / nx
+    dy = dx * 2.0  # terminal characters are ~2x taller than wide
+    ny = max(4, int(math.ceil(room.length / dy)))
+    dy = room.length / ny
+    threshold = max(dx, dy) / 2.0
+    rows = []
+    for iy in range(ny - 1, -1, -1):
+        row = []
+        for ix in range(nx):
+            p = Vec2((ix + 0.5) * dx, (iy + 0.5) * dy)
+            if not room.is_free(p) or room.clearance(p) < threshold:
+                row.append("#")
+            else:
+                row.append(".")
+        rows.append(row)
+
+    def mark(x: float, y: float, char: str) -> None:
+        ix = min(nx - 1, max(0, int(x / dx)))
+        iy = min(ny - 1, max(0, int(y / dy)))
+        rows[ny - 1 - iy][ix] = char
+
+    for obj in scenario.objects:
+        mark(obj.x, obj.y, "B" if obj.object_class == ObjectClass.BOTTLE.value else "C")
+    if scenario.start is not None:
+        mark(scenario.start[0], scenario.start[1], "S")
+    border = "+" + "-" * nx + "+"
+    return "\n".join([border] + ["|" + "".join(r) + "|" for r in rows] + [border])
+
+
+# -- built-in families -----------------------------------------------------
+
+
+def _build_perfect_maze(params: Dict[str, float], rng: np.random.Generator) -> _DraftWorld:
+    """Recursive-backtracker maze: corridors carved out of a wall grid."""
+    cell = params["cell_m"]
+    cols = int(params["cols"])
+    rows = int(params["rows"])
+    t = GENERATOR_WALL_THICKNESS_M
+    width = cols * cell
+    length = rows * cell
+    # open_v[i][j]: passage between (i, j) and (i+1, j); open_h between
+    # (i, j) and (i, j+1). The DFS carving yields a spanning tree, so
+    # every cell is reachable -- the flood fill re-proves it.
+    open_v = np.zeros((cols - 1, rows), dtype=bool)
+    open_h = np.zeros((cols, rows - 1), dtype=bool)
+    visited = np.zeros((cols, rows), dtype=bool)
+    stack = [(0, 0)]
+    visited[0, 0] = True
+    while stack:
+        i, j = stack[-1]
+        neighbours = []
+        if i > 0 and not visited[i - 1, j]:
+            neighbours.append((i - 1, j))
+        if i < cols - 1 and not visited[i + 1, j]:
+            neighbours.append((i + 1, j))
+        if j > 0 and not visited[i, j - 1]:
+            neighbours.append((i, j - 1))
+        if j < rows - 1 and not visited[i, j + 1]:
+            neighbours.append((i, j + 1))
+        if not neighbours:
+            stack.pop()
+            continue
+        ni, nj = neighbours[int(rng.integers(len(neighbours)))]
+        if ni != i:
+            open_v[min(i, ni), j] = True
+        else:
+            open_h[i, min(j, nj)] = True
+        visited[ni, nj] = True
+        stack.append((ni, nj))
+
+    half = t / 2.0
+    obstacles: List[Obstacle] = []
+    for i in range(cols - 1):
+        x = (i + 1) * cell
+        for j in range(rows):
+            if not open_v[i, j]:
+                # Extend by half a thickness so perpendicular joints seal.
+                y0 = max(0.0, j * cell - half)
+                y1 = min(length, (j + 1) * cell + half)
+                obstacles.append(
+                    Obstacle(AABB(x - half, y0, x + half, y1), name=f"maze-v{i}-{j}")
+                )
+    for i in range(cols):
+        x0 = max(0.0, i * cell - half)
+        x1 = min(width, (i + 1) * cell + half)
+        for j in range(rows - 1):
+            if not open_h[i, j]:
+                y = (j + 1) * cell
+                obstacles.append(
+                    Obstacle(AABB(x0, y - half, x1, y + half), name=f"maze-h{i}-{j}")
+                )
+    return _DraftWorld(
+        width=width,
+        length=length,
+        obstacles=obstacles,
+        passage=cell - t,
+        policy="wall-following",
+        flight_time_s=300.0,
+    )
+
+
+def _build_random_apartment(
+    params: Dict[str, float], rng: np.random.Generator
+) -> _DraftWorld:
+    """BSP floor plan: split walls with junction-aware doorways + furniture."""
+    width = params["width"]
+    length = params["length"]
+    min_room = params["min_room"]
+    door = params["door"]
+    clutter = params["clutter"]
+    t = GENERATOR_WALL_THICKNESS_M
+
+    splits: List[Tuple[str, float, float, float]] = []  # (axis, pos, lo, hi)
+    leaves: List[Tuple[float, float, float, float]] = []
+    stack = [(0.0, 0.0, width, length)]
+    while stack:
+        x0, y0, x1, y1 = stack.pop()
+        w = x1 - x0
+        h = y1 - y0
+        can_x = w >= 2.0 * min_room
+        can_y = h >= 2.0 * min_room
+        # Small rooms sometimes stay open-plan for variety.
+        if not (can_x or can_y) or (
+            max(w, h) < 3.0 * min_room and rng.uniform() < 0.25
+        ):
+            leaves.append((x0, y0, x1, y1))
+            continue
+        if can_x and (not can_y or w >= h):
+            pos = x0 + rng.uniform(min_room, w - min_room)
+            splits.append(("x", pos, y0, y1))
+            stack.append((x0, y0, pos, y1))
+            stack.append((pos, y0, x1, y1))
+        else:
+            pos = y0 + rng.uniform(min_room, h - min_room)
+            splits.append(("y", pos, x0, x1))
+            stack.append((x0, y0, x1, pos))
+            stack.append((x0, pos, x1, y1))
+
+    # Doors go in after all splits exist, avoiding the junctions where
+    # perpendicular child walls end on this wall line -- a door flush
+    # against such a junction would open straight into a wall face.
+    obstacles: List[Obstacle] = []
+    min_door = door
+    clear = 0.25 + t
+    for n, (axis, pos, lo, hi) in enumerate(splits):
+        junctions = sorted(
+            q
+            for other_axis, q, a, b in splits
+            if other_axis != axis and (a == pos or b == pos) and lo <= q <= hi
+        )
+        edges = [lo] + junctions + [hi]
+        intervals = [
+            (edges[k] + clear, edges[k + 1] - clear)
+            for k in range(len(edges) - 1)
+            if edges[k + 1] - edges[k] > 2.0 * clear
+        ]
+        fitting = [iv for iv in intervals if iv[1] - iv[0] >= door]
+        if fitting:
+            a, b = fitting[int(rng.integers(len(fitting)))]
+            door_w = door
+            door_start = rng.uniform(a, b - door_w)
+        else:
+            # Degrade gracefully: shrink the door into the widest clear
+            # stretch, or drop the wall entirely (open plan keeps the
+            # halves connected by construction).
+            widest = max(intervals, key=lambda iv: iv[1] - iv[0], default=None)
+            if widest is None or widest[1] - widest[0] < 0.7:
+                continue
+            a, b = widest
+            door_w = min(door, b - a)
+            door_start = rng.uniform(a, b - door_w) if b - a > door_w else a
+        min_door = min(min_door, door_w)
+        obstacles.extend(
+            door_wall_obstacles(
+                axis,
+                pos,
+                lo,
+                hi,
+                door_start,
+                door_w,
+                thickness=t,
+                names=(f"wall{n}-a", f"wall{n}-b"),
+                min_piece=0.05,
+            )
+        )
+
+    # Furniture: boxes well clear of the leaf-room walls and each other.
+    furniture_gap = 0.55
+    for n, (x0, y0, x1, y1) in enumerate(leaves):
+        placed: List[AABB] = []
+        for k in range(int(rng.integers(0, 3))):
+            if rng.uniform() >= clutter:
+                continue
+            hx = rng.uniform(0.15, 0.35)
+            hy = rng.uniform(0.15, 0.35)
+            lox, hix = x0 + furniture_gap + hx, x1 - furniture_gap - hx
+            loy, hiy = y0 + furniture_gap + hy, y1 - furniture_gap - hy
+            if hix <= lox or hiy <= loy:
+                continue
+            for _ in range(8):
+                cx = rng.uniform(lox, hix)
+                cy = rng.uniform(loy, hiy)
+                box = AABB(cx - hx, cy - hy, cx + hx, cy + hy)
+                ok = all(
+                    box.xmin - other.xmax >= furniture_gap
+                    or other.xmin - box.xmax >= furniture_gap
+                    or box.ymin - other.ymax >= furniture_gap
+                    or other.ymin - box.ymax >= furniture_gap
+                    for other in placed
+                )
+                if ok:
+                    placed.append(box)
+                    obstacles.append(Obstacle(box, name=f"furniture{n}-{k}"))
+                    break
+
+    return _DraftWorld(
+        width=width,
+        length=length,
+        obstacles=obstacles,
+        passage=min(min_door, furniture_gap),
+        flight_time_s=300.0,
+    )
+
+
+def _build_cluttered_warehouse(
+    params: Dict[str, float], rng: np.random.Generator
+) -> _DraftWorld:
+    """Shelf rows separated by aisles; a perimeter aisle joins them all."""
+    width = params["width"]
+    length = params["length"]
+    aisle = params["aisle"]
+    depth = params["shelf_depth"]
+    unit = params["unit_len"]
+    density = params["density"]
+    obstacles: List[Obstacle] = []
+    y = aisle
+    row = 0
+    while y + depth <= length - aisle + 1e-9:
+        x = aisle
+        col = 0
+        while x + unit <= width - aisle + 1e-9:
+            if rng.uniform() < density:
+                obstacles.append(
+                    Obstacle(
+                        AABB(x, y, x + unit, y + depth), name=f"shelf{row}-{col}"
+                    )
+                )
+            x += unit
+            col += 1
+        y += depth + aisle
+        row += 1
+    if not obstacles:
+        # Degenerate density draw on a tiny grid: keep one shelf so the
+        # scenario still looks like a warehouse.
+        obstacles.append(
+            Obstacle(AABB(aisle, aisle, aisle + unit, aisle + depth), name="shelf0-0")
+        )
+    return _DraftWorld(
+        width=width,
+        length=length,
+        obstacles=obstacles,
+        passage=aisle,
+        flight_time_s=300.0,
+    )
+
+
+def _build_scatter_field(
+    params: Dict[str, float], rng: np.random.Generator
+) -> _DraftWorld:
+    """Poisson-disk cylinder/box clutter with flyable gaps everywhere."""
+    width = params["width"]
+    length = params["length"]
+    n_items = int(params["n_items"])
+    gap = params["min_gap"]
+    max_size = params["max_size"]
+    wall_clear = max(gap, 0.55)
+    obstacles: List[Obstacle] = []
+    centres: List[Tuple[float, float, float]] = []  # (x, y, circumradius)
+    attempts = 0
+    while len(obstacles) < n_items and attempts < 60 * n_items:
+        attempts += 1
+        is_cylinder = rng.uniform() < 0.5
+        if is_cylinder:
+            r = rng.uniform(0.1, max_size)
+            circum = r
+        else:
+            hx = rng.uniform(0.1, max_size)
+            hy = rng.uniform(0.1, max_size)
+            circum = math.hypot(hx, hy)
+        lo = wall_clear + circum
+        if width - lo <= lo or length - lo <= lo:
+            continue
+        cx = rng.uniform(lo, width - lo)
+        cy = rng.uniform(lo, length - lo)
+        if any(
+            math.hypot(cx - ox, cy - oy) < circum + oc + gap
+            for ox, oy, oc in centres
+        ):
+            continue
+        k = len(obstacles)
+        if is_cylinder:
+            obstacles.append(Obstacle(Circle(Vec2(cx, cy), r), name=f"drum-{k}"))
+        else:
+            obstacles.append(
+                Obstacle(AABB(cx - hx, cy - hy, cx + hx, cy + hy), name=f"crate-{k}")
+            )
+        centres.append((cx, cy, circum))
+    # Dart throwing may saturate below n_items in tight parameterizations;
+    # the field stays valid (and deterministic), just less cluttered.
+    return _DraftWorld(
+        width=width,
+        length=length,
+        obstacles=obstacles,
+        passage=gap,
+        flight_time_s=240.0,
+    )
+
+
+def _register_builtin_families() -> None:
+    register_family(
+        ScenarioFamily(
+            name="perfect-maze",
+            description="recursive-backtracker corridor maze at a configurable cell pitch",
+            params=(
+                ParamSpec("cell_m", 1.2, 0.8, 2.0, "corridor pitch, m"),
+                ParamSpec("cols", 10, 4, 24, "maze cells along x", integer=True),
+                ParamSpec("rows", 8, 4, 18, "maze cells along y", integer=True),
+                _objects_param(),
+            ),
+            builder=_build_perfect_maze,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="random-apartment",
+            description="BSP floor plan with doorways and furniture boxes",
+            params=(
+                ParamSpec("width", 10.0, 6.0, 16.0, "flat width, m"),
+                ParamSpec("length", 8.0, 5.0, 12.0, "flat length, m"),
+                ParamSpec("min_room", 2.5, 2.0, 4.0, "minimum room edge, m"),
+                ParamSpec("door", 1.2, 0.9, 1.6, "doorway width, m"),
+                ParamSpec("clutter", 0.4, 0.0, 1.0, "furniture density, 0..1"),
+                _objects_param(),
+            ),
+            builder=_build_random_apartment,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="cluttered-warehouse",
+            description="aisle/shelf-row grid with density and aisle-width knobs",
+            params=(
+                ParamSpec("width", 24.0, 10.0, 40.0, "hall width, m"),
+                ParamSpec("length", 16.0, 8.0, 30.0, "hall length, m"),
+                ParamSpec("aisle", 2.0, 1.2, 3.0, "aisle width, m"),
+                ParamSpec("shelf_depth", 0.8, 0.4, 1.2, "shelf row depth, m"),
+                ParamSpec("unit_len", 2.0, 1.0, 3.0, "shelf unit length, m"),
+                ParamSpec("density", 0.9, 0.5, 1.0, "shelf occupancy, 0..1"),
+                _objects_param(),
+            ),
+            builder=_build_cluttered_warehouse,
+        )
+    )
+    register_family(
+        ScenarioFamily(
+            name="scatter-field",
+            description="Poisson-disk cylinder/box clutter with flyable gaps",
+            params=(
+                ParamSpec("width", 14.0, 6.0, 24.0, "field width, m"),
+                ParamSpec("length", 10.0, 5.0, 18.0, "field length, m"),
+                ParamSpec("n_items", 40, 5, 160, "target clutter count", integer=True),
+                ParamSpec("min_gap", 0.6, 0.5, 1.5, "min boundary gap, m"),
+                ParamSpec("max_size", 0.3, 0.15, 0.45, "max item radius/half-extent, m"),
+                _objects_param(),
+            ),
+            builder=_build_scatter_field,
+        )
+    )
+
+
+_register_builtin_families()

@@ -1,0 +1,115 @@
+"""One name registry shared by scenario presets and scenario families.
+
+Presets (:mod:`repro.sim.scenario`) and parametric families
+(:mod:`repro.sim.generators`) are looked up through the same CLI and the
+same campaign references, so they share a *single* namespace: a family
+named ``"paper-room"`` would silently shadow the preset of the same name
+everywhere a bare name is accepted. Both registries therefore delegate
+to :class:`Registry`, which enforces uniqueness across every registered
+kind -- duplicate names within a kind need an explicit ``overwrite``,
+and cross-kind collisions are rejected outright (``overwrite`` cannot
+turn a preset into a family or vice versa).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional, Tuple, TypeVar
+
+from repro.errors import SimError
+
+T = TypeVar("T")
+
+#: Global name -> kind map spanning every :class:`Registry` instance.
+_NAMESPACE: Dict[str, str] = {}
+
+
+class Registry:
+    """A named-item registry participating in the shared sim namespace.
+
+    Args:
+        kind: human label used in error messages and the namespace map,
+            e.g. ``"scenario"`` or ``"scenario family"``.
+
+    Example:
+        >>> from repro.sim.registry import Registry
+        >>> colors = Registry("color")
+        >>> colors.register("red", object())  # doctest: +ELLIPSIS
+        <object object at ...>
+        >>> colors.names()
+        ('red',)
+    """
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._items: Dict[str, T] = {}
+
+    def register(
+        self,
+        name: str,
+        item: T,
+        overwrite: bool = False,
+        validate: Optional[Callable[[], None]] = None,
+    ) -> T:
+        """Add ``item`` under ``name``; returns ``item``.
+
+        Args:
+            name: registry key; must be unique across *all* sim
+                registries, not just this one.
+            item: the object to register.
+            overwrite: allow replacing an existing entry **of the same
+                kind**. A name owned by another kind is always an error.
+            validate: optional callable invoked before the entry is
+                stored; a raising validator leaves the registry
+                untouched.
+
+        Raises:
+            SimError: on duplicate names (unless ``overwrite``), on a
+                name owned by a different registry kind, or when
+                ``validate`` raises.
+        """
+        if not name:
+            raise SimError(f"{self.kind} needs a name")
+        owner = _NAMESPACE.get(name)
+        if owner is not None and owner != self.kind:
+            raise SimError(
+                f"{self.kind} {name!r} would shadow the {owner} of the same "
+                f"name; scenario presets and families share one namespace"
+            )
+        if name in self._items and not overwrite:
+            raise SimError(f"{self.kind} {name!r} is already registered")
+        if validate is not None:
+            validate()
+        self._items[name] = item
+        _NAMESPACE[name] = self.kind
+        return item
+
+    def get(self, name: str) -> T:
+        """Look up a registered item by name.
+
+        Raises:
+            SimError: for an unknown name, listing the known ones -- and
+                pointing at the owning kind when the name exists in a
+                sibling registry.
+        """
+        try:
+            return self._items[name]
+        except KeyError:
+            owner = _NAMESPACE.get(name)
+            if owner is not None:
+                raise SimError(
+                    f"{name!r} is a {owner}, not a {self.kind}"
+                ) from None
+            known = ", ".join(self.names())
+            raise SimError(f"unknown {self.kind} {name!r}; known: {known}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._items
+
+    def names(self) -> Tuple[str, ...]:
+        """Registered names, sorted."""
+        return tuple(sorted(self._items))
+
+    def values(self) -> Iterable[T]:
+        """Registered items in name order."""
+        for name in self.names():
+            yield self._items[name]

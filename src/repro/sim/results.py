@@ -185,6 +185,22 @@ class CampaignResult:
             (:meth:`~repro.sim.campaign.Campaign.to_dict`).
         campaign_hash: stable content hash of the definition.
         records: one record per executed mission, in mission order.
+
+    Example:
+        >>> from repro.sim import Campaign, get_scenario, run_campaign
+        >>> campaign = Campaign(
+        ...     name="doc",
+        ...     scenarios=(get_scenario("paper-room"),),
+        ...     n_runs=2,
+        ...     flight_time_s=5.0,
+        ...     seed=1,
+        ... )
+        >>> result = run_campaign(campaign)
+        >>> stat = result.aggregate(("scenario",), value="coverage")[("paper-room",)]
+        >>> stat.n
+        2
+        >>> sorted(result.columns())[:2]
+        ['collisions', 'coverage']
     """
 
     def __init__(

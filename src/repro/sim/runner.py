@@ -27,7 +27,15 @@ ProgressCallback = Callable[[int, int, MissionRecord], None]
 
 
 def execute_mission(spec: MissionSpec) -> MissionRecord:
-    """Run one mission from its spec (also the pool worker entry point)."""
+    """Run one mission from its spec (also the pool worker entry point).
+
+    Args:
+        spec: a fully-specified mission from
+            :meth:`~repro.sim.campaign.Campaign.missions`.
+
+    Returns:
+        The flat :class:`~repro.sim.results.MissionRecord` outcome.
+    """
     scenario = spec.scenario
     room = scenario.build_room()
     policy = make_policy(spec.policy, PolicyConfig(cruise_speed=spec.speed))
@@ -87,6 +95,23 @@ def run_campaign(
     Returns:
         A :class:`~repro.sim.results.CampaignResult` with one record per
         mission, sorted by mission index.
+
+    Raises:
+        SimError: for a negative ``workers`` count.
+
+    Example:
+        >>> from repro.sim import Campaign, get_scenario, run_campaign
+        >>> campaign = Campaign(
+        ...     name="doc",
+        ...     scenarios=(get_scenario("paper-room"),),
+        ...     flight_time_s=5.0,
+        ...     seed=7,
+        ... )
+        >>> result = run_campaign(campaign)
+        >>> len(result)
+        1
+        >>> result.records[0].scenario
+        'paper-room'
     """
     specs = campaign.missions()
     total = len(specs)

@@ -19,11 +19,14 @@ maze, empty arena, multi-room apartment) and a nightmare variant.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.drone.crazyflie import CrazyflieConfig
 from repro.errors import SimError
+from repro.sim.registry import Registry
 from repro.geometry.shapes import AABB, Circle
 from repro.geometry.vec import Vec2
 from repro.world.layouts import (
@@ -152,6 +155,22 @@ class Scenario:
         start_heading: initial heading, rad (exploration missions).
         noisy: whether the simulated sensors are noisy.
         description: one-line human description for the CLI listing.
+
+    Raises:
+        SimError: on an empty name, non-positive cruise speed or
+            non-positive flight time.
+
+    Example:
+        >>> from repro.sim import ObjectSpec, RoomSpec, Scenario
+        >>> demo = Scenario(
+        ...     name="demo",
+        ...     room=RoomSpec(width=4.0, length=3.0),
+        ...     objects=(ObjectSpec("bottle", 2.0, 1.5, "target"),),
+        ... )
+        >>> demo.build_room().width
+        4.0
+        >>> Scenario.from_dict(demo.to_dict()) == demo
+        True
     """
 
     name: str
@@ -222,6 +241,22 @@ class Scenario:
         """Canonical plain-data form (JSON- and hash-friendly)."""
         return asdict(self)
 
+    def content_hash(self) -> str:
+        """Stable SHA-256 hash of the scenario definition.
+
+        The cosmetic ``description`` is excluded, mirroring
+        :meth:`repro.sim.campaign.Campaign.campaign_hash`: rewording a
+        preset's documentation must not change its identity. Generator
+        determinism tests compare this hash across processes.
+
+        Returns:
+            The hex digest as a string.
+        """
+        data = self.to_dict()
+        data.pop("description", None)
+        blob = json.dumps(data, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
     @classmethod
     def from_dict(cls, data: dict) -> "Scenario":
         """Inverse of :meth:`to_dict`."""
@@ -249,7 +284,9 @@ class Scenario:
 
 # -- registry -------------------------------------------------------------
 
-_SCENARIOS: Dict[str, Scenario] = {}
+#: Preset registry; shares its namespace with the family registry of
+#: :mod:`repro.sim.generators` (see :mod:`repro.sim.registry`).
+_SCENARIOS: Registry = Registry("scenario")
 
 
 def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
@@ -258,40 +295,62 @@ def register_scenario(scenario: Scenario, overwrite: bool = False) -> Scenario:
     Args:
         scenario: the scenario to register.
         overwrite: allow replacing an existing entry of the same name.
+            Names owned by a scenario *family* are rejected regardless.
+
+    Returns:
+        The registered scenario (handy for chaining).
 
     Raises:
-        SimError: on duplicate names (unless ``overwrite``) or an
+        SimError: on duplicate names (unless ``overwrite``), on a name
+            that would shadow a registered scenario family, or on an
             unflyable world.
+
+    Example:
+        >>> from repro.sim import RoomSpec, Scenario, register_scenario
+        >>> demo = Scenario(name="doc-demo", room=RoomSpec(width=4.0, length=3.0))
+        >>> register_scenario(demo, overwrite=True).name
+        'doc-demo'
     """
-    if scenario.name in _SCENARIOS and not overwrite:
-        raise SimError(f"scenario {scenario.name!r} is already registered")
-    scenario.validate()
-    _SCENARIOS[scenario.name] = scenario
-    return scenario
+    return _SCENARIOS.register(
+        scenario.name, scenario, overwrite=overwrite, validate=scenario.validate
+    )
 
 
 def get_scenario(name: str) -> Scenario:
     """Look up a registered scenario by name.
 
+    Args:
+        name: the registry key, e.g. ``"paper-room"``.
+
+    Returns:
+        The registered :class:`Scenario`.
+
     Raises:
-        SimError: for an unknown name, listing the known ones.
+        SimError: for an unknown name, listing the known ones (and
+            pointing at the family registry if the name is a family).
+
+    Example:
+        >>> from repro.sim import get_scenario
+        >>> get_scenario("paper-room").room.width
+        6.5
     """
-    try:
-        return _SCENARIOS[name]
-    except KeyError:
-        known = ", ".join(scenario_names())
-        raise SimError(f"unknown scenario {name!r}; known: {known}") from None
+    return _SCENARIOS.get(name)
 
 
 def scenario_names() -> Tuple[str, ...]:
-    """Registered scenario names, sorted."""
-    return tuple(sorted(_SCENARIOS))
+    """Registered scenario names, sorted.
+
+    Example:
+        >>> from repro.sim import scenario_names
+        >>> "paper-room" in scenario_names()
+        True
+    """
+    return _SCENARIOS.names()
 
 
 def iter_scenarios() -> Iterable[Scenario]:
     """Registered scenarios in name order."""
-    for name in scenario_names():
-        yield _SCENARIOS[name]
+    return _SCENARIOS.values()
 
 
 def _objects_from(objs: Iterable[SceneObject]) -> Tuple[ObjectSpec, ...]:

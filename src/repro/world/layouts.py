@@ -8,7 +8,7 @@ centre, the remaining four near the corners.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -64,6 +64,63 @@ def empty_arena_room(width: float = 12.0, length: float = 9.0) -> Room:
 PARTITION_THICKNESS_M = 0.15
 
 
+def door_wall_obstacles(
+    axis: str,
+    position: float,
+    start: float,
+    end: float,
+    door_start: float,
+    door_width: float,
+    thickness: float = PARTITION_THICKNESS_M,
+    names: Optional[Tuple[str, str]] = None,
+    min_piece: float = 1e-9,
+) -> List[Obstacle]:
+    """A straight partition wall with a doorway gap, as box obstacles.
+
+    Shared by the fixed apartment preset and the procedural generators
+    (:mod:`repro.sim.generators`): one wall line with a door cut out of
+    it is the building block of every multi-room layout.
+
+    Args:
+        axis: ``"x"`` for a wall at ``x = position`` running along y,
+            ``"y"`` for a wall at ``y = position`` running along x.
+        position: wall centre line coordinate on ``axis``.
+        start: wall span start along the perpendicular axis.
+        end: wall span end along the perpendicular axis.
+        door_start: doorway start along the span.
+        door_width: doorway width; the gap is
+            ``[door_start, door_start + door_width]``.
+        thickness: wall thickness, metres.
+        names: optional names for the (before-door, after-door) pieces.
+        min_piece: pieces shorter than this are dropped (a door flush
+            with the span end produces no sliver wall).
+
+    Returns:
+        Zero, one or two :class:`~repro.world.room.Obstacle` boxes.
+
+    Raises:
+        WorldError: for an unknown ``axis``.
+    """
+    if axis not in ("x", "y"):
+        raise WorldError(f"unknown wall axis {axis!r}")
+    lo_name, hi_name = names if names is not None else ("wall-a", "wall-b")
+    door_end = door_start + door_width
+    pieces: List[Obstacle] = []
+    if door_start - start > min_piece:
+        if axis == "x":
+            box = AABB(position - thickness / 2.0, start, position + thickness / 2.0, door_start)
+        else:
+            box = AABB(start, position - thickness / 2.0, door_start, position + thickness / 2.0)
+        pieces.append(Obstacle(box, name=lo_name))
+    if end - door_end > min_piece:
+        if axis == "x":
+            box = AABB(position - thickness / 2.0, door_end, position + thickness / 2.0, end)
+        else:
+            box = AABB(door_end, position - thickness / 2.0, end, position + thickness / 2.0)
+        pieces.append(Obstacle(box, name=hi_name))
+    return pieces
+
+
 def corridor_maze_room(width: float = 9.0, length: float = 7.0) -> Room:
     """An S-shaped corridor maze built from two interior partition walls.
 
@@ -90,32 +147,21 @@ def apartment_room(width: float = 10.0, length: float = 8.0) -> Room:
     by a second doorway. Every room stays reachable through >= 1.2 m
     doors, so all four policies can (eventually) visit every cell.
     """
-    t = PARTITION_THICKNESS_M
     x_split = width / 2.0
     y_split = length / 2.0
     door = 1.2
     door_y = y_split - door / 2.0
     door_x = x_split / 2.0 - door / 2.0
-    walls = [
-        # Vertical partition with a central doorway.
-        Obstacle(
-            AABB(x_split - t / 2.0, 0.0, x_split + t / 2.0, door_y),
-            name="partition-south",
-        ),
-        Obstacle(
-            AABB(x_split - t / 2.0, door_y + door, x_split + t / 2.0, length),
-            name="partition-north",
-        ),
-        # Horizontal partition across the left half, doorway near centre.
-        Obstacle(
-            AABB(0.0, y_split - t / 2.0, door_x, y_split + t / 2.0),
-            name="partition-west",
-        ),
-        Obstacle(
-            AABB(door_x + door, y_split - t / 2.0, x_split - t / 2.0, y_split + t / 2.0),
-            name="partition-east",
-        ),
-    ]
+    # Vertical partition with a central doorway, then a horizontal
+    # partition across the left half with a doorway near the centre.
+    walls = door_wall_obstacles(
+        "x", x_split, 0.0, length, door_y, door,
+        names=("partition-south", "partition-north"),
+    )
+    walls += door_wall_obstacles(
+        "y", y_split, 0.0, x_split - PARTITION_THICKNESS_M / 2.0, door_x, door,
+        names=("partition-west", "partition-east"),
+    )
     return Room(width, length, walls)
 
 

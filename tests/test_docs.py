@@ -1,0 +1,28 @@
+"""The docs gate runs inside tier-1 too: links resolve, examples pass."""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_docs_links_and_examples():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "tools" / "check_docs.py")],
+        cwd=str(REPO_ROOT),
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"docs check failed:\n{proc.stdout}\n{proc.stderr}"
+
+
+def test_docs_site_exists():
+    for page in ("architecture.md", "scenarios.md", "determinism.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"

@@ -5,7 +5,7 @@ import os
 
 import pytest
 
-from repro.sim import scenario_names
+from repro.sim import family_names, scenario_names
 from repro.sim.__main__ import main
 
 
@@ -16,11 +16,44 @@ class TestList:
         for name in scenario_names():
             assert name in out
 
+    def test_lists_every_family(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in family_names():
+            assert name in out
+
     def test_show(self, capsys):
         assert main(["show", "apartment"]) == 0
         out = capsys.readouterr().out
         assert "apartment" in out
         assert "doorways" in out
+
+    def test_show_preset_map(self, capsys):
+        assert main(["show", "apartment", "--map"]) == 0
+        out = capsys.readouterr().out
+        assert "+---" in out and "#" in out
+
+    def test_show_family_param_table_and_map(self, capsys):
+        assert main(["show", "perfect-maze", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "scenario family" in out
+        assert "cell_m" in out and "cols" in out
+        assert "instance (seed 2)" in out
+        assert "+---" in out  # ASCII floor plan frame
+
+    def test_show_family_respects_params(self, capsys):
+        assert (
+            main(["show", "perfect-maze", "--param", "cols=5", "--param", "rows=4", "--no-map"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "cols=5" in out
+
+    def test_show_family_bad_param_is_an_error(self, capsys):
+        assert main(["show", "perfect-maze", "--param", "cols=banana"]) == 2
+        assert "is not a number" in capsys.readouterr().err
+        assert main(["show", "perfect-maze", "--param", "nope=3"]) == 2
+        assert "has no param" in capsys.readouterr().err
 
     def test_show_unknown_is_an_error(self, capsys):
         assert main(["show", "narnia"]) == 2
@@ -105,3 +138,64 @@ class TestRun:
     def test_unknown_scenario_is_an_error(self, capsys):
         assert main(["run", "--scenario", "narnia"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_family_campaign(self, tmp_path, capsys):
+        out_dir = str(tmp_path / "results")
+        argv = [
+            "run",
+            "--family",
+            "perfect-maze",
+            "--family-seed",
+            "1",
+            "2",
+            "--param",
+            "cols=5",
+            "--param",
+            "rows=4",
+            "--flight-time",
+            "5",
+            "--quiet",
+            "--out",
+            out_dir,
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 missions" in out
+        assert "perfect-maze-s1-" in out and "perfect-maze-s2-" in out
+        files = os.listdir(out_dir)
+        assert len(files) == 1
+        with open(os.path.join(out_dir, files[0])) as fh:
+            data = json.load(fh)
+        assert data["campaign"]["generated"][0]["family"] == "perfect-maze"
+        assert data["campaign"]["generated"][0]["params"]["cols"] == 5
+        # identical rerun overwrites the same hash-keyed file
+        assert main(argv) == 0
+        assert len(os.listdir(out_dir)) == 1
+
+    def test_family_and_preset_combine(self, capsys):
+        argv = [
+            "run",
+            "--scenario",
+            "paper-room",
+            "--family",
+            "scatter-field",
+            "--param",
+            "n_items=8",
+            "--flight-time",
+            "5",
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "2 missions" in out
+        assert "paper-room" in out and "scatter-field-s0-" in out
+
+    def test_unknown_family_is_an_error(self, capsys):
+        assert main(["run", "--family", "narnia"]) == 2
+        assert "unknown scenario family" in capsys.readouterr().err
+
+    def test_emptied_family_seed_axis_errors_instead_of_paper_room(self, capsys):
+        # `--family-seed` consuming zero values must not silently fall
+        # back to the default preset.
+        assert main(["run", "--family", "perfect-maze", "--family-seed"]) == 2
+        assert "at least one scenario" in capsys.readouterr().err

@@ -1,0 +1,370 @@
+"""Tests for the parametric scenario families (repro.sim.generators)."""
+
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro.errors import SimError
+from repro.sim import (
+    Campaign,
+    GeneratedSpec,
+    RoomSpec,
+    Scenario,
+    ScenarioFamily,
+    ascii_layout,
+    family_names,
+    generate_scenario,
+    get_family,
+    get_scenario,
+    register_family,
+    register_scenario,
+    run_campaign,
+    scenario_names,
+)
+from repro.sim.generators import (
+    VALIDATION_MARGIN_M,
+    ParamSpec,
+    _raster_resolution,
+    flood_fill,
+    free_space_mask,
+)
+
+FAMILIES = ("cluttered-warehouse", "perfect-maze", "random-apartment", "scatter-field")
+
+#: Parameter points sampled per family by the validity sweep.
+N_SAMPLE_POINTS = 50
+
+
+def _sample_params(family, rng):
+    """One uniformly drawn parameter point within the family's bounds."""
+    params = {}
+    for p in family.params:
+        if p.integer:
+            params[p.name] = int(rng.integers(int(p.low), int(p.high) + 1))
+        else:
+            params[p.name] = float(rng.uniform(p.low, p.high))
+    return params
+
+
+def _hash_spec(args):
+    family, params, seed = args
+    return generate_scenario(family, params, seed).content_hash()
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        assert family_names() == FAMILIES
+
+    def test_get_family_unknown(self):
+        with pytest.raises(SimError, match="unknown scenario family"):
+            get_family("atlantis")
+
+    def test_family_name_cannot_shadow_preset(self):
+        fam = get_family("perfect-maze")
+        clone = ScenarioFamily(
+            name="paper-room",
+            description="imposter",
+            params=fam.params,
+            builder=fam.builder,
+        )
+        with pytest.raises(SimError, match="would shadow the scenario"):
+            register_family(clone)
+        # overwrite does not license cross-kind shadowing either
+        with pytest.raises(SimError, match="would shadow the scenario"):
+            register_family(clone, overwrite=True)
+        assert "paper-room" not in family_names()
+
+    def test_preset_name_cannot_shadow_family(self):
+        bad = Scenario(name="perfect-maze", room=RoomSpec(width=4.0, length=4.0))
+        with pytest.raises(SimError, match="would shadow the scenario family"):
+            register_scenario(bad)
+        with pytest.raises(SimError, match="would shadow the scenario family"):
+            register_scenario(bad, overwrite=True)
+        assert "perfect-maze" not in scenario_names()
+
+    def test_duplicate_family_needs_overwrite(self):
+        fam = get_family("perfect-maze")
+        with pytest.raises(SimError, match="already registered"):
+            register_family(fam)
+        assert register_family(fam, overwrite=True) is fam
+
+    def test_get_scenario_points_at_family(self):
+        with pytest.raises(SimError, match="is a scenario family"):
+            get_scenario("perfect-maze")
+
+
+class TestParamSchema:
+    def test_defaults_within_bounds(self):
+        for name in FAMILIES:
+            family = get_family(name)
+            resolved = family.resolve()
+            for p in family.params:
+                assert p.low <= resolved[p.name] <= p.high
+
+    def test_unknown_param_rejected(self):
+        with pytest.raises(SimError, match="has no param"):
+            get_family("perfect-maze").resolve({"spiral": 3})
+
+    def test_out_of_bounds_rejected(self):
+        with pytest.raises(SimError, match="outside"):
+            get_family("perfect-maze").resolve({"cols": 1000})
+
+    def test_non_number_rejected(self):
+        with pytest.raises(SimError, match="expected a number"):
+            get_family("perfect-maze").resolve({"cols": "many"})
+
+    def test_integer_params_coerced(self):
+        resolved = get_family("perfect-maze").resolve({"cols": 6.0})
+        assert resolved["cols"] == 6 and isinstance(resolved["cols"], int)
+
+    def test_param_spec_validation(self):
+        with pytest.raises(SimError, match="inverted"):
+            ParamSpec("x", 1.0, 2.0, 0.0)
+        with pytest.raises(SimError, match="outside"):
+            ParamSpec("x", 5.0, 0.0, 1.0)
+
+
+class TestDeterminism:
+    def test_same_triple_same_scenario(self):
+        for name in FAMILIES:
+            a = generate_scenario(name, seed=7)
+            b = generate_scenario(name, seed=7)
+            assert a == b, name
+            assert a.content_hash() == b.content_hash(), name
+
+    def test_different_seeds_differ(self):
+        for name in FAMILIES:
+            assert (
+                generate_scenario(name, seed=0).content_hash()
+                != generate_scenario(name, seed=1).content_hash()
+            ), name
+
+    def test_params_change_the_world(self):
+        base = generate_scenario("perfect-maze", seed=0)
+        other = generate_scenario("perfect-maze", {"cols": 5}, seed=0)
+        assert base.content_hash() != other.content_hash()
+
+    def test_hash_identical_across_processes(self):
+        """Same (family, params, seed) => same scenario hash in a worker."""
+        jobs = [
+            ("perfect-maze", {"cols": 6, "rows": 5}, 3),
+            ("random-apartment", {"width": 8.0}, 11),
+            ("cluttered-warehouse", {}, 2),
+            ("scatter-field", {"n_items": 20}, 5),
+        ]
+        parent = [_hash_spec(job) for job in jobs]
+        try:
+            with multiprocessing.Pool(2) as pool:
+                child = pool.map(_hash_spec, jobs)
+        except (OSError, ValueError):  # pragma: no cover - env specific
+            pytest.skip("cannot fork a pool in this environment")
+        assert child == parent
+
+
+class TestValidity:
+    @pytest.mark.parametrize("family_name", FAMILIES)
+    def test_sampled_parameter_points_yield_valid_worlds(self, family_name):
+        """>= 50 sampled parameter points per family generate, validate,
+        and pass the flood-fill / start / reachability contract."""
+        family = get_family(family_name)
+        # zlib.crc32 is stable across processes (hash() is randomized),
+        # so the 50 sampled points are the same in every run.
+        import zlib
+
+        rng = np.random.default_rng(zlib.crc32(family_name.encode("utf-8")))
+        for i in range(N_SAMPLE_POINTS):
+            params = _sample_params(family, rng)
+            scenario = family.generate(params, seed=i)
+            # generate() validates internally; re-check the externally
+            # observable contract.
+            scenario.validate()
+            room = scenario.build_room()
+            assert room.is_free(scenario.start_position(), margin=0.1), (
+                family_name,
+                i,
+            )
+            assert len(scenario.objects) == params["n_objects"]
+            names = [o.name for o in scenario.objects]
+            assert len(set(names)) == len(names)
+
+    @pytest.mark.parametrize("family_name", FAMILIES)
+    def test_objects_reachable_from_start(self, family_name):
+        scenario = generate_scenario(family_name, seed=13)
+        room = scenario.build_room()
+        passage = 2.0 * VALIDATION_MARGIN_M + 2.0 * 0.08
+        res = _raster_resolution(passage)
+        free = free_space_mask(room, res)
+        sx, sy = scenario.start
+        start_cell = (
+            min(free.shape[0] - 1, int(sy / room.length * free.shape[0])),
+            min(free.shape[1] - 1, int(sx / room.width * free.shape[1])),
+        )
+        reach = flood_fill(free, start_cell)
+        assert reach.any()
+        for obj in scenario.objects:
+            iy = min(free.shape[0] - 1, int(obj.y / room.length * free.shape[0]))
+            ix = min(free.shape[1] - 1, int(obj.x / room.width * free.shape[1]))
+            # This raster differs from the generator's own (coarser
+            # passage estimate), so the object's exact cell centre may
+            # be conservatively blocked; any touching cell reachable is
+            # the meaningful contract.
+            neighbourhood = reach[
+                max(0, iy - 1) : iy + 2, max(0, ix - 1) : ix + 2
+            ]
+            assert neighbourhood.any(), (family_name, obj.name)
+
+    def test_mazes_and_warehouses_reach_1000_segments(self):
+        maze = generate_scenario(
+            "perfect-maze", {"cols": 24, "rows": 18, "cell_m": 1.0}, seed=5
+        )
+        assert len(maze.build_room().all_segments()) >= 1000
+        depot = generate_scenario(
+            "cluttered-warehouse",
+            {"width": 40.0, "length": 30.0, "aisle": 1.2, "shelf_depth": 0.5, "unit_len": 1.0},
+            seed=5,
+        )
+        assert len(depot.build_room().all_segments()) >= 1000
+
+
+class TestFloodFill:
+    def test_blocked_seed_reaches_nothing(self):
+        free = np.zeros((4, 4), dtype=bool)
+        assert not flood_fill(free, (0, 0)).any()
+
+    def test_wall_splits_components(self):
+        free = np.ones((5, 5), dtype=bool)
+        free[:, 2] = False
+        reach = flood_fill(free, (0, 0))
+        assert reach[:, :2].all()
+        assert not reach[:, 3:].any()
+
+
+class TestGeneratedSpec:
+    def test_create_canonicalizes_params(self):
+        a = GeneratedSpec.create("perfect-maze", {"rows": 5, "cols": 6}, seed=1)
+        b = GeneratedSpec.create("perfect-maze", {"cols": 6, "rows": 5}, seed=1)
+        assert a == b
+
+    def test_create_coerces_values_for_stable_hashing(self):
+        # {'cols': 5} and {'cols': 5.0} realize identical worlds, so
+        # they must be the same spec (and hash-key the same result file).
+        a = GeneratedSpec.create("perfect-maze", {"cols": 5}, seed=1)
+        b = GeneratedSpec.create("perfect-maze", {"cols": 5.0}, seed=1)
+        assert a == b
+        assert a.to_dict() == b.to_dict()
+
+    def test_create_validates_early(self):
+        with pytest.raises(SimError, match="unknown scenario family"):
+            GeneratedSpec.create("atlantis")
+        with pytest.raises(SimError, match="has no param"):
+            GeneratedSpec.create("perfect-maze", {"nope": 1})
+
+    def test_realize_matches_generate(self):
+        spec = GeneratedSpec.create("scatter-field", {"n_items": 12}, seed=9)
+        assert (
+            spec.realize().content_hash()
+            == generate_scenario("scatter-field", {"n_items": 12}, seed=9).content_hash()
+        )
+
+    def test_dict_round_trip(self):
+        spec = GeneratedSpec.create("perfect-maze", {"cols": 6}, seed=4)
+        assert GeneratedSpec.from_dict(spec.to_dict()) == spec
+
+    def test_spec_is_picklable(self):
+        import pickle
+
+        spec = GeneratedSpec.create("perfect-maze", {"cols": 6}, seed=4)
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+class TestGeneratedCampaigns:
+    def _campaign(self, **overrides):
+        defaults = dict(
+            name="gen",
+            generated=(GeneratedSpec.create("perfect-maze", {"cols": 5, "rows": 4}, seed=1),),
+            n_runs=2,
+            flight_time_s=8.0,
+            seed=3,
+        )
+        defaults.update(overrides)
+        return Campaign(**defaults)
+
+    def test_campaign_needs_some_scenario(self):
+        with pytest.raises(SimError, match="at least one scenario"):
+            Campaign(name="empty")
+
+    def test_generated_missions_carry_provenance(self):
+        campaign = self._campaign()
+        missions = campaign.missions()
+        assert len(missions) == 2
+        for m in missions:
+            assert m.generator is not None
+            assert m.generator.family == "perfect-maze"
+            assert m.scenario.name.startswith("perfect-maze-s1-")
+
+    def test_mixed_campaign_expands_both(self):
+        campaign = self._campaign(scenarios=(get_scenario("paper-room"),))
+        missions = campaign.missions()
+        assert len(missions) == 4
+        assert missions[0].generator is None
+        assert missions[-1].generator is not None
+
+    def test_hash_covers_generator_reference(self):
+        base = self._campaign()
+        assert (
+            self._campaign(
+                generated=(
+                    GeneratedSpec.create("perfect-maze", {"cols": 5, "rows": 4}, seed=2),
+                )
+            ).campaign_hash()
+            != base.campaign_hash()
+        )
+        assert (
+            self._campaign(
+                generated=(
+                    GeneratedSpec.create("perfect-maze", {"cols": 6, "rows": 4}, seed=1),
+                )
+            ).campaign_hash()
+            != base.campaign_hash()
+        )
+
+    def test_preset_campaign_hash_unchanged_by_generated_field(self):
+        """Adding the feature must not re-key existing result files."""
+        preset = Campaign(name="p", scenarios=(get_scenario("paper-room"),))
+        assert "generated" not in preset.to_dict()
+
+    def test_rerun_reproduces_identical_aggregates(self):
+        campaign = self._campaign()
+        r1 = run_campaign(campaign)
+        r2 = run_campaign(campaign)
+        assert [rec.to_dict() for rec in r1.records] == [
+            rec.to_dict() for rec in r2.records
+        ]
+        assert r1.aggregate(("scenario",), value="coverage") == r2.aggregate(
+            ("scenario",), value="coverage"
+        )
+
+    def test_serial_equals_pooled(self):
+        campaign = self._campaign()
+        serial = run_campaign(campaign)
+        pooled = run_campaign(campaign, workers=2)
+        assert [rec.to_dict() for rec in serial.records] == [
+            rec.to_dict() for rec in pooled.records
+        ]
+
+
+class TestAsciiLayout:
+    def test_marks_and_frame(self):
+        scenario = generate_scenario("perfect-maze", {"cols": 5, "rows": 4}, seed=2)
+        art = ascii_layout(scenario, 48)
+        lines = art.splitlines()
+        assert lines[0].startswith("+") and lines[-1].startswith("+")
+        body = "".join(lines[1:-1])
+        assert "S" in body
+        assert "#" in body
+        assert ("B" in body) or ("C" in body)
+
+    def test_deterministic(self):
+        scenario = generate_scenario("scatter-field", {"n_items": 10}, seed=2)
+        assert ascii_layout(scenario) == ascii_layout(scenario)

@@ -1,0 +1,115 @@
+"""Grid-bucketed Room.is_free / Room.clearance == brute force, bit for bit.
+
+The point-query grid (``accel="auto"``/``"grid"``) gathers conservative
+candidate subsets and evaluates the identical elementwise arithmetic, so
+its answers must equal the full-array reference path (``accel="none"``)
+exactly -- including on the generated 1000+-segment worlds it exists for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.vec import Vec2
+from repro.sim import generate_scenario
+from repro.world.layouts import cluttered_room
+from repro.world.room import (
+    OBSTACLE_GRID_THRESHOLD,
+    POINT_GRID_THRESHOLD,
+    Room,
+)
+
+MARGINS = (0.0, 0.07, 0.1, 0.35)
+
+
+def _rooms(width, length, obstacles):
+    return (
+        Room(width, length, obstacles, accel="none"),
+        Room(width, length, obstacles, accel="grid"),
+        Room(width, length, obstacles, accel="auto"),
+    )
+
+
+def _assert_equivalent(brute, grid, auto, points):
+    for p in points:
+        for margin in MARGINS:
+            expected = brute.is_free(p, margin=margin)
+            assert grid.is_free(p, margin=margin) == expected, (p, margin)
+            assert auto.is_free(p, margin=margin) == expected, (p, margin)
+        c = brute.clearance(p)
+        assert grid.clearance(p) == c, p
+        assert auto.clearance(p) == c, p
+
+
+def _query_points(room, n, seed):
+    """Uniform points padded past the walls, plus obstacle-hugging ones."""
+    rng = np.random.default_rng(seed)
+    pts = [
+        Vec2(
+            rng.uniform(-0.5, room.width + 0.5),
+            rng.uniform(-0.5, room.length + 0.5),
+        )
+        for _ in range(n)
+    ]
+    for obs in room.obstacles[:40]:
+        seg = obs.segments()[0]
+        pts.append(Vec2(seg.a.x + 1e-3, seg.a.y + 1e-3))
+        pts.append(seg.a)
+    return pts
+
+
+class TestGeneratedWorlds:
+    @pytest.mark.parametrize(
+        "family,params",
+        [
+            ("perfect-maze", {"cols": 24, "rows": 18, "cell_m": 1.0}),
+            (
+                "cluttered-warehouse",
+                {"width": 40.0, "length": 30.0, "aisle": 1.2, "shelf_depth": 0.5, "unit_len": 1.0},
+            ),
+        ],
+    )
+    def test_equivalence_on_1000_segment_worlds(self, family, params):
+        scenario = generate_scenario(family, params, seed=5)
+        spec = scenario.room
+        obstacles = [o.build() for o in spec.obstacles]
+        brute, grid, auto = _rooms(spec.width, spec.length, obstacles)
+        assert len(brute.all_segments()) >= 1000
+        assert grid._all_field._grid is not None
+        assert auto._all_field._grid is not None
+        assert brute._all_field._grid is None
+        _assert_equivalent(brute, grid, auto, _query_points(brute, 400, seed=1))
+
+
+class TestPresetWorlds:
+    def test_equivalence_on_dense_clutter(self):
+        base = cluttered_room(n_obstacles=40, seed=3, width=30.0, length=30.0)
+        brute, grid, auto = _rooms(30.0, 30.0, base.obstacles)
+        _assert_equivalent(brute, grid, auto, _query_points(brute, 300, seed=2))
+
+    def test_forced_grid_on_tiny_room(self):
+        brute, grid, _ = _rooms(4.0, 3.0, [])
+        assert grid._all_field._grid is not None  # forced despite 4 segments
+        _assert_equivalent(brute, grid, grid, _query_points(brute, 200, seed=3))
+
+
+class TestThresholds:
+    def test_auto_keeps_small_rooms_on_reference_path(self):
+        room = Room(6.5, 5.5, accel="auto")
+        assert room._all_field._grid is None
+        assert room._obstacle_index is None
+
+    def test_auto_activates_above_thresholds(self):
+        scenario = generate_scenario("cluttered-warehouse", {}, seed=1)
+        room = scenario.build_room()
+        assert len(room.obstacles) >= OBSTACLE_GRID_THRESHOLD
+        assert len(room.all_segments()) >= POINT_GRID_THRESHOLD
+        assert room._all_field._grid is not None
+        assert room._obstacle_index is not None
+
+    def test_none_disables_everything(self):
+        scenario = generate_scenario("cluttered-warehouse", {}, seed=1)
+        spec = scenario.room
+        room = Room(spec.width, spec.length, [o.build() for o in spec.obstacles], accel="none")
+        assert room._all_field._grid is None
+        assert room._obstacle_field._grid is None
+        assert room._obstacle_index is None

@@ -1,0 +1,108 @@
+"""Docs gate: markdown links must resolve, docstring examples must run.
+
+Two checks, both fatal on failure:
+
+1. Every relative link/image in the repo's markdown files (root + docs/)
+   points at an existing file, and every ``file.md#anchor`` link targets
+   a heading that actually exists (GitHub-style slugs).
+2. The runnable examples embedded in the public ``repro.sim`` API
+   docstrings pass under :mod:`doctest`.
+
+Run from the repository root (CI's docs job does exactly this):
+
+    PYTHONPATH=src python tools/check_docs.py
+"""
+
+from __future__ import annotations
+
+import doctest
+import importlib
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown files checked for dead links.
+MARKDOWN_GLOBS = ("*.md", "docs/*.md")
+
+#: Modules whose docstring examples are executed.
+DOCTEST_MODULES = (
+    "repro.seeding",
+    "repro.sim.campaign",
+    "repro.sim.generators",
+    "repro.sim.registry",
+    "repro.sim.results",
+    "repro.sim.runner",
+    "repro.sim.scenario",
+)
+
+_LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+_HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def _slugify(heading: str) -> str:
+    """GitHub-style anchor slug of a markdown heading."""
+    text = re.sub(r"[`*_]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def _anchors_of(path: Path) -> set:
+    return {_slugify(h) for h in _HEADING_RE.findall(path.read_text(encoding="utf-8"))}
+
+
+def check_markdown_links() -> List[str]:
+    """Dead relative links/anchors across the repo's markdown files."""
+    errors = []
+    files = sorted(
+        {f for pattern in MARKDOWN_GLOBS for f in REPO_ROOT.glob(pattern)}
+    )
+    for md in files:
+        text = md.read_text(encoding="utf-8")
+        rel = md.relative_to(REPO_ROOT)
+        for target in _LINK_RE.findall(text):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part, _, anchor = target.partition("#")
+            if not path_part:  # same-file anchor
+                if anchor and _slugify(anchor) not in _anchors_of(md):
+                    errors.append(f"{rel}: broken anchor #{anchor}")
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(f"{rel}: broken link {target}")
+                continue
+            if anchor and resolved.suffix == ".md":
+                if _slugify(anchor) not in _anchors_of(resolved):
+                    errors.append(f"{rel}: broken anchor {target}")
+    return errors
+
+
+def run_doctests() -> List[str]:
+    """Docstring example failures across the public sim API."""
+    errors = []
+    for name in DOCTEST_MODULES:
+        module = importlib.import_module(name)
+        result = doctest.testmod(module, verbose=False)
+        if result.failed:
+            errors.append(f"{name}: {result.failed}/{result.attempted} examples failed")
+        elif result.attempted == 0 and name != "repro.seeding":
+            errors.append(f"{name}: expected at least one docstring example")
+    return errors
+
+
+def main() -> int:
+    errors = check_markdown_links()
+    errors += run_doctests()
+    if errors:
+        for err in errors:
+            print(f"FAIL {err}", file=sys.stderr)
+        return 1
+    print("docs OK: links resolve, docstring examples pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
