@@ -192,8 +192,13 @@ def _legacy_estimate(self) -> EstimatedState:
     )
 
 
-def _legacy_grid_init(self, room, cell_size=0.5):
+def _legacy_grid_init(self, room, cell_size=0.5, start=None):
+    # The legacy hot path is the per-sample numpy bookkeeping below; the
+    # once-per-mission reachable mask (which postdates the seed tree) is
+    # built with the current helper on both sides so legacy and
+    # optimized missions report the same normalized coverage.
     from repro.errors import WorldError
+    from repro.world.freespace import reachable_cell_mask
 
     if cell_size <= 0.0:
         raise WorldError("cell size must be positive")
@@ -203,6 +208,14 @@ def _legacy_grid_init(self, room, cell_size=0.5):
     self.ny = int(math.ceil(room.length / cell_size))
     self._np_time = np.zeros((self.ny, self.nx), dtype=np.float64)
     self._np_visited = np.zeros((self.ny, self.nx), dtype=bool)
+    if start is None:
+        self._np_reachable = np.ones((self.ny, self.nx), dtype=bool)
+        self.reachable_cells = self.nx * self.ny
+    else:
+        self._np_reachable = reachable_cell_mask(
+            room, start, cell_size, (self.ny, self.nx)
+        )
+        self.reachable_cells = int(self._np_reachable.sum())
 
 
 def _legacy_grid_record(self, p, dt) -> None:
@@ -215,10 +228,20 @@ def _legacy_grid_visited_count(self) -> int:
     return int(self._np_visited.sum())
 
 
-def _legacy_tracker_init(self, room, rate_hz=50.0, cell_size=None):
+def _legacy_grid_visited_reachable_count(self) -> int:
+    return int((self._np_visited & self._np_reachable).sum())
+
+
+def _legacy_grid_cell_of(self, p):
+    ix = min(self.nx - 1, max(0, int(p.x / self.cell_size)))
+    iy = min(self.ny - 1, max(0, int(p.y / self.cell_size)))
+    return ix, iy
+
+
+def _legacy_tracker_init(self, room, rate_hz=50.0, cell_size=None, start=None):
     self.rate_hz = rate_hz
     kwargs = {} if cell_size is None else {"cell_size": cell_size}
-    self.grid = OccupancyGrid(room, **kwargs)
+    self.grid = OccupancyGrid(room, start=start, **kwargs)
     self._samples = []
     self._period = 1.0 / rate_hz
     self._last_time = None
@@ -257,8 +280,10 @@ def legacy_sim_core():
         "dyn_step": DroneDynamics.step,
         "estimate": StateEstimator.estimate,
         "grid_init": OccupancyGrid.__init__,
+        "grid_cell_of": OccupancyGrid.cell_of,
         "grid_record": OccupancyGrid.record,
         "grid_count": OccupancyGrid.visited_count,
+        "grid_reach_count": OccupancyGrid.visited_reachable_count,
         "tracker_init": MotionCaptureTracker.__init__,
         "tracker_observe": MotionCaptureTracker.observe,
         "tracker_samples": MotionCaptureTracker.samples,
@@ -274,8 +299,10 @@ def legacy_sim_core():
     DroneDynamics.step = _legacy_dynamics_step
     StateEstimator.estimate = property(_legacy_estimate)
     OccupancyGrid.__init__ = _legacy_grid_init
+    OccupancyGrid.cell_of = _legacy_grid_cell_of
     OccupancyGrid.record = _legacy_grid_record
     OccupancyGrid.visited_count = _legacy_grid_visited_count
+    OccupancyGrid.visited_reachable_count = _legacy_grid_visited_reachable_count
     MotionCaptureTracker.__init__ = _legacy_tracker_init
     MotionCaptureTracker.observe = _legacy_tracker_observe
     MotionCaptureTracker.samples = property(_legacy_tracker_samples)
@@ -293,8 +320,10 @@ def legacy_sim_core():
         DroneDynamics.step = saved["dyn_step"]
         StateEstimator.estimate = saved["estimate"]
         OccupancyGrid.__init__ = saved["grid_init"]
+        OccupancyGrid.cell_of = saved["grid_cell_of"]
         OccupancyGrid.record = saved["grid_record"]
         OccupancyGrid.visited_count = saved["grid_count"]
+        OccupancyGrid.visited_reachable_count = saved["grid_reach_count"]
         MotionCaptureTracker.__init__ = saved["tracker_init"]
         MotionCaptureTracker.observe = saved["tracker_observe"]
         MotionCaptureTracker.samples = saved["tracker_samples"]
@@ -334,6 +363,8 @@ def _result_fingerprint(result):
     return (
         result.events,
         result.coverage,
+        result.coverage_raw,
+        result.reachable_cells,
         result.collisions,
         result.distance_flown_m,
         result.series.coverage.tolist(),
@@ -494,12 +525,85 @@ def bench_point_queries(repeats: int, n_points: int = 1500):
     return rows
 
 
+#: Pre-extraction raster fingerprints: sha256 of the packed bits of
+#: ``free_space_mask(room, 0.25)``, captured while the function still
+#: lived in ``repro.sim.generators`` (PR 3). The extraction to
+#: ``repro.world.freespace`` is a pure move, so these must never drift.
+FREESPACE_WORLDS = (
+    {
+        "world": "perfect-maze",
+        "params": {"cols": 6, "rows": 5, "cell_m": 1.0},
+        "seed": 3,
+        "resolution": 0.25,
+        "mask_sha256_16": "f2627b986bfb06b8",
+    },
+    {
+        "world": "cluttered-warehouse",
+        "params": {},
+        "seed": 2,
+        "resolution": 0.25,
+        "mask_sha256_16": "b8454683e46e0fc5",
+    },
+)
+
+
+def bench_freespace_raster(repeats: int, inner: int = 20):
+    """Free-space mask build + flood fill on generated worlds.
+
+    Asserts the rasters are identical to the pre-extraction generator
+    ones twice over: the ``repro.sim.generators`` import path must
+    resolve to the very functions now in ``repro.world.freespace``, and
+    the produced mask must match the fingerprint pinned before the move.
+    """
+    import hashlib
+
+    from repro.sim import generators as gen
+    from repro.world import freespace
+
+    assert gen.free_space_mask is freespace.free_space_mask
+    assert gen.flood_fill is freespace.flood_fill
+    rows = []
+    for cfg in FREESPACE_WORLDS:
+        scenario = generate_scenario(cfg["world"], cfg["params"], seed=cfg["seed"])
+        room = scenario.build_room()
+        res = cfg["resolution"]
+        mask = freespace.free_space_mask(room, res)
+        digest = hashlib.sha256(np.packbits(mask).tobytes()).hexdigest()[:16]
+        assert digest == cfg["mask_sha256_16"], (
+            f"{cfg['world']}: raster drifted from the pre-extraction "
+            f"fingerprint ({digest} != {cfg['mask_sha256_16']})"
+        )
+        seed_cell = tuple(int(v) for v in np.argwhere(mask)[0])
+        reach = freespace.flood_fill(mask, seed_cell)
+        mask_us = _time_calls(
+            lambda: freespace.free_space_mask(room, res), repeats, inner
+        ) * 1e6
+        fill_us = _time_calls(
+            lambda: freespace.flood_fill(mask, seed_cell), repeats, inner
+        ) * 1e6
+        rows.append(
+            {
+                "world": cfg["world"],
+                "resolution_m": res,
+                "raster_shape": list(mask.shape),
+                "free_cells": int(mask.sum()),
+                "reachable_cells": int(reach.sum()),
+                "mask_sha256_16": digest,
+                "mask_build_us": mask_us,
+                "flood_fill_us": fill_us,
+                "identical_to_pre_extraction": True,  # asserted above
+            }
+        )
+    return rows
+
+
 def run_benchmarks(quick: bool, out_path: str):
     flight_time = 10.0 if quick else 30.0
     repeats = 2 if quick else 3
     missions = bench_missions(flight_time, repeats)
     raycast = bench_raycast(repeats)
     point_queries = bench_point_queries(repeats)
+    freespace_raster = bench_freespace_raster(repeats)
 
     print()
     print(
@@ -553,6 +657,25 @@ def run_benchmarks(quick: bool, out_path: str):
             title="point-query latency on generated worlds (bit-identical asserted)",
         )
     )
+    print(
+        ascii_table(
+            ["world", "raster", "free/reach", "mask [us]", "fill [us]"],
+            [
+                [
+                    r["world"],
+                    "x".join(str(v) for v in r["raster_shape"]),
+                    f"{r['free_cells']}/{r['reachable_cells']}",
+                    f"{r['mask_build_us']:.0f}",
+                    f"{r['flood_fill_us']:.0f}",
+                ]
+                for r in freespace_raster
+            ],
+            title=(
+                "free-space raster + flood fill (identical to the "
+                "pre-extraction generator rasters, fingerprint-asserted)"
+            ),
+        )
+    )
 
     payload = {
         "benchmark": "sim_core",
@@ -572,6 +695,7 @@ def run_benchmarks(quick: bool, out_path: str):
         "missions": missions,
         "raycast": raycast,
         "point_queries": point_queries,
+        "freespace_raster": freespace_raster,
     }
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)

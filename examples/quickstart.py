@@ -28,7 +28,10 @@ def main() -> None:
     print(f"policy:          {policy.name}")
     print(f"flight time:     {result.flight_time_s:.0f} s")
     print(f"distance flown:  {result.distance_flown_m:.1f} m")
-    print(f"coverage:        {result.coverage:.0%} of {result.grid.n_cells} cells")
+    print(
+        f"coverage:        {result.coverage:.0%} of "
+        f"{result.reachable_cells} reachable cells"
+    )
     print(f"collisions:      {result.collisions}")
     print()
     print("occupancy heatmap (18 s cap, '.' = never visited):")

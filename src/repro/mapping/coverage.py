@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import math
 from typing import List, Sequence, Tuple
 
 import numpy as np
@@ -15,7 +16,18 @@ class CoverageSeries:
         self._coverage: List[float] = []
 
     def append(self, time: float, coverage: float) -> None:
-        """Record the coverage fraction at ``time`` seconds."""
+        """Record the coverage fraction at ``time`` seconds.
+
+        Raises:
+            ValueError: on a non-finite time or coverage value (a single
+                NaN would silently poison :meth:`mean_and_variance` and
+                every resampled aggregate), or on a time running
+                backwards.
+        """
+        if not math.isfinite(time):
+            raise ValueError(f"time must be finite, got {time}")
+        if not math.isfinite(coverage):
+            raise ValueError(f"coverage must be finite, got {coverage}")
         if self._times and time < self._times[-1]:
             raise ValueError("time must be non-decreasing")
         self._times.append(time)

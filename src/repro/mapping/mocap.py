@@ -38,6 +38,9 @@ class MotionCaptureTracker:
         room: room being tracked (defines the grid).
         rate_hz: sampling rate; samples arriving faster are ignored.
         cell_size: occupancy-grid cell size.
+        start: the drone's start pose; forwarded to the grid so
+            :meth:`coverage` can normalize by the cells reachable from
+            it (``None`` keeps the raw all-cells normalization).
     """
 
     def __init__(
@@ -45,10 +48,11 @@ class MotionCaptureTracker:
         room: Room,
         rate_hz: float = MOCAP_RATE_HZ,
         cell_size: Optional[float] = None,
+        start: Optional[Vec2] = None,
     ):
         self.rate_hz = rate_hz
         kwargs = {} if cell_size is None else {"cell_size": cell_size}
-        self.grid = OccupancyGrid(room, **kwargs)
+        self.grid = OccupancyGrid(room, start=start, **kwargs)
         # Columnar storage: the tracker runs at the control rate, and
         # allocating a TrackedSample + Vec2 per tick used to churn the
         # tick loop; plain float lists append ~5x cheaper.
@@ -102,5 +106,19 @@ class MotionCaptureTracker:
         return True
 
     def coverage(self) -> float:
-        """Fraction of grid cells visited so far."""
+        """Fraction of *reachable* free-space cells visited so far.
+
+        Normalized by the cells reachable from the start pose the
+        tracker was built with (all cells when no start was given); the
+        historical all-cells fraction is :meth:`coverage_raw`.
+        """
         return self.grid.coverage()
+
+    def coverage_raw(self) -> float:
+        """Fraction of all grid cells visited (historical normalization)."""
+        return self.grid.coverage_raw()
+
+    @property
+    def reachable_cells(self) -> int:
+        """Number of grid cells reachable from the start pose."""
+        return self.grid.reachable_cells

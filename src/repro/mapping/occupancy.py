@@ -4,17 +4,28 @@ The paper discretizes the 6.5 m x 5.5 m room into 0.5 m x 0.5 m cells
 (143 cells), marks a cell *visited* when the drone's centre of mass falls
 into it, and plots the occupancy *time* per cell as a heatmap capped at
 18 s.
+
+In the paper's empty mocap room every cell is flyable, so dividing the
+visited count by ``nx * ny`` is the right normalization. On worlds with
+obstacles (the synthetic presets and every generated maze/warehouse)
+that denominator counts cells inside shelves, walls and sealed pockets
+against the drone, so :meth:`OccupancyGrid.coverage` normalizes by the
+cells *reachable from the start pose* instead -- computed once per grid
+from the free-space raster + flood fill of
+:mod:`repro.world.freespace` -- while :meth:`OccupancyGrid.coverage_raw`
+keeps the historical visited-over-all-cells fraction.
 """
 
 from __future__ import annotations
 
 import math
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
 from repro.errors import WorldError
 from repro.geometry.vec import Vec2
+from repro.world.freespace import reachable_cell_mask
 from repro.world.room import Room
 
 #: Cell edge length used throughout the paper, metres.
@@ -27,9 +38,19 @@ class OccupancyGrid:
     Args:
         room: the room to discretize.
         cell_size: cell edge length in metres.
+        start: the drone's start pose. When given, the cells reachable
+            from it (through free space, with the standard validation
+            margin) are computed once and :meth:`coverage` normalizes by
+            their count. When ``None`` every cell counts as reachable
+            and :meth:`coverage` equals :meth:`coverage_raw`.
     """
 
-    def __init__(self, room: Room, cell_size: float = CELL_SIZE_M):
+    def __init__(
+        self,
+        room: Room,
+        cell_size: float = CELL_SIZE_M,
+        start: Optional[Vec2] = None,
+    ):
         if cell_size <= 0.0:
             raise WorldError("cell size must be positive")
         self.room = room
@@ -42,30 +63,97 @@ class OccupancyGrid:
         self._time = [0.0] * (self.nx * self.ny)
         self._visited = [False] * (self.nx * self.ny)
         self._visited_count = 0
+        self._visited_reachable_count = 0
+        self._out_of_room_time = 0.0
+        self._out_of_room_count = 0
+        if start is None:
+            self._reachable = None
+            self.reachable_cells = self.nx * self.ny
+        else:
+            mask = reachable_cell_mask(
+                room, start, cell_size, (self.ny, self.nx)
+            )
+            self._reachable = mask.ravel().tolist()
+            self.reachable_cells = int(mask.sum())
 
     @property
     def n_cells(self) -> int:
         """Total number of cells (143 for the paper room at 0.5 m)."""
         return self.nx * self.ny
 
+    @property
+    def reachable_mask(self) -> np.ndarray:
+        """Boolean ``(ny, nx)`` array of reachable cells (copy).
+
+        All-``True`` when the grid was built without a start pose.
+        """
+        if self._reachable is None:
+            return np.ones((self.ny, self.nx), dtype=bool)
+        return np.array(self._reachable, dtype=bool).reshape(self.ny, self.nx)
+
     def cell_of(self, p: Vec2) -> Tuple[int, int]:
         """Grid indices ``(ix, iy)`` of the cell containing ``p``.
 
-        Positions on the far walls are clamped into the last cell so the
+        Positions on the walls are clamped into the nearest cell so the
         drone touching a wall still counts inside the room.
+
+        Raises:
+            WorldError: when ``p`` has a non-finite coordinate or lies
+                outside the room entirely (negative, or past the far
+                walls) -- silently clamping such poses into edge cells
+                used to accrue coverage the drone never earned.
         """
+        if not (math.isfinite(p.x) and math.isfinite(p.y)):
+            raise WorldError(f"non-finite position ({p.x}, {p.y})")
+        if not self._in_room(p):
+            raise WorldError(
+                f"position ({p.x:.3f}, {p.y:.3f}) outside the "
+                f"{self.room.width:g} x {self.room.length:g} m room"
+            )
+        return self._clamped_cell(p)
+
+    def _in_room(self, p: Vec2) -> bool:
+        return 0.0 <= p.x <= self.room.width and 0.0 <= p.y <= self.room.length
+
+    def _clamped_cell(self, p: Vec2) -> Tuple[int, int]:
         ix = min(self.nx - 1, max(0, int(p.x / self.cell_size)))
         iy = min(self.ny - 1, max(0, int(p.y / self.cell_size)))
         return ix, iy
 
     def record(self, p: Vec2, dt: float) -> None:
-        """Account a dwell of ``dt`` seconds at position ``p``."""
-        ix, iy = self.cell_of(p)
+        """Account a dwell of ``dt`` seconds at position ``p``.
+
+        Out-of-room positions (a tracker fed poses beyond the walls) do
+        not touch any cell; their dwell accumulates separately in
+        :attr:`out_of_room_time` / :attr:`out_of_room_count`.
+
+        Raises:
+            WorldError: on a non-finite position.
+        """
+        if not (math.isfinite(p.x) and math.isfinite(p.y)):
+            raise WorldError(f"non-finite position ({p.x}, {p.y})")
+        if not self._in_room(p):
+            self._out_of_room_time += dt
+            self._out_of_room_count += 1
+            return
+        ix, iy = self._clamped_cell(p)
         idx = iy * self.nx + ix
         self._time[idx] += dt
         if not self._visited[idx]:
             self._visited[idx] = True
             self._visited_count += 1
+            if self._reachable is None or self._reachable[idx]:
+                self._visited_reachable_count += 1
+
+    @property
+    def out_of_room_time(self) -> float:
+        """Dwell seconds recorded at positions outside the room."""
+        return self._out_of_room_time
+
+    @property
+    def out_of_room_count(self) -> int:
+        """Number of out-of-room positions offered to :meth:`record`."""
+        return self._out_of_room_count
 
     @property
     def visited_mask(self) -> np.ndarray:
@@ -81,8 +169,26 @@ class OccupancyGrid:
         """Number of visited cells (tracked incrementally, O(1))."""
         return self._visited_count
 
+    def visited_reachable_count(self) -> int:
+        """Number of visited *reachable* cells (tracked incrementally, O(1))."""
+        return self._visited_reachable_count
+
     def coverage(self) -> float:
-        """Fraction of cells visited, in ``[0, 1]``."""
+        """Fraction of reachable free-space cells visited, in ``[0, 1]``.
+
+        Visited reachable cells over :attr:`reachable_cells`. On a grid
+        whose cells are all reachable (the paper room, or any grid built
+        without a start pose) this equals :meth:`coverage_raw` exactly.
+        """
+        return self.visited_reachable_count() / self.reachable_cells
+
+    def coverage_raw(self) -> float:
+        """Fraction of *all* grid cells visited, in ``[0, 1]``.
+
+        The historical normalization (``visited / n_cells``), kept for
+        continuity with pre-normalization results; it undercounts on any
+        world whose grid has unreachable cells.
+        """
         return self.visited_count() / self.n_cells
 
     def heatmap(self, cap_seconds: float = 18.0) -> np.ndarray:

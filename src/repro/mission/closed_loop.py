@@ -38,16 +38,24 @@ class DetectionEvent:
 
 @dataclass
 class SearchResult:
-    """Outcome of one closed-loop run."""
+    """Outcome of one closed-loop run.
+
+    ``coverage`` is normalized by the grid cells reachable from the
+    start pose (see :class:`~repro.mission.explorer.ExplorationResult`);
+    ``coverage_raw`` keeps the historical all-cells fraction.
+    """
 
     detection_rate: float  #: detected objects / placed objects
     events: List[DetectionEvent] = field(default_factory=list)
-    coverage: float = 0.0
+    coverage: float = 0.0  #: fraction of reachable free-space cells visited
     series: Optional[CoverageSeries] = None
     frames_processed: int = 0
     collisions: int = 0
     distance_flown_m: float = 0.0  #: integrated path length
     samples: Optional[list] = None  #: mocap trajectory for visualization
+    coverage_raw: float = 0.0  #: fraction of all grid cells visited
+    reachable_cells: int = 0  #: grid cells reachable from the start pose
+    grid_cells: int = 0  #: total grid cells (the coverage_raw denominator)
 
     def time_to_full_detection(self) -> Optional[float]:
         """Time of the last first-detection if every object was found."""
@@ -116,7 +124,7 @@ class ClosedLoopMission:
         self.policy.reset(policy_stream)
         self.channel.reset()
         rng = np.random.default_rng(detector_stream)
-        tracker = MotionCaptureTracker(self.room)
+        tracker = MotionCaptureTracker(self.room, start=drone.state.position)
         series = CoverageSeries()
         frame_period = 1.0 / self.operating_point.fps
         first_detection: Dict[str, DetectionEvent] = {}
@@ -159,4 +167,7 @@ class ClosedLoopMission:
             collisions=drone.dynamics.collision_count,
             distance_flown_m=distance,
             samples=tracker.samples,
+            coverage_raw=tracker.coverage_raw(),
+            reachable_cells=tracker.reachable_cells,
+            grid_cells=tracker.grid.n_cells,
         )

@@ -26,15 +26,25 @@ DEFAULT_FLIGHT_TIME_S = 180.0
 
 @dataclass
 class ExplorationResult:
-    """Outcome of one exploration flight."""
+    """Outcome of one exploration flight.
 
-    coverage: float  #: fraction of grid cells visited, [0, 1]
+    ``coverage`` is normalized by the grid cells *reachable* from the
+    start pose (free space connected to it), so a perfect sweep reports
+    1.0 on any world; ``coverage_raw`` keeps the historical
+    visited-over-all-cells fraction, which undercounts on worlds whose
+    grid has cells inside obstacles or sealed pockets.
+    """
+
+    coverage: float  #: fraction of reachable free-space cells visited, [0, 1]
     grid: OccupancyGrid  #: final occupancy grid
     series: CoverageSeries  #: coverage over time
     collisions: int  #: control ticks with blocked motion
     flight_time_s: float  #: simulated flight duration
     distance_flown_m: float  #: integrated path length
     samples: list = None  #: mocap trajectory (:class:`TrackedSample` list)
+    coverage_raw: float = 0.0  #: fraction of all grid cells visited, [0, 1]
+    reachable_cells: int = 0  #: grid cells reachable from the start pose
+    grid_cells: int = 0  #: total grid cells (the coverage_raw denominator)
 
 
 class ExplorationMission:
@@ -86,7 +96,7 @@ class ExplorationMission:
             seed=drone_stream,
         )
         self.policy.reset(policy_stream)
-        tracker = MotionCaptureTracker(self.room)
+        tracker = MotionCaptureTracker(self.room, start=drone.state.position)
         series = CoverageSeries()
         distance = 0.0
         last_pos = drone.state.position
@@ -107,4 +117,7 @@ class ExplorationMission:
             flight_time_s=self.flight_time_s,
             distance_flown_m=distance,
             samples=tracker.samples,
+            coverage_raw=tracker.coverage_raw(),
+            reachable_cells=tracker.reachable_cells,
+            grid_cells=tracker.grid.n_cells,
         )

@@ -60,14 +60,19 @@ from repro.geometry.shapes import AABB, Circle
 from repro.geometry.vec import Vec2
 from repro.sim.registry import Registry
 from repro.sim.scenario import ObjectSpec, ObstacleSpec, RoomSpec, Scenario
+
+# Historical home of the free-space raster + flood fill; both moved
+# verbatim to repro.world.freespace (PR 4) so the coverage metrics can
+# normalize by reachable area without importing the generators. The
+# re-exports keep every existing import path working.
+from repro.world.freespace import (  # noqa: F401  (re-exported)
+    VALIDATION_MARGIN_M,
+    flood_fill,
+    free_space_mask,
+)
 from repro.world.layouts import door_wall_obstacles
 from repro.world.objects import ObjectClass
 from repro.world.room import Obstacle, Room
-
-#: Clearance (metres) the validity raster requires from walls and
-#: obstacles -- matches the start-pose margin of ``Scenario.validate``
-#: and exceeds the Crazyflie collision radius (0.07 m).
-VALIDATION_MARGIN_M = 0.1
 
 #: Wall thickness used by the maze and BSP generators, metres.
 GENERATOR_WALL_THICKNESS_M = 0.1
@@ -155,91 +160,6 @@ class _DraftWorld:
     passage: float
     policy: str = "pseudo-random"
     flight_time_s: float = 240.0
-
-
-def free_space_mask(
-    room: Room, resolution: float, margin: float = VALIDATION_MARGIN_M
-) -> np.ndarray:
-    """Conservative free-space raster of ``room`` at ``resolution``.
-
-    A cell is marked free only when its centre keeps at least ``margin``
-    clearance from the walls and every obstacle (axis-aligned boxes are
-    inflated by ``margin`` on each side, a conservative superset of the
-    true Euclidean margin band). Used by the generator validity checks
-    and object placement.
-
-    Args:
-        room: the world to rasterize.
-        resolution: approximate cell edge, metres.
-        margin: required clearance, metres.
-
-    Returns:
-        A ``(ny, nx)`` boolean array; entry ``[iy, ix]`` covers the cell
-        centred at ``((ix + 0.5) * width / nx, (iy + 0.5) * length / ny)``.
-    """
-    nx = max(1, int(math.ceil(room.width / resolution)))
-    ny = max(1, int(math.ceil(room.length / resolution)))
-    xs = (np.arange(nx) + 0.5) * (room.width / nx)
-    ys = (np.arange(ny) + 0.5) * (room.length / ny)
-    free = np.ones((ny, nx), dtype=bool)
-    free &= ((xs >= margin) & (xs <= room.width - margin))[None, :]
-    free &= (((ys >= margin) & (ys <= room.length - margin))[:, None])
-    for obs in room.obstacles:
-        shape = obs.shape
-        if isinstance(shape, AABB):
-            xm = (xs >= shape.xmin - margin) & (xs <= shape.xmax + margin)
-            ym = (ys >= shape.ymin - margin) & (ys <= shape.ymax + margin)
-            if xm.any() and ym.any():
-                free[np.ix_(ym, xm)] = False
-        elif isinstance(shape, Circle):
-            r = shape.radius + margin
-            xm = (xs >= shape.center.x - r) & (xs <= shape.center.x + r)
-            ym = (ys >= shape.center.y - r) & (ys <= shape.center.y + r)
-            if xm.any() and ym.any():
-                dx = xs[xm] - shape.center.x
-                dy = ys[ym] - shape.center.y
-                free[np.ix_(ym, xm)] &= (
-                    dy[:, None] ** 2 + dx[None, :] ** 2 > r * r
-                )
-        else:  # pragma: no cover - no other shapes exist
-            raise SimError(f"cannot rasterize shape {type(shape).__name__}")
-    return free
-
-
-def flood_fill(free: np.ndarray, start: Tuple[int, int]) -> np.ndarray:
-    """Cells 4-connected to ``start`` through the free mask.
-
-    Args:
-        free: boolean free-space raster (``(ny, nx)``).
-        start: seed cell as ``(iy, ix)``.
-
-    Returns:
-        A boolean mask of the reachable component (all-``False`` when
-        the seed cell itself is blocked).
-    """
-    ny, nx = free.shape
-    flat = free.ravel()
-    reach = np.zeros(ny * nx, dtype=bool)
-    s = start[0] * nx + start[1]
-    if not flat[s]:
-        return reach.reshape(ny, nx)
-    reach[s] = True
-    frontier = np.array([s], dtype=np.intp)
-    while frontier.size:
-        steps = [
-            frontier[frontier % nx != 0] - 1,
-            frontier[frontier % nx != nx - 1] + 1,
-            frontier[frontier >= nx] - nx,
-            frontier[frontier < (ny - 1) * nx] + nx,
-        ]
-        cand = np.concatenate(steps)
-        cand = cand[flat[cand] & ~reach[cand]]
-        if not cand.size:
-            break
-        cand = np.unique(cand)
-        reach[cand] = True
-        frontier = cand
-    return reach.reshape(ny, nx)
 
 
 def _raster_resolution(passage: float) -> float:

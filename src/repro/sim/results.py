@@ -35,11 +35,20 @@ SCALAR_COLUMNS = (
     "flight_time_s",
     "detection_rate",
     "coverage",
+    "coverage_raw",
+    "reachable_cells",
+    "grid_cells",
     "collisions",
     "frames_processed",
     "n_objects",
     "distance_flown_m",
 )
+
+#: Result-file schema. v2 added the reachable-free-space coverage
+#: columns (``coverage_raw``, ``reachable_cells``, ``grid_cells``) when
+#: ``coverage`` switched to reachable-cell normalization; v1 files load
+#: with backfilled defaults (see :meth:`MissionRecord.from_dict`).
+RESULT_SCHEMA = "repro.sim.campaign-result/v2"
 
 
 @dataclass(frozen=True)
@@ -49,6 +58,13 @@ class MissionRecord:
     ``events`` rows are ``(object_name, object_class, time_s,
     distance_m)`` tuples; ``series_times``/``series_coverage`` hold the
     coverage-over-time trace.
+
+    ``coverage`` is visited cells over the cells *reachable* from the
+    start pose; ``coverage_raw`` is the historical visited-over-all-cells
+    fraction, and ``reachable_cells``/``grid_cells`` are the two
+    denominators. Records loaded from pre-v2 result files backfill
+    ``coverage_raw = coverage`` (the old column *was* the raw fraction)
+    and zero cell counts (meaning "unknown").
     """
 
     index: int
@@ -65,6 +81,9 @@ class MissionRecord:
     frames_processed: int
     n_objects: int
     distance_flown_m: float
+    coverage_raw: float = 0.0
+    reachable_cells: int = 0
+    grid_cells: int = 0
     events: Tuple[Tuple[str, str, float, float], ...] = ()
     series_times: Tuple[float, ...] = ()
     series_coverage: Tuple[float, ...] = ()
@@ -104,6 +123,9 @@ class MissionRecord:
             frames_processed=self.frames_processed,
             collisions=self.collisions,
             distance_flown_m=self.distance_flown_m,
+            coverage_raw=self.coverage_raw,
+            reachable_cells=self.reachable_cells,
+            grid_cells=self.grid_cells,
         )
 
     @classmethod
@@ -125,6 +147,9 @@ class MissionRecord:
             frames_processed=result.frames_processed,
             n_objects=len(spec.scenario.objects),
             distance_flown_m=result.distance_flown_m,
+            coverage_raw=result.coverage_raw,
+            reachable_cells=result.reachable_cells,
+            grid_cells=result.grid_cells,
             events=tuple(
                 (e.object_name, e.object_class, e.time_s, e.distance_m)
                 for e in result.events
@@ -151,6 +176,9 @@ class MissionRecord:
             frames_processed=0,
             n_objects=0,
             distance_flown_m=result.distance_flown_m,
+            coverage_raw=result.coverage_raw,
+            reachable_cells=result.reachable_cells,
+            grid_cells=result.grid_cells,
             series_times=tuple(result.series.times.tolist()),
             series_coverage=tuple(result.series.coverage.tolist()),
         )
@@ -161,11 +189,21 @@ class MissionRecord:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MissionRecord":
-        """Inverse of :meth:`to_dict`."""
+        """Inverse of :meth:`to_dict`; accepts pre-v2 records.
+
+        A v1 record predates reachable-cell normalization: its
+        ``coverage`` column *was* the raw all-cells fraction, so
+        ``coverage_raw`` backfills from it; the cell counts, never
+        persisted, backfill as 0 ("unknown").
+        """
         data = dict(data)
         data["events"] = tuple(tuple(e) for e in data.get("events", ()))
         data["series_times"] = tuple(data.get("series_times", ()))
         data["series_coverage"] = tuple(data.get("series_coverage", ()))
+        if "coverage_raw" not in data:
+            data["coverage_raw"] = data.get("coverage", 0.0)
+        data.setdefault("reachable_cells", 0)
+        data.setdefault("grid_cells", 0)
         return cls(**data)
 
 
@@ -295,7 +333,7 @@ class CampaignResult:
     def to_dict(self) -> dict:
         """Full plain-data form: definition, hash and all records."""
         return {
-            "schema": "repro.sim.campaign-result/v1",
+            "schema": RESULT_SCHEMA,
             "campaign_hash": self.campaign_hash,
             "campaign": self.campaign,
             "records": [r.to_dict() for r in self.records],
@@ -325,7 +363,12 @@ class CampaignResult:
 
     @classmethod
     def load(cls, path: str) -> "CampaignResult":
-        """Load a result previously written by :meth:`save`."""
+        """Load a result previously written by :meth:`save`.
+
+        Any ``repro.sim.campaign-result/*`` schema version is accepted;
+        records from pre-v2 files backfill the reachable-coverage
+        columns (see :meth:`MissionRecord.from_dict`).
+        """
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
         schema = data.get("schema", "")

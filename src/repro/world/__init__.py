@@ -2,6 +2,14 @@
 
 from repro.world.objects import ObjectClass, SceneObject
 from repro.world.room import Obstacle, Room
+from repro.world.freespace import (
+    FINE_RESOLUTION_M,
+    VALIDATION_MARGIN_M,
+    flood_fill,
+    free_space_mask,
+    reachable_cell_mask,
+    reachable_free_mask,
+)
 from repro.world.layouts import (
     PAPER_ROOM_LENGTH_M,
     PAPER_ROOM_WIDTH_M,
@@ -19,6 +27,12 @@ __all__ = [
     "SceneObject",
     "Obstacle",
     "Room",
+    "FINE_RESOLUTION_M",
+    "VALIDATION_MARGIN_M",
+    "flood_fill",
+    "free_space_mask",
+    "reachable_cell_mask",
+    "reachable_free_mask",
     "PAPER_ROOM_LENGTH_M",
     "PAPER_ROOM_WIDTH_M",
     "paper_room",

@@ -61,6 +61,30 @@ class TestFlightExperiments:
         assert len(result.coverage) == 4
         assert all(0.0 <= v <= 1.0 for v in result.coverage.values())
 
+    def test_fig5_coverage_column_unchanged_by_normalization(self):
+        # Fig. 5 aggregates the campaign's `coverage` column. On the
+        # paper room every grid cell is reachable (pinned: 143 of 143),
+        # so the reachable-free-space normalization must reproduce the
+        # historical visited/n_cells values exactly -- the figure's
+        # regression values survive the metric fix untouched.
+        from repro.sim import Campaign, get_scenario, run_campaign
+
+        campaign = Campaign(
+            name="fig5-pin",
+            scenarios=(get_scenario("paper-room"),),
+            policies=("pseudo-random",),
+            speeds=(0.5,),
+            n_runs=2,
+            flight_time_s=20.0,
+            kind="explore",
+            seed=100,
+        )
+        result = run_campaign(campaign)
+        cols = result.columns()
+        assert cols["coverage"] == cols["coverage_raw"]
+        assert cols["reachable_cells"] == [143, 143]
+        assert cols["grid_cells"] == [143, 143]
+
     def test_table3(self):
         result = table3.run(TINY, widths=("1.0",), speeds=(0.5,))
         assert len(result.rates) == 4

@@ -19,11 +19,46 @@ class TestOccupancyGrid:
         with pytest.raises(WorldError):
             OccupancyGrid(paper_room(), cell_size=0.0)
 
-    def test_cell_of_clamps(self):
+    def test_cell_of_clamps_wall_touches(self):
         grid = OccupancyGrid(Room(2.0, 2.0))
         assert grid.cell_of(Vec2(0.1, 0.1)) == (0, 0)
+        # On the far walls the position still counts inside the room.
         assert grid.cell_of(Vec2(2.0, 2.0)) == (grid.nx - 1, grid.ny - 1)
-        assert grid.cell_of(Vec2(-1.0, 5.0)) == (0, grid.ny - 1)
+        assert grid.cell_of(Vec2(0.0, 2.0)) == (0, grid.ny - 1)
+
+    def test_cell_of_rejects_out_of_room(self):
+        # Regression: these used to clamp into edge cells, silently
+        # accruing coverage for poses outside the room.
+        grid = OccupancyGrid(Room(2.0, 2.0))
+        with pytest.raises(WorldError):
+            grid.cell_of(Vec2(-1.0, 5.0))
+        with pytest.raises(WorldError):
+            grid.cell_of(Vec2(0.5, 2.1))
+
+    def test_cell_of_rejects_non_finite(self):
+        grid = OccupancyGrid(Room(2.0, 2.0))
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(WorldError):
+                grid.cell_of(Vec2(bad, 0.5))
+            with pytest.raises(WorldError):
+                grid.cell_of(Vec2(0.5, bad))
+
+    def test_record_counts_out_of_room_dwell_separately(self):
+        grid = OccupancyGrid(Room(2.0, 2.0), cell_size=0.5)
+        grid.record(Vec2(-0.3, 1.0), 0.02)
+        grid.record(Vec2(1.0, 2.4), 0.02)
+        assert grid.visited_count() == 0
+        assert grid.coverage() == 0.0
+        assert grid.out_of_room_count == 2
+        assert grid.out_of_room_time == pytest.approx(0.04)
+        grid.record(Vec2(1.0, 1.0), 0.02)
+        assert grid.visited_count() == 1
+        assert grid.out_of_room_count == 2
+
+    def test_record_rejects_non_finite(self):
+        grid = OccupancyGrid(Room(2.0, 2.0))
+        with pytest.raises(WorldError):
+            grid.record(Vec2(float("nan"), 1.0), 0.02)
 
     def test_record_and_coverage(self):
         grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
@@ -32,6 +67,41 @@ class TestOccupancyGrid:
         grid.record(Vec2(0.75, 0.25), 0.1)
         assert grid.visited_count() == 2
         assert grid.coverage() == pytest.approx(0.5)
+
+    def test_no_start_means_raw_normalization(self):
+        grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
+        assert grid.reachable_cells == grid.n_cells
+        assert grid.reachable_mask.all()
+        grid.record(Vec2(0.25, 0.25), 0.1)
+        assert grid.coverage() == grid.coverage_raw()
+
+    def test_fully_reachable_grid_matches_raw_exactly(self):
+        # The paper room is empty: every cell is reachable, so the
+        # normalized and the raw fraction agree down to the float.
+        grid = OccupancyGrid(paper_room(), start=Vec2(1.0, 1.0))
+        assert grid.reachable_cells == grid.n_cells == 143
+        for x, y in [(1.0, 1.0), (3.3, 2.2), (6.4, 5.4), (0.1, 5.0)]:
+            grid.record(Vec2(x, y), 0.02)
+        assert grid.coverage() == grid.visited_count() / grid.n_cells
+        assert grid.coverage() == grid.coverage_raw()
+
+    def test_unreachable_cells_excluded_both_ways(self):
+        # A wall splits the room; cells behind it are unreachable from
+        # the start, so they count in neither numerator nor denominator.
+        from repro.geometry.shapes import AABB
+        from repro.world.room import Obstacle
+
+        room = Room(4.0, 2.0, [Obstacle(AABB(1.9, 0.0, 2.1, 2.0), name="wall")])
+        grid = OccupancyGrid(room, cell_size=0.5, start=Vec2(0.5, 0.5))
+        assert 0 < grid.reachable_cells < grid.n_cells
+        # Sweep every cell centre, including the sealed right half.
+        for iy in range(grid.ny):
+            for ix in range(grid.nx):
+                grid.record(Vec2((ix + 0.5) * 0.5, (iy + 0.5) * 0.5), 0.02)
+        assert grid.visited_count() == grid.n_cells
+        assert grid.coverage() == 1.0
+        assert grid.coverage_raw() == 1.0
+        assert grid.visited_reachable_count() == grid.reachable_cells
 
     def test_occupancy_time_accumulates(self):
         grid = OccupancyGrid(Room(1.0, 1.0), cell_size=0.5)
@@ -70,6 +140,19 @@ class TestMocapTracker:
         tracker.observe(DroneState(Vec2(1.0, 1.0), 0.0, time=0.0))
         assert tracker.coverage() == pytest.approx(1.0 / 143.0)
 
+    def test_coverage_normalized_by_reachable_cells(self):
+        from repro.geometry.shapes import AABB
+        from repro.world.room import Obstacle
+
+        room = Room(4.0, 2.0, [Obstacle(AABB(1.9, 0.0, 2.1, 2.0), name="wall")])
+        tracker = MotionCaptureTracker(room, start=Vec2(0.5, 0.5))
+        assert tracker.reachable_cells == tracker.grid.reachable_cells
+        assert tracker.reachable_cells < tracker.grid.n_cells
+        tracker.observe(DroneState(Vec2(0.5, 0.5), 0.0, time=0.0))
+        assert tracker.coverage() == 1.0 / tracker.reachable_cells
+        assert tracker.coverage_raw() == 1.0 / tracker.grid.n_cells
+        assert tracker.coverage() > tracker.coverage_raw()
+
 
 class TestCoverageSeries:
     def test_monotone_time_enforced(self):
@@ -102,3 +185,27 @@ class TestCoverageSeries:
     def test_mean_requires_series(self):
         with pytest.raises(ValueError):
             CoverageSeries.mean_and_variance([], np.array([0.0]))
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_append_rejects_non_finite_time(self, bad):
+        s = CoverageSeries()
+        with pytest.raises(ValueError):
+            s.append(bad, 0.1)
+        assert len(s.times) == 0  # nothing was recorded
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_append_rejects_non_finite_coverage(self, bad):
+        s = CoverageSeries()
+        s.append(0.0, 0.0)
+        with pytest.raises(ValueError):
+            s.append(1.0, bad)
+        # The poisoned sample never entered the aggregates.
+        mean, var = CoverageSeries.mean_and_variance([s], np.array([0.0, 2.0]))
+        assert np.isfinite(mean).all() and np.isfinite(var).all()
+
+    def test_empty_series_paths(self):
+        s = CoverageSeries()
+        assert s.final() == 0.0
+        assert s.at(3.0) == 0.0
+        assert s.at_many(np.array([0.0, 1.0])).tolist() == [0.0, 0.0]
+        assert s.times.size == 0 and s.coverage.size == 0

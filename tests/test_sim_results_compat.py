@@ -1,0 +1,113 @@
+"""Results-schema back-compat: v1 files load, v2 round-trips, pool == serial.
+
+``tests/data/campaign-v1-fixture-067668d01c37.json`` was persisted by
+the pre-bump (v1) code, before the ``coverage_raw`` / ``reachable_cells``
+/ ``grid_cells`` columns and the reachable-cell normalization existed.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.sim import Campaign, CampaignResult, GeneratedSpec, get_scenario, run_campaign
+from repro.sim.results import RESULT_SCHEMA, SCALAR_COLUMNS, MissionRecord
+
+FIXTURE = os.path.join(
+    os.path.dirname(__file__), "data", "campaign-v1-fixture-067668d01c37.json"
+)
+
+
+def fixture_campaign() -> Campaign:
+    """The exact campaign definition the v1 fixture was produced from."""
+    return Campaign(
+        name="v1-fixture",
+        scenarios=(get_scenario("paper-room"),),
+        policies=("pseudo-random",),
+        n_runs=2,
+        flight_time_s=6.0,
+        seed=21,
+    )
+
+
+class TestV1FixtureLoads:
+    def test_fixture_really_is_v1(self):
+        with open(FIXTURE, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        assert raw["schema"] == "repro.sim.campaign-result/v1"
+        assert all("coverage_raw" not in r for r in raw["records"])
+
+    def test_load_backfills_new_columns(self):
+        result = CampaignResult.load(FIXTURE)
+        assert len(result) == 2
+        for record in result.records:
+            # v1 coverage *was* the raw fraction.
+            assert record.coverage_raw == record.coverage
+            assert record.reachable_cells == 0
+            assert record.grid_cells == 0
+        # The new columns are live columns, not just fields.
+        cols = result.columns()
+        assert cols["coverage_raw"] == cols["coverage"]
+        assert set(SCALAR_COLUMNS) == set(cols)
+
+    def test_rerun_matches_fixture_on_fully_reachable_world(self):
+        # The paper room is fully reachable, so the corrected metric
+        # must reproduce the v1 coverage numbers bit-for-bit.
+        old = CampaignResult.load(FIXTURE)
+        new = run_campaign(fixture_campaign())
+        assert new.campaign_hash == old.campaign_hash
+        assert [r.coverage for r in new.records] == [r.coverage for r in old.records]
+        for record in new.records:
+            assert record.coverage_raw == record.coverage
+            assert record.reachable_cells == record.grid_cells == 143
+
+
+class TestV2RoundTrip:
+    def test_schema_bumped_and_round_trips(self, tmp_path):
+        result = run_campaign(fixture_campaign())
+        path = result.save(str(tmp_path))
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        assert raw["schema"] == RESULT_SCHEMA == "repro.sim.campaign-result/v2"
+        loaded = CampaignResult.load(path)
+        assert loaded.records == result.records
+        assert loaded.to_json() == result.to_json()
+
+    def test_record_round_trip_preserves_new_fields(self):
+        record = run_campaign(fixture_campaign()).records[0]
+        assert record.reachable_cells == 143
+        clone = MissionRecord.from_dict(record.to_dict())
+        assert clone == record
+
+
+class TestSerialEqualsPooled:
+    def test_records_identical_including_new_columns(self):
+        campaign = Campaign(
+            name="compat-pool",
+            generated=(
+                GeneratedSpec.create(
+                    "perfect-maze",
+                    {"cols": 6, "rows": 5, "cell_m": 1.1},
+                    seed=1,
+                ),
+            ),
+            n_runs=2,
+            flight_time_s=8.0,
+            kind="explore",
+            seed=5,
+        )
+        serial = run_campaign(campaign, workers=None)
+        pooled = run_campaign(campaign, workers=2)
+        assert serial.records == pooled.records
+        assert serial.to_json() == pooled.to_json()
+        for field in ("coverage", "coverage_raw", "reachable_cells", "grid_cells"):
+            assert [getattr(r, field) for r in serial.records] == [
+                getattr(r, field) for r in pooled.records
+            ]
+        # The generated maze has unreachable grid cells, so the
+        # normalization is live on this world (143 of 154 reachable).
+        for record in serial.records:
+            assert record.reachable_cells == 143
+            assert record.grid_cells == 154
+            assert record.coverage > record.coverage_raw
+            assert record.coverage <= 1.0
