@@ -1,15 +1,32 @@
-"""Campaign engine throughput: serial vs. pooled missions/sec.
+"""Campaign engine throughput: serial vs. pooled vs. cache-hit missions/sec.
 
 Runs the same 16-mission campaign (4 scenarios x 2 policies x 2 runs)
 through the serial path and through a multiprocessing pool, reports
 missions/sec for both, and verifies the two paths produce bit-identical
 records. The speedup assertion only applies on machines with enough
 cores -- on a 1-2 core box the pool merely pays its fork overhead.
+
+Run as a script to also measure the execution layer itself and emit a
+JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_campaign_throughput.py \\
+        --out BENCH_campaign_throughput.json
+
+which adds two sections: ``executor_overhead`` (per-job cost of the
+JobSpec hash + executor bookkeeping against calling the function
+directly, with and without a cache) and ``cache_hit_throughput`` (the
+same campaign re-run against a warm cache: zero missions executed, all
+records loaded).
 """
 
+import argparse
+import json
 import os
+import tempfile
 import time
 
+from repro.exec import Executor, JobSpec, ResultCache
+from repro.exec.demo import scaled_sum
 from repro.experiments.reporting import ascii_table
 from repro.sim import Campaign, get_scenario, run_campaign
 
@@ -18,7 +35,7 @@ from repro.sim import Campaign, get_scenario, run_campaign
 FLIGHT_TIME_S = 30.0
 
 
-def build_campaign() -> Campaign:
+def build_campaign(flight_time_s: float = FLIGHT_TIME_S) -> Campaign:
     return Campaign(
         name="throughput",
         scenarios=tuple(
@@ -27,9 +44,144 @@ def build_campaign() -> Campaign:
         ),
         policies=("pseudo-random", "spiral"),
         n_runs=2,
-        flight_time_s=FLIGHT_TIME_S,
+        flight_time_s=flight_time_s,
         seed=2023,
     )
+
+
+def bench_executor_overhead(n_jobs: int = 500) -> dict:
+    """Per-job cost of the execution layer on trivial jobs.
+
+    Compares ``n_jobs`` direct calls of a no-op-sized function against
+    the same calls submitted as jobs (hashing + bookkeeping, no cache),
+    then against a cold cache (adds the store) and a warm cache (pure
+    hit path).
+    """
+    jobs = [
+        JobSpec(
+            fn="repro.exec.demo:scaled_sum",
+            kwargs={"values": [float(i)], "factor": 2.0},
+            version="bench/v1",
+        )
+        for i in range(n_jobs)
+    ]
+
+    start = time.perf_counter()
+    direct = [scaled_sum([float(i)], 2.0) for i in range(n_jobs)]
+    direct_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    uncached = Executor().run(jobs)
+    executor_s = time.perf_counter() - start
+    assert uncached == direct
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        start = time.perf_counter()
+        Executor(cache=cache).run(jobs)
+        cold_cache_s = time.perf_counter() - start
+        hit_executor = Executor(cache=cache)
+        start = time.perf_counter()
+        hits = hit_executor.run(jobs)
+        warm_cache_s = time.perf_counter() - start
+        assert hits == direct
+        assert hit_executor.last_report.executed == 0
+
+    return {
+        "n_jobs": n_jobs,
+        "direct_s": direct_s,
+        "executor_s": executor_s,
+        "cold_cache_s": cold_cache_s,
+        "warm_cache_s": warm_cache_s,
+        "overhead_us_per_job": (executor_s - direct_s) / n_jobs * 1e6,
+        "store_us_per_job": (cold_cache_s - direct_s) / n_jobs * 1e6,
+        "hit_us_per_job": warm_cache_s / n_jobs * 1e6,
+    }
+
+
+def bench_cache_hit_throughput(campaign: Campaign, executed_s: float) -> dict:
+    """Missions/sec when every mission of ``campaign`` is a cache hit."""
+    n = len(campaign.missions())
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        warm = run_campaign(campaign, cache=cache)
+        start = time.perf_counter()
+        hit = run_campaign(campaign, cache=cache)
+        hit_s = time.perf_counter() - start
+    assert hit.execution.executed == 0, hit.execution
+    assert hit.execution.cached == n
+    assert warm.to_json() == hit.to_json()
+    return {
+        "missions": n,
+        "wall_s": hit_s,
+        "missions_per_s": n / hit_s if hit_s > 0 else float("inf"),
+        "speedup_vs_serial": executed_s / hit_s if hit_s > 0 else float("inf"),
+    }
+
+
+def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
+    campaign = build_campaign(10.0 if quick else FLIGHT_TIME_S)
+    n = len(campaign.missions())
+
+    start = time.perf_counter()
+    serial = run_campaign(campaign, workers=None)
+    serial_s = time.perf_counter() - start
+
+    cores = os.cpu_count() or 1
+    pool_workers = min(4, max(2, cores))
+    start = time.perf_counter()
+    pooled = run_campaign(campaign, workers=pool_workers)
+    pooled_s = time.perf_counter() - start
+    assert serial.to_json() == pooled.to_json()
+
+    overhead = bench_executor_overhead(100 if quick else 500)
+    cache_hits = bench_cache_hit_throughput(campaign, serial_s)
+
+    print(
+        ascii_table(
+            ["path", "workers", "wall [s]", "missions/s"],
+            [
+                ["serial", "1", f"{serial_s:.2f}", f"{n / serial_s:.2f}"],
+                ["pool", str(pool_workers), f"{pooled_s:.2f}", f"{n / pooled_s:.2f}"],
+                [
+                    "cache hit",
+                    "1",
+                    f"{cache_hits['wall_s']:.2f}",
+                    f"{cache_hits['missions_per_s']:.2f}",
+                ],
+            ],
+            title=(
+                f"campaign throughput: {n} missions x "
+                f"{campaign.flight_time_s:.0f} s simulated flight ({cores} cores)"
+            ),
+        )
+    )
+    print(
+        f"executor overhead: {overhead['overhead_us_per_job']:.0f} us/job, "
+        f"cache store {overhead['store_us_per_job']:.0f} us/job, "
+        f"cache hit {overhead['hit_us_per_job']:.0f} us/job"
+    )
+
+    payload = {
+        "campaign": {
+            "missions": n,
+            "flight_time_s": campaign.flight_time_s,
+            "cores": cores,
+            "serial_s": serial_s,
+            "pooled_s": pooled_s,
+            "pool_workers": pool_workers,
+            "serial_missions_per_s": n / serial_s,
+            "pooled_missions_per_s": n / pooled_s,
+            "pool_speedup": serial_s / pooled_s,
+        },
+        "executor_overhead": overhead,
+        "cache_hit_throughput": cache_hits,
+    }
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {out_path}")
+    return payload
 
 
 def test_campaign_throughput():
@@ -73,3 +225,28 @@ def test_campaign_throughput():
         assert serial_s / pooled_s >= 2.0, (
             f"expected >= 2x speedup on {cores} cores, got {serial_s / pooled_s:.2f}x"
         )
+
+
+def test_cache_hit_reuse():
+    """A warm cache serves the whole campaign with zero executions."""
+    campaign = build_campaign(flight_time_s=10.0)
+    report = bench_cache_hit_throughput(campaign, executed_s=1.0)
+    assert report["missions"] == 16
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="10 s flights and fewer overhead jobs (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_campaign_throughput.json",
+        help="path of the emitted JSON report",
+    )
+    args = parser.parse_args(argv)
+    run_benchmarks(quick=args.quick, out_path=args.out)
+
+
+if __name__ == "__main__":
+    main()

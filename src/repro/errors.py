@@ -39,3 +39,7 @@ class MissionError(ReproError):
 
 class SimError(ReproError):
     """Raised on invalid scenarios, campaigns or campaign results."""
+
+
+class ExecError(ReproError):
+    """Raised on invalid job specs, executors or result caches."""

@@ -1,0 +1,55 @@
+"""Unified execution layer: jobs, executors and the result cache.
+
+Everything the repository runs -- mission campaigns and training-bound
+experiments alike -- flows through this package as
+:class:`~repro.exec.jobspec.JobSpec` values: self-contained, picklable
+descriptions of one deterministic computation. An
+:class:`~repro.exec.executor.Executor` runs them serially or through a
+process pool with bit-identical results, and a persistent
+:class:`~repro.exec.cache.ResultCache` keyed by each job's
+:meth:`~repro.exec.jobspec.JobSpec.content_hash` makes reruns
+incremental: work whose (callable, inputs, seed stream, code version)
+already ran is loaded, not recomputed -- across campaigns, across
+experiments, across processes.
+
+See ``docs/execution.md`` for the determinism contract and the cache
+directory layout.
+"""
+
+from repro.exec.cache import (
+    CACHE_DIR_ENV,
+    CACHE_SCHEMA,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+    open_cache,
+)
+from repro.exec.executor import (
+    ExecutionReport,
+    Executor,
+    ProgressCallback,
+    resolve_workers,
+)
+from repro.exec.jobspec import (
+    JobSpec,
+    canonical_json,
+    canonical_value,
+    json_roundtrip,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_SCHEMA",
+    "CacheStats",
+    "ExecutionReport",
+    "Executor",
+    "JobSpec",
+    "ProgressCallback",
+    "ResultCache",
+    "canonical_json",
+    "canonical_value",
+    "default_cache_dir",
+    "json_roundtrip",
+    "open_cache",
+    "resolve_workers",
+]

@@ -1,0 +1,204 @@
+"""Persistent result cache keyed by job content hash.
+
+One JSON file per cached result, sharded by the first two hex digits of
+the :meth:`~repro.exec.jobspec.JobSpec.content_hash`::
+
+    <cache-dir>/
+        ab/
+            ab3f...9c.json      {"schema": ..., "job": ..., "result": ...}
+        f0/
+            f04d...11.json
+
+Files carry a versioned schema string; entries written by an older (or
+newer) cache layout are treated as misses, never as errors. Cache files
+are written atomically (temp file + ``os.replace``) so a crashed run
+cannot leave a torn entry behind, and their content is deterministic:
+the same job always produces byte-identical cache files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from typing import Any, NamedTuple, Optional, Tuple
+
+from repro.errors import ExecError
+from repro.exec.jobspec import JobSpec, canonical_json, json_roundtrip
+
+#: Cache-entry schema; bump when the on-disk layout changes so old
+#: entries read as misses instead of mis-parsing.
+CACHE_SCHEMA = "repro.exec.result/v1"
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Fallback cache directory, relative to the current working directory.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def default_cache_dir() -> str:
+    """The cache directory the CLIs use: ``$REPRO_CACHE_DIR`` or
+    ``.repro-cache`` under the current working directory."""
+    return os.environ.get(CACHE_DIR_ENV) or DEFAULT_CACHE_DIR
+
+
+class CacheStats(NamedTuple):
+    """Point-in-time size of a cache directory."""
+
+    entries: int  #: number of valid-looking entry files
+    total_bytes: int  #: bytes on disk across those entries
+
+
+@dataclass
+class ResultCache:
+    """JSON-on-disk store of job results, keyed by content hash.
+
+    The cache is safe to share between experiments and campaigns: keys
+    cover the full job identity (callable, kwargs, seed provenance,
+    code version), so a hit is a proof that the exact same computation
+    already ran. Session counters (:attr:`hits`/:attr:`misses`/
+    :attr:`stores`) track how this instance was used; they reset with
+    the instance, not the directory.
+
+    Example:
+        >>> import tempfile
+        >>> from repro.exec import JobSpec, ResultCache
+        >>> job = JobSpec(fn="repro.exec.demo:scaled_sum",
+        ...               kwargs={"values": [1.0, 2.0], "factor": 3.0})
+        >>> with tempfile.TemporaryDirectory() as tmp:
+        ...     cache = ResultCache(tmp)
+        ...     _ = cache.get(job)          # miss
+        ...     _ = cache.put(job, job.run())
+        ...     cache.get(job)              # hit
+        (9.0, True)
+    """
+
+    directory: str
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ExecError("cache needs a directory")
+
+    # -- paths ------------------------------------------------------------
+
+    def entry_path(self, content_hash: str) -> str:
+        """Where the entry for ``content_hash`` lives (existing or not)."""
+        if len(content_hash) < 3:
+            raise ExecError(f"implausible content hash {content_hash!r}")
+        return os.path.join(self.directory, content_hash[:2], f"{content_hash}.json")
+
+    # -- lookup -----------------------------------------------------------
+
+    def get(self, job: JobSpec) -> Tuple[Any, bool]:
+        """Look up ``job``'s result.
+
+        Returns:
+            ``(result, True)`` on a hit, ``(None, False)`` on a miss.
+            Corrupt files, schema mismatches and entries whose stored
+            job identity disagrees with the hash all read as misses.
+        """
+        value, hit = self._load(job)
+        if hit:
+            self.hits += 1
+        else:
+            self.misses += 1
+        return value, hit
+
+    def _load(self, job: JobSpec) -> Tuple[Any, bool]:
+        path = self.entry_path(job.content_hash())
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None, False
+        if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA:
+            return None, False
+        if data.get("job") != job.to_dict():
+            # Either a (vanishingly unlikely) hash collision or a
+            # hand-edited file; refuse to serve someone else's result.
+            return None, False
+        return data.get("result"), True
+
+    def put(self, job: JobSpec, result: Any) -> str:
+        """Store ``result`` for ``job``; returns the entry path.
+
+        The result is normalized through a JSON round trip first, so
+        what later runs load from disk is byte-identical to what this
+        run returned.
+        """
+        entry = {
+            "schema": CACHE_SCHEMA,
+            "job": job.to_dict(),
+            "result": json_roundtrip(result),
+        }
+        path = self.entry_path(job.content_hash())
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=os.path.dirname(path), prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(canonical_json(entry))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):  # pragma: no cover - cleanup path
+                os.unlink(tmp)
+            raise
+        self.stores += 1
+        return path
+
+    # -- maintenance ------------------------------------------------------
+
+    def _entry_files(self):
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(".json") and not name.startswith("."):
+                    yield os.path.join(shard_dir, name)
+
+    def stats(self) -> CacheStats:
+        """Entry count and bytes on disk (walks the directory)."""
+        entries = 0
+        total = 0
+        for path in self._entry_files():
+            try:
+                total += os.path.getsize(path)
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            entries += 1
+        return CacheStats(entries=entries, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self._entry_files():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+        return removed
+
+
+def open_cache(
+    directory: Optional[str] = None, enabled: bool = True
+) -> Optional[ResultCache]:
+    """CLI helper: the cache to use, or ``None`` when disabled.
+
+    Args:
+        directory: explicit cache directory; ``None`` falls back to
+            :func:`default_cache_dir`.
+        enabled: ``False`` (a ``--no-cache`` flag) returns ``None``.
+    """
+    if not enabled:
+        return None
+    return ResultCache(directory or default_cache_dir())

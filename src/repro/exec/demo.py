@@ -1,0 +1,53 @@
+"""Tiny deterministic callables for executor tests and examples.
+
+Real workloads live in :mod:`repro.sim.runner` (missions) and
+:mod:`repro.experiments.jobs` (training/deployment); these functions
+exist so the execution layer can be demonstrated -- and its tests can
+exercise hashing, caching and pool transport -- without flying a drone
+or training a network.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ExecError
+
+
+def scaled_sum(values: Sequence[float], factor: float = 1.0) -> float:
+    """``sum(values) * factor`` -- the smallest possible deterministic job.
+
+    Example:
+        >>> from repro.exec.demo import scaled_sum
+        >>> scaled_sum([1.0, 2.0], factor=3.0)
+        9.0
+    """
+    return float(sum(values)) * factor
+
+
+def seeded_normals(
+    n: int, seed: Optional[np.random.SeedSequence] = None
+) -> List[float]:
+    """``n`` standard-normal draws from the injected seed stream.
+
+    Jobs built with ``seed_entropy``/``spawn_key`` receive ``seed`` as
+    a spawned :class:`~numpy.random.SeedSequence`; the same provenance
+    always produces the same floats, in any process.
+    """
+    rng = np.random.default_rng(seed)
+    return [float(x) for x in rng.standard_normal(n)]
+
+
+def sleepy_echo(value: float, sleep_s: float = 0.0) -> float:
+    """Return ``value`` after sleeping -- a tunable-cost job for benches."""
+    if sleep_s > 0.0:
+        time.sleep(sleep_s)
+    return value
+
+
+def always_fails(message: str = "boom") -> None:
+    """Raise ``ExecError(message)`` -- the error-propagation test job."""
+    raise ExecError(message)

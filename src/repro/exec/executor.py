@@ -1,0 +1,208 @@
+"""The one execution engine behind campaigns and experiments.
+
+Runs a list of :class:`~repro.exec.jobspec.JobSpec` through a serial
+loop or a ``multiprocessing`` pool, with an optional persistent
+:class:`~repro.exec.cache.ResultCache` consulted first. All three paths
+-- serial, pooled, cache hit -- return byte-identical results: jobs are
+self-contained and deterministic, and every result is normalized
+through the same JSON round trip before it reaches the caller (see
+:func:`~repro.exec.jobspec.json_roundtrip`).
+
+Within one ``run()`` call, jobs sharing a content hash execute once;
+the result fans out to every duplicate. Progress callbacks fire in the
+parent process as jobs complete: cache hits first (in job order), then
+executions in completion order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExecError
+from repro.exec.cache import ResultCache
+from repro.exec.jobspec import JobSpec, json_roundtrip
+
+#: Progress callback signature: ``(done, total, job, result, cached)``.
+#: ``cached`` is ``True`` when the result was not freshly executed for
+#: this job -- a cache-file hit or an in-run duplicate of another job.
+ProgressCallback = Callable[[int, int, JobSpec, Any, bool], None]
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker count: ``None`` -> serial, ``0`` -> all cores.
+
+    Raises:
+        ExecError: for a negative count.
+    """
+    if workers is None:
+        return 1
+    if workers == 0:
+        return os.cpu_count() or 1
+    if workers < 0:
+        raise ExecError(f"workers must be >= 0, got {workers}")
+    return workers
+
+
+@dataclass(frozen=True)
+class ExecutionReport:
+    """What one :meth:`Executor.run` call actually did.
+
+    Attributes:
+        total: number of jobs submitted.
+        executed: jobs whose callable actually ran (unique executions).
+        cached: jobs served without running -- persistent-cache hits
+            plus in-run duplicates of an executed job.
+        elapsed_s: wall-clock seconds of the whole run.
+    """
+
+    total: int
+    executed: int
+    cached: int
+    elapsed_s: float
+
+    def summary(self) -> str:
+        """One-line human description, e.g. ``"12 jobs: 9 cached, 3 executed"``."""
+        return (
+            f"{self.total} jobs: {self.cached} cached, {self.executed} executed "
+            f"in {self.elapsed_s:.1f} s"
+        )
+
+
+def _run_indexed(item: Tuple[int, JobSpec]) -> Tuple[int, Any]:
+    """Pool worker entry point: execute one job, keep its index."""
+    index, job = item
+    return index, job.run()
+
+
+class Executor:
+    """Serial or process-pool job execution with result caching.
+
+    Args:
+        workers: ``None``/``1`` for the serial path, ``0`` for one
+            worker per CPU core, otherwise the pool size. If no pool
+            can be created (restricted environments), execution falls
+            back to the serial path -- results are identical either way.
+        cache: optional persistent result cache consulted before (and
+            filled after) every execution; ``None`` disables caching.
+
+    Example:
+        >>> from repro.exec import Executor, JobSpec
+        >>> jobs = [
+        ...     JobSpec(fn="repro.exec.demo:scaled_sum",
+        ...             kwargs={"values": [1.0, float(i)], "factor": 2.0})
+        ...     for i in range(3)
+        ... ]
+        >>> executor = Executor()
+        >>> executor.run(jobs)
+        [2.0, 4.0, 6.0]
+        >>> executor.last_report.summary()
+        '3 jobs: 0 cached, 3 executed in 0.0 s'
+    """
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+    ):
+        self.workers = resolve_workers(workers)
+        self.cache = cache
+        self.last_report: Optional[ExecutionReport] = None
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[Any]:
+        """Execute ``jobs`` and return their results in job order.
+
+        Args:
+            jobs: the specs to run.
+            progress: optional callback invoked once per job as results
+                become available, with ``(done, total, job, result,
+                cached)``; runs in the parent process.
+
+        Returns:
+            One (JSON-normalized) result per job, in input order.
+        """
+        start = time.perf_counter()
+        jobs = list(jobs)
+        total = len(jobs)
+        results: List[Any] = [None] * total
+        served = [False] * total
+        done = 0
+
+        # 1. Serve what the persistent cache already knows.
+        if self.cache is not None:
+            for i, job in enumerate(jobs):
+                value, hit = self.cache.get(job)
+                if hit:
+                    results[i] = value
+                    served[i] = True
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, job, value, True)
+
+        # 2. Group the remainder by content hash: duplicates of one
+        #    computation execute once and fan out.
+        groups: Dict[str, List[int]] = {}
+        for i, job in enumerate(jobs):
+            if not served[i]:
+                groups.setdefault(job.content_hash(), []).append(i)
+        unique = [(indices[0], jobs[indices[0]]) for indices in groups.values()]
+
+        executed = 0
+        for index, raw in self._execute(unique):
+            value = json_roundtrip(raw)
+            job = jobs[index]
+            if self.cache is not None:
+                self.cache.put(job, value)
+            executed += 1
+            for k, i in enumerate(groups[job.content_hash()]):
+                results[i] = value
+                served[i] = True
+                done += 1
+                if progress is not None:
+                    progress(done, total, jobs[i], value, k > 0)
+
+        self.last_report = ExecutionReport(
+            total=total,
+            executed=executed,
+            cached=total - executed,
+            elapsed_s=time.perf_counter() - start,
+        )
+        return results
+
+    # -- backends ---------------------------------------------------------
+
+    def _execute(self, items: List[Tuple[int, JobSpec]]):
+        """Yield ``(index, raw_result)`` for every item, any order."""
+        if self.workers > 1 and len(items) > 1:
+            pooled = self._execute_pooled(items, min(self.workers, len(items)))
+            if pooled is not None:
+                return pooled
+        return map(_run_indexed, items)
+
+    @staticmethod
+    def _execute_pooled(items, n_workers: int):
+        """Run through a pool; ``None`` if no pool can be created."""
+        try:
+            pool = multiprocessing.Pool(processes=n_workers)
+        except (OSError, ValueError, ImportError):  # pragma: no cover - env specific
+            return None
+
+        def results():
+            try:
+                # ``with pool`` terminates on exit: when a job raises,
+                # the queued remainder is killed immediately instead of
+                # burning the rest of the batch before the error surfaces.
+                with pool:
+                    for indexed in pool.imap_unordered(_run_indexed, items):
+                        yield indexed
+            finally:
+                pool.join()
+
+        return results()

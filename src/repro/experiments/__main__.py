@@ -3,7 +3,15 @@
 Usage:
     python -m repro.experiments list
     python -m repro.experiments table2 fig5
-    python -m repro.experiments all --full
+    python -m repro.experiments all --full --workers 0
+    python -m repro.experiments cache stats
+
+Every experiment runs through the shared execution layer
+(:mod:`repro.exec`): ``--workers`` fans independent jobs (missions,
+per-width trainings) over a process pool, and results are cached under
+``.repro-cache`` (``--cache-dir`` / ``$REPRO_CACHE_DIR`` override) so
+repeated runs -- and experiments sharing work, like Tables II and IV --
+load finished jobs instead of recomputing them. ``--no-cache`` opts out.
 """
 
 from __future__ import annotations
@@ -12,20 +20,38 @@ import argparse
 import sys
 import time
 
+from repro.exec import ResultCache, default_cache_dir, open_cache
 from repro.experiments import FULL_SCALE, SMOKE_SCALE
 from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
 
-# Flight experiments route through the repro.sim campaign engine and
-# accept a worker-pool size; the static ones ignore it.
+# Every experiment accepts the shared executor knobs: a worker-pool
+# size and an optional persistent result cache.
 _EXPERIMENTS = {
-    "table1": lambda s, w: table1.format_table(table1.run(s)),
-    "table2": lambda s, w: table2.format_table(table2.run(s)),
-    "table3": lambda s, w: table3.format_table(table3.run(s, workers=w)),
-    "table4": lambda s, w: table4.format_table(table4.run(s)),
-    "fig3": lambda s, w: fig3.format_maps(fig3.run(s)),
-    "fig5": lambda s, w: fig5.format_table(fig5.run(s, workers=w)),
-    "fig6": lambda s, w: fig6.format_figure(fig6.run(s, workers=w)),
+    "table1": lambda s, w, c: table1.format_table(table1.run(s, workers=w, cache=c)),
+    "table2": lambda s, w, c: table2.format_table(table2.run(s, workers=w, cache=c)),
+    "table3": lambda s, w, c: table3.format_table(table3.run(s, workers=w, cache=c)),
+    "table4": lambda s, w, c: table4.format_table(table4.run(s, workers=w, cache=c)),
+    "fig3": lambda s, w, c: fig3.format_maps(fig3.run(s, workers=w, cache=c)),
+    "fig5": lambda s, w, c: fig5.format_table(fig5.run(s, workers=w, cache=c)),
+    "fig6": lambda s, w, c: fig6.format_figure(fig6.run(s, workers=w, cache=c)),
 }
+
+
+def _cmd_cache(names, cache_dir) -> int:
+    action = names[1] if len(names) > 1 else "stats"
+    if action not in ("stats", "clear"):
+        print(f"error: unknown cache action {action!r} (stats, clear)", file=sys.stderr)
+        return 2
+    cache = ResultCache(cache_dir or default_cache_dir())
+    if action == "clear":
+        print(f"removed {cache.clear()} cached results from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(
+        f"cache {cache.directory}: {stats.entries} results, "
+        f"{stats.total_bytes / 1e6:.2f} MB"
+    )
+    return 0
 
 
 def main(argv=None) -> int:
@@ -35,7 +61,10 @@ def main(argv=None) -> int:
     parser.add_argument(
         "names",
         nargs="+",
-        help="experiment names (table1..table4, fig3, fig5, fig6), 'all', or 'list'",
+        help=(
+            "experiment names (table1..table4, fig3, fig5, fig6), 'all', "
+            "'list', or 'cache stats'/'cache clear'"
+        ),
     )
     parser.add_argument(
         "--full", action="store_true", help="paper-scale runs (slow)"
@@ -44,23 +73,43 @@ def main(argv=None) -> int:
         "--workers",
         type=int,
         default=None,
-        help="worker-pool size for the flight experiments; 0 = all cores",
+        help="worker-pool size for the experiment jobs; 0 = all cores",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always recompute; neither read nor write the result cache",
     )
     args = parser.parse_args(argv)
     if args.names == ["list"]:
         for name in _EXPERIMENTS:
             print(name)
         return 0
+    if args.names[0] == "cache":
+        return _cmd_cache(args.names, args.cache_dir)
     names = list(_EXPERIMENTS) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
     scale = FULL_SCALE if args.full else SMOKE_SCALE
+    cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     for name in names:
         start = time.time()
-        output = _EXPERIMENTS[name](scale, args.workers)
+        hits = cache.hits if cache else 0
+        misses = cache.misses if cache else 0
+        output = _EXPERIMENTS[name](scale, args.workers, cache)
         print(f"\n===== {name} ({time.time() - start:.0f}s) =====")
         print(output)
+        if cache is not None:
+            print(
+                f"[cache: {cache.hits - hits} hits, "
+                f"{cache.misses - misses} misses ({cache.directory})]"
+            )
     return 0
 
 

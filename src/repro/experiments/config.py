@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 from typing import Tuple
 
 
@@ -36,6 +36,7 @@ class ExperimentScale:
     name: str = "smoke"
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "widths", tuple(self.widths))
         if self.n_runs <= 0:
             raise ValueError(f"n_runs must be positive, got {self.n_runs}")
         if self.flight_time_s <= 0.0:
@@ -44,6 +45,15 @@ class ExperimentScale:
             )
         if not self.widths:
             raise ValueError("widths must not be empty")
+
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (JSON- and job-payload-friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentScale":
+        """Inverse of :meth:`to_dict` (tolerates JSON's list-for-tuple)."""
+        return cls(**dict(data))
 
 
 SMOKE_SCALE = ExperimentScale()

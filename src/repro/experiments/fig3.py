@@ -2,21 +2,23 @@
 
 One 3-minute flight at 0.5 m/s per policy in the paper room; occupancy
 time per 0.5 m cell, rendered as ASCII (the paper caps the color scale at
-18 s).
+18 s). Each policy's flight is one execution-layer job
+(:func:`repro.experiments.jobs.explore_policy`) -- pass ``workers=`` to
+fly the four policies in parallel and ``cache=`` to reuse finished
+heatmaps across runs. Every flight draws the identical seed stream the
+original in-process loop used, so the figures are unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Optional
 
-import numpy as np
-
+from repro.exec import Executor, ResultCache
+from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.mapping.occupancy import OccupancyGrid
-from repro.mission.explorer import ExplorationMission
-from repro.policies import POLICY_NAMES, PolicyConfig, make_policy
-from repro.world import paper_room
+from repro.policies import POLICY_NAMES
 
 
 @dataclass
@@ -26,18 +28,31 @@ class Fig3Result:
     scale_name: str
 
 
-def run(scale: ExperimentScale = None, speed: float = 0.5, seed: int = 7) -> Fig3Result:
-    """Fly each policy once and collect its occupancy grid."""
+def run(
+    scale: Optional[ExperimentScale] = None,
+    speed: float = 0.5,
+    seed: int = 7,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Fig3Result:
+    """Fly each policy once and collect its occupancy grid.
+
+    The grids are rebuilt from the jobs' exact occupancy arrays
+    (:meth:`~repro.mapping.occupancy.OccupancyGrid.from_occupancy`);
+    the reported coverage is the mission's reachable-normalized value
+    from the job payload.
+    """
     scale = scale or default_scale()
-    room = paper_room()
+    job_list = [
+        jobs.fig3_job(name, speed, scale.flight_time_s, seed)
+        for name in POLICY_NAMES
+    ]
+    payloads = Executor(workers=workers, cache=cache).run(job_list)
     grids = {}
     coverage = {}
-    for name in POLICY_NAMES:
-        policy = make_policy(name, PolicyConfig(cruise_speed=speed))
-        mission = ExplorationMission(room, policy, flight_time_s=scale.flight_time_s)
-        result = mission.run(seed=seed)
-        grids[name] = result.grid
-        coverage[name] = result.coverage
+    for name, payload in zip(POLICY_NAMES, payloads):
+        grids[name] = jobs.rebuild_grid(payload)
+        coverage[name] = payload["coverage"]
     return Fig3Result(grids=grids, coverage=coverage, scale_name=scale.name)
 
 

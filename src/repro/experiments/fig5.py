@@ -9,6 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.exec import ResultCache
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
 from repro.policies import POLICY_NAMES
@@ -31,10 +32,11 @@ class Fig5Result:
 
 
 def run(
-    scale: ExperimentScale = None,
+    scale: Optional[ExperimentScale] = None,
     speeds: Tuple[float, ...] = PAPER_SPEEDS,
     seed: int = 100,
     workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig5Result:
     """Sweep every policy x speed configuration via the campaign engine."""
     scale = scale or default_scale()
@@ -48,7 +50,7 @@ def run(
         kind="explore",
         seed=seed,
     )
-    result = run_campaign(campaign, workers=workers)
+    result = run_campaign(campaign, workers=workers, cache=cache)
     agg = result.aggregate(("policy", "speed"), value="coverage")
     return Fig5Result(
         coverage={key: stat.mean for key, stat in agg.items()},

@@ -12,6 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.exec import ResultCache
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_series
 from repro.mapping.coverage import CoverageSeries
@@ -37,11 +38,12 @@ class Fig6Result:
 
 
 def run(
-    scale: ExperimentScale = None,
+    scale: Optional[ExperimentScale] = None,
     operating_point: Optional[DetectorOperatingPoint] = None,
     speed: float = 0.5,
     seed: int = 900,
     workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Fig6Result:
     """Fly the paper's best configuration ``n_runs`` times via the engine."""
     scale = scale or default_scale()
@@ -62,7 +64,7 @@ def run(
         seed=seed,
         operating_points=(op_spec,),
     )
-    result = run_campaign(campaign, workers=workers)
+    result = run_campaign(campaign, workers=workers, cache=cache)
     runs: List[SearchResult] = [r.to_search_result() for r in result.records]
     grid_times = np.linspace(0.0, scale.flight_time_s, 61)
     mean, var = CoverageSeries.mean_and_variance(

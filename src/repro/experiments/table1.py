@@ -7,30 +7,33 @@ multiplier:
 2. same weights tested on the onboard (Himax) domain -- the domain gap;
 3. after fine-tuning (with QAT) on the onboard domain (float32);
 4. the int8 conversion of the fine-tuned model.
+
+Each width multiplier is one self-contained training job
+(:func:`repro.experiments.jobs.train_width`) submitted to the shared
+:class:`~repro.exec.Executor`: pass ``workers=`` to train the widths in
+parallel, and a ``cache=`` to make reruns (and every other consumer of
+the same jobs) load finished widths instead of retraining them.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional
 
-import numpy as np
-
-from repro.datasets import (
-    make_himax_like,
-    make_openimages_like,
-    rebalance_with_translation,
-)
-from repro.datasets.base import DetectionDataset
-from repro.evaluation import evaluate_map
+from repro.exec import Executor, ResultCache
+from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
-from repro.quantization import QATWeightQuantizer, quantize_detector
-from repro.vision import SSDDetector, tiny_spec
-from repro.vision.training import (
-    Trainer,
-    paper_finetune_config,
-    paper_pretrain_config,
+from repro.quantization import quantize_detector
+from repro.vision import SSDDetector
+
+#: The (testing dataset, fine-tuned, format) rows of the paper's table,
+#: in print order, keyed by the job payload's ``maps`` entries.
+ROW_KEYS = (
+    ("OpenImages", False, "float32", "web_float"),
+    ("Himax", False, "float32", "himax_float"),
+    ("Himax", True, "float32", "himax_finetuned_float"),
+    ("Himax", True, "int8", "himax_finetuned_int8"),
 )
 
 
@@ -61,62 +64,48 @@ class Table1Result:
         return {}
 
 
-def _evaluate(model: SSDDetector, dataset: DetectionDataset, batch: int = 16) -> float:
-    preds = []
-    for start in range(0, len(dataset), batch):
-        images = np.stack(
-            [dataset[i].image for i in range(start, min(start + batch, len(dataset)))]
-        )
-        preds.extend(model.predict(images, score_threshold=0.3))
-    result = evaluate_map(
-        preds, [d.boxes for d in dataset], [d.labels for d in dataset]
-    )
-    return result.map_score
+def run(
+    scale: Optional[ExperimentScale] = None,
+    seed: int = 0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Table1Result:
+    """Train, fine-tune, quantize and evaluate all width multipliers.
 
-
-def run(scale: ExperimentScale = None, seed: int = 0) -> Table1Result:
-    """Train, fine-tune, quantize and evaluate all width multipliers."""
+    Args:
+        scale: experiment scale (``None`` = :func:`default_scale`).
+        seed: root seed of the dataset and weight-init streams.
+        workers: executor pool size (``None`` serial, ``0`` all cores);
+            each width trains in its own job, bit-identically to the
+            serial path.
+        cache: optional persistent result cache; widths already trained
+            with identical (scale, seed, code version) load instead of
+            retraining.
+    """
     scale = scale or default_scale()
-    hw = (48, 64)
-    web_train = rebalance_with_translation(
-        make_openimages_like(scale.train_images, hw=hw, seed=seed), seed=seed + 1
+    payloads = Executor(workers=workers, cache=cache).run(
+        jobs.table1_jobs(scale, seed)
     )
-    web_test = make_openimages_like(scale.test_images, hw=hw, seed=seed + 2)
-    himax_train = make_himax_like(scale.finetune_images, hw=hw, seed=seed + 3)
-    himax_test = make_himax_like(scale.test_images, hw=hw, seed=seed + 4)
 
-    maps: Dict[Tuple[str, bool, str], Dict[float, float]] = {
-        ("OpenImages", False, "float32"): {},
-        ("Himax", False, "float32"): {},
-        ("Himax", True, "float32"): {},
-        ("Himax", True, "int8"): {},
-    }
+    maps: Dict[str, Dict[float, float]] = {key: {} for *_, key in ROW_KEYS}
     detectors: Dict[float, SSDDetector] = {}
     int8_detectors: Dict[float, SSDDetector] = {}
-    for width in scale.widths:
-        det = SSDDetector(tiny_spec(width), rng=np.random.default_rng(seed + 10))
-        Trainer(
-            det,
-            paper_pretrain_config(scale.pretrain_epochs, scale.batch_size),
-        ).fit(web_train)
-        maps[("OpenImages", False, "float32")][width] = _evaluate(det, web_test)
-        maps[("Himax", False, "float32")][width] = _evaluate(det, himax_test)
-
-        Trainer(
-            det,
-            paper_finetune_config(scale.finetune_epochs, scale.batch_size),
-            qat=QATWeightQuantizer(bits=8),
-        ).fit(himax_train)
-        maps[("Himax", True, "float32")][width] = _evaluate(det, himax_test)
-
-        calib = np.stack([himax_train[i].image for i in range(min(16, len(himax_train)))])
-        qdet = quantize_detector(det, calib)
-        maps[("Himax", True, "int8")][width] = _evaluate(qdet, himax_test)
+    calib = jobs.calibration_batch(
+        jobs.himax_finetune_set(scale.finetune_images, seed)
+    )
+    for width, payload in zip(scale.widths, payloads):
+        for *_, key in ROW_KEYS:
+            maps[key][width] = payload["maps"][key]
+        # Rebuild the fine-tuned float model from the job's weights; the
+        # int8 conversion is deterministic from (weights, calibration
+        # batch), so re-deriving it here is exact -- cached, pooled and
+        # serial runs hand back identical models.
+        det = jobs.rebuild_detector(width, payload["state"], seed=seed)
         detectors[width] = det
-        int8_detectors[width] = qdet
+        int8_detectors[width] = quantize_detector(det, calib)
 
     rows = [
-        Table1Row(ds, ft, fmt, maps[(ds, ft, fmt)]) for (ds, ft, fmt) in maps
+        Table1Row(ds, ft, fmt, maps[key]) for ds, ft, fmt, key in ROW_KEYS
     ]
     return Table1Result(
         rows=rows, detectors=detectors, int8_detectors=int8_detectors,

@@ -1,18 +1,23 @@
 """Table II: onboard performance of the SSDs on GAP8.
 
 Params / MMAC are exact properties of the full-resolution architectures;
-MAC-per-cycle, FPS and power come from the calibrated GAP8 models.
+MAC-per-cycle, FPS and power come from the calibrated GAP8 models. Each
+width's deployment plan is one execution-layer job
+(:func:`repro.experiments.jobs.deployment_plan`), shared by content hash
+with Table IV: whichever runs first leaves the plan in the cache for
+the other.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Optional
 
+from repro.exec import Executor, ResultCache
+from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
-from repro.hw import AIDeckPowerModel, DeploymentPlan, GAPFlowDeployer
-from repro.vision import SSDDetector, full_scale_spec
+from repro.hw import AIDeckPowerModel, DeploymentPlan
 
 
 @dataclass
@@ -34,15 +39,19 @@ class Table2Result:
     scale_name: str
 
 
-def run(scale: ExperimentScale = None) -> Table2Result:
+def run(
+    scale: Optional[ExperimentScale] = None,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Table2Result:
     """Deploy every width multiplier and collect the Table II columns."""
     scale = scale or default_scale()
-    deployer = GAPFlowDeployer()
+    payloads = Executor(workers=workers, cache=cache).run(jobs.plan_jobs(scale))
     power = AIDeckPowerModel()
     rows = []
     plans = {}
-    for width in scale.widths:
-        plan = deployer.plan(SSDDetector(full_scale_spec(width)))
+    for width, payload in zip(scale.widths, payloads):
+        plan = jobs.plan_from_dict(payload["plan"])
         plans[width] = plan
         rows.append(
             Table2Row(

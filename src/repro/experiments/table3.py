@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro.exec import ResultCache
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.fig5 import PAPER_SPEEDS
 from repro.experiments.reporting import ascii_table
@@ -35,7 +36,7 @@ class Table3Result:
 
 
 def build_campaign(
-    scale: ExperimentScale = None,
+    scale: Optional[ExperimentScale] = None,
     operating_points: Optional[Dict[str, DetectorOperatingPoint]] = None,
     widths: Tuple[str, ...] = ("1.0", "0.75"),
     speeds: Tuple[float, ...] = PAPER_SPEEDS,
@@ -61,12 +62,13 @@ def build_campaign(
 
 
 def run(
-    scale: ExperimentScale = None,
+    scale: Optional[ExperimentScale] = None,
     operating_points: Optional[Dict[str, DetectorOperatingPoint]] = None,
     widths: Tuple[str, ...] = ("1.0", "0.75"),
     speeds: Tuple[float, ...] = PAPER_SPEEDS,
     seed: int = 500,
     workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
 ) -> Table3Result:
     """Sweep SSD x policy x speed through the campaign engine.
 
@@ -81,10 +83,12 @@ def run(
             stream, so results do not depend on execution order.
         workers: ``None`` for the serial path, ``0`` for one worker per
             core, otherwise the pool size (identical results either way).
+        cache: optional persistent result cache; missions already flown
+            for this sweep load instead of re-flying.
     """
     scale = scale or default_scale()
     campaign = build_campaign(scale, operating_points, widths, speeds, seed)
-    result = run_campaign(campaign, workers=workers)
+    result = run_campaign(campaign, workers=workers, cache=cache)
     agg = result.aggregate(("ssd_width", "policy", "speed"), value="detection_rate")
     return Table3Result(
         rates={key: stat.mean for key, stat in agg.items()},

@@ -1,14 +1,23 @@
-"""Table IV: power breakdown of the robotic platform."""
+"""Table IV: power breakdown of the robotic platform.
+
+The AI-deck draw comes from the same per-width deployment-plan job
+Table II runs (:func:`repro.experiments.jobs.deployment_plan`): with a
+shared result cache, whichever experiment runs first leaves the plan
+behind for the other -- Table IV then derives the platform breakdown
+without re-tracing the network.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
+from repro.exec import Executor, ResultCache
+from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
-from repro.hw import AIDeckPowerModel, GAPFlowDeployer
+from repro.hw import AIDeckPowerModel
 from repro.hw.power import PlatformPowerBreakdown, platform_power_breakdown
-from repro.vision import SSDDetector, full_scale_spec
 
 
 @dataclass
@@ -18,10 +27,16 @@ class Table4Result:
     scale_name: str
 
 
-def run(scale: ExperimentScale = None, width: float = 1.0) -> Table4Result:
+def run(
+    scale: Optional[ExperimentScale] = None,
+    width: float = 1.0,
+    workers: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+) -> Table4Result:
     """Power breakdown with the given SSD running on the AI-deck."""
     scale = scale or default_scale()
-    plan = GAPFlowDeployer().plan(SSDDetector(full_scale_spec(width)))
+    [payload] = Executor(workers=workers, cache=cache).run([jobs.plan_job(width)])
+    plan = jobs.plan_from_dict(payload["plan"])
     ai_deck_w = AIDeckPowerModel().power_w(plan.performance)
     breakdown = platform_power_breakdown(ai_deck_w)
     return Table4Result(breakdown=breakdown, ai_deck_w=ai_deck_w, scale_name=scale.name)

@@ -76,6 +76,57 @@ class OccupancyGrid:
             self._reachable = mask.ravel().tolist()
             self.reachable_cells = int(mask.sum())
 
+    @classmethod
+    def from_occupancy(
+        cls,
+        room: Room,
+        occupancy_time: np.ndarray,
+        visited: np.ndarray,
+        cell_size: float = CELL_SIZE_M,
+        start: Optional[Vec2] = None,
+    ) -> "OccupancyGrid":
+        """Rebuild a grid from persisted :attr:`occupancy_time`/:attr:`visited_mask`.
+
+        The deserialization path of the execution layer: a cached or
+        pooled exploration job ships its grid as two plain arrays, and
+        this reconstructs an equivalent grid (rendering, coverage and
+        visit counts all agree with the original).
+
+        Args:
+            room: the room the arrays were recorded in.
+            occupancy_time: ``(ny, nx)`` seconds-per-cell array.
+            visited: ``(ny, nx)`` boolean visited mask.
+            cell_size: cell edge length the arrays were built with.
+            start: optional start pose for reachable-cell bookkeeping
+                (as in the constructor); ``None`` treats every cell as
+                reachable.
+
+        Raises:
+            WorldError: when the array shapes do not match the grid the
+                room/cell size imply.
+        """
+        grid = cls(room, cell_size, start=start)
+        time_arr = np.asarray(occupancy_time, dtype=np.float64)
+        visited_arr = np.asarray(visited, dtype=bool)
+        expected = (grid.ny, grid.nx)
+        if time_arr.shape != expected or visited_arr.shape != expected:
+            raise WorldError(
+                f"occupancy arrays {time_arr.shape}/{visited_arr.shape} do not "
+                f"match the {expected} grid of a "
+                f"{room.width:g} x {room.length:g} m room at {cell_size:g} m"
+            )
+        grid._time = [float(t) for t in time_arr.ravel()]
+        grid._visited = [bool(v) for v in visited_arr.ravel()]
+        grid._visited_count = int(visited_arr.sum())
+        if grid._reachable is None:
+            grid._visited_reachable_count = grid._visited_count
+        else:
+            reachable = np.array(grid._reachable, dtype=bool)
+            grid._visited_reachable_count = int(
+                (visited_arr.ravel() & reachable).sum()
+            )
+        return grid
+
     @property
     def n_cells(self) -> int:
         """Total number of cells (143 for the paper room at 0.5 m)."""

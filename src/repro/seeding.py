@@ -13,7 +13,7 @@ random numbers.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -51,3 +51,26 @@ def spawn_streams(seed: SeedLike, n: int) -> List[np.random.SeedSequence]:
         )
         for i in range(n)
     ]
+
+
+def seed_provenance(
+    seq: np.random.SeedSequence,
+) -> Tuple[Optional[int], Tuple[int, ...]]:
+    """The ``(entropy, spawn_key)`` pair that reconstructs ``seq``.
+
+    The execution layer persists a job's randomness as exactly this
+    pair (:class:`repro.exec.JobSpec` hashes it, the mission payload
+    round-trips through it): ``SeedSequence(entropy,
+    spawn_key=spawn_key)`` rebuilds a stream drawing the same numbers
+    in any process.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.seeding import seed_provenance
+        >>> seed_provenance(np.random.SeedSequence(7, spawn_key=(3,)))
+        (7, (3,))
+    """
+    entropy = seq.entropy
+    if isinstance(entropy, (list, tuple)):  # pragma: no cover - exotic seeds
+        entropy = entropy[0] if len(entropy) == 1 else None
+    return entropy, tuple(int(k) for k in seq.spawn_key)

@@ -10,8 +10,9 @@ The one subsystem owning all mission fan-out:
 - :mod:`repro.sim.campaign` -- :class:`Campaign` cartesian sweeps with
   per-mission independent ``SeedSequence`` streams, over presets and
   ``(family, params, seed)`` references alike,
-- :mod:`repro.sim.runner` -- serial or ``multiprocessing`` execution
-  producing bit-identical results,
+- :mod:`repro.sim.runner` -- a thin adapter over the
+  :mod:`repro.exec` execution layer: serial, pooled or cache-served
+  missions, all bit-identical,
 - :mod:`repro.sim.results` -- the columnar result store with aggregation
   and hash-keyed JSON persistence.
 
@@ -38,7 +39,7 @@ from repro.sim.generators import (
     register_family,
 )
 from repro.sim.results import AggregateStat, CampaignResult, MissionRecord
-from repro.sim.runner import execute_mission, run_campaign
+from repro.sim.runner import execute_mission, mission_job, run_campaign
 from repro.sim.scenario import (
     ObjectSpec,
     ObstacleSpec,
@@ -72,6 +73,7 @@ __all__ = [
     "get_scenario",
     "iter_families",
     "iter_scenarios",
+    "mission_job",
     "paper_operating_point_spec",
     "register_family",
     "register_scenario",

@@ -7,6 +7,12 @@ Usage:
     python -m repro.sim run --scenario paper-room --runs 2 --flight-time 30
     python -m repro.sim run --family perfect-maze --family-seed 1 2 3 \\
         --param cell_m=1.0 --runs 2 --workers 0 --out results
+    python -m repro.sim cache stats
+
+Campaign runs cache mission results under ``.repro-cache`` (override
+with ``--cache-dir`` or ``$REPRO_CACHE_DIR``); re-running an identical
+campaign loads every mission from the cache instead of re-flying it.
+``--no-cache`` opts out.
 """
 
 from __future__ import annotations
@@ -15,7 +21,8 @@ import argparse
 import sys
 import time
 
-from repro.errors import SimError
+from repro.errors import ExecError, SimError
+from repro.exec import ResultCache, default_cache_dir, open_cache
 from repro.experiments.reporting import ascii_table
 from repro.sim.campaign import Campaign
 from repro.sim.generators import (
@@ -163,6 +170,20 @@ def _summary(result: CampaignResult) -> str:
     )
 
 
+def _cmd_cache(args) -> int:
+    cache = ResultCache(args.cache_dir or default_cache_dir())
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached results from {cache.directory}")
+        return 0
+    stats = cache.stats()
+    print(
+        f"cache {cache.directory}: {stats.entries} results, "
+        f"{stats.total_bytes / 1e6:.2f} MB"
+    )
+    return 0
+
+
 def _cmd_run(args) -> int:
     scenarios = tuple(get_scenario(name) for name in args.scenario or ())
     params = _parse_params(args.param)
@@ -191,6 +212,7 @@ def _cmd_run(args) -> int:
     )
     total = len(campaign.missions())
     workers = args.workers
+    cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     mode = "serial" if (workers is None or workers == 1) else f"pool({workers or 'auto'})"
     print(
         f"campaign {campaign.name!r}: {total} missions, {mode}, "
@@ -199,13 +221,23 @@ def _cmd_run(args) -> int:
     )
     start = time.perf_counter()
     result = run_campaign(
-        campaign, workers=workers, progress=None if args.quiet else _progress
+        campaign,
+        workers=workers,
+        progress=None if args.quiet else _progress,
+        cache=cache,
     )
     elapsed = time.perf_counter() - start
     print()
     print(_summary(result))
     rate = len(result) / elapsed if elapsed > 0 else float("inf")
     print(f"\n{len(result)} missions in {elapsed:.1f} s ({rate:.2f} missions/s)")
+    if cache is not None and result.execution is not None:
+        report = result.execution
+        note = " -- all missions loaded from cache" if report.executed == 0 else ""
+        print(
+            f"cache: {report.cached}/{report.total} hits, "
+            f"{report.executed} executed ({cache.directory}){note}"
+        )
     if args.out:
         path = result.save(args.out)
         print(f"results written to {path}")
@@ -261,12 +293,28 @@ def main(argv=None) -> int:
     run.add_argument("--name", default="cli", help="campaign name used in the result file")
     run.add_argument("--out", default=None, help="directory for the JSON result (default: don't persist)")
     run.add_argument("--quiet", action="store_true", help="suppress per-mission progress lines")
+    run.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    run.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-fly missions; neither read nor write the result cache",
+    )
     run.set_defaults(fn=_cmd_run)
+
+    cache = sub.add_parser("cache", help="inspect or clear the result cache")
+    cache.add_argument("action", choices=("stats", "clear"))
+    cache.add_argument(
+        "--cache-dir", default=None,
+        help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache.set_defaults(fn=_cmd_cache)
 
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except SimError as exc:
+    except (ExecError, SimError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -104,6 +104,48 @@ class MissionSpec:
         spec = self.op or paper_operating_point_spec(self.ssd_width)
         return spec.build()
 
+    def to_dict(self) -> dict:
+        """Canonical plain-data form (JSON- and hash-friendly).
+
+        This is the payload :func:`repro.sim.runner.mission_job` ships
+        to the execution layer; :meth:`from_dict` rebuilds an equal
+        spec in any process.
+        """
+        return {
+            "index": self.index,
+            "scenario": self.scenario.to_dict(),
+            "kind": self.kind,
+            "policy": self.policy,
+            "speed": self.speed,
+            "ssd_width": self.ssd_width,
+            "flight_time_s": self.flight_time_s,
+            "run_idx": self.run_idx,
+            "seed_entropy": self.seed_entropy,
+            "spawn_key": list(self.spawn_key),
+            "op": None if self.op is None else asdict(self.op),
+            "generator": None if self.generator is None else self.generator.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MissionSpec":
+        """Inverse of :meth:`to_dict`."""
+        op = data.get("op")
+        generator = data.get("generator")
+        return cls(
+            index=int(data["index"]),
+            scenario=Scenario.from_dict(data["scenario"]),
+            kind=data["kind"],
+            policy=data["policy"],
+            speed=data["speed"],
+            ssd_width=data["ssd_width"],
+            flight_time_s=data["flight_time_s"],
+            run_idx=int(data["run_idx"]),
+            seed_entropy=int(data["seed_entropy"]),
+            spawn_key=tuple(int(k) for k in data["spawn_key"]),
+            op=None if op is None else OperatingPointSpec(**op),
+            generator=None if generator is None else GeneratedSpec.from_dict(generator),
+        )
+
 
 @dataclass(frozen=True)
 class Campaign:

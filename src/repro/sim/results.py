@@ -223,6 +223,11 @@ class CampaignResult:
             (:meth:`~repro.sim.campaign.Campaign.to_dict`).
         campaign_hash: stable content hash of the definition.
         records: one record per executed mission, in mission order.
+        execution: optional :class:`~repro.exec.ExecutionReport` of the
+            run that produced the records (how many missions were
+            cached vs. freshly executed). Ephemeral run metadata: not
+            persisted by :meth:`to_dict`/:meth:`save`, ``None`` on
+            loaded or derived results.
 
     Example:
         >>> from repro.sim import Campaign, get_scenario, run_campaign
@@ -246,10 +251,12 @@ class CampaignResult:
         campaign: dict,
         campaign_hash: str,
         records: Sequence[MissionRecord],
+        execution=None,
     ):
         self.campaign = campaign
         self.campaign_hash = campaign_hash
         self.records: List[MissionRecord] = sorted(records, key=lambda r: r.index)
+        self.execution = execution
 
     @property
     def name(self) -> str:

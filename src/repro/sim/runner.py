@@ -1,33 +1,45 @@
-"""Campaign execution: serial loop or a ``multiprocessing`` pool.
+"""Campaign execution: a thin adapter over :mod:`repro.exec`.
 
 Missions are embarrassingly parallel -- each :class:`MissionSpec` is
-self-contained and owns an independent seed stream -- so the pooled and
-serial paths produce bit-identical records, merely in a different
-wall-clock order. Records are re-sorted by mission index before they
-enter the :class:`~repro.sim.results.CampaignResult`, which makes the
-two paths indistinguishable downstream.
+self-contained and owns an independent seed stream -- so they map 1:1
+onto execution-layer jobs: :func:`mission_job` turns a spec into a
+:class:`~repro.exec.jobspec.JobSpec` whose payload is the spec's plain
+dict (seed provenance lives on the job, not in the payload) and whose
+content hash keys the persistent result cache. Serial, pooled and
+cache-hit execution produce bit-identical records, merely in a
+different wall-clock order; records are re-sorted by mission index
+inside the :class:`~repro.sim.results.CampaignResult`, which makes the
+paths indistinguishable downstream.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
 from typing import Callable, Optional
 
-from repro.errors import SimError
+import numpy as np
+
+from repro.exec import Executor, JobSpec, ResultCache
+from repro.exec import resolve_workers  # noqa: F401  (re-export, see below)
 from repro.mission.closed_loop import ClosedLoopMission
 from repro.mission.detector_model import CalibratedDetectorModel
 from repro.mission.explorer import ExplorationMission
 from repro.policies import PolicyConfig, make_policy
+from repro.seeding import seed_provenance
 from repro.sim.campaign import Campaign, MissionSpec
-from repro.sim.results import CampaignResult, MissionRecord
+from repro.sim.results import RESULT_SCHEMA, CampaignResult, MissionRecord
 
 #: Progress callback signature: ``(done, total, record)``.
 ProgressCallback = Callable[[int, int, MissionRecord], None]
 
+#: Code-version token of the mission job. Reusing the result-file
+#: schema string ties cache validity to record semantics: bumping the
+#: schema (new columns, changed normalization) automatically invalidates
+#: every cached mission instead of serving records with stale meaning.
+MISSION_JOB_VERSION = RESULT_SCHEMA
+
 
 def execute_mission(spec: MissionSpec) -> MissionRecord:
-    """Run one mission from its spec (also the pool worker entry point).
+    """Run one mission from its spec.
 
     Args:
         spec: a fully-specified mission from
@@ -64,21 +76,57 @@ def execute_mission(spec: MissionSpec) -> MissionRecord:
     return MissionRecord.from_search(spec, mission.run(seed=seed))
 
 
-def resolve_workers(workers: Optional[int]) -> int:
-    """Normalize a worker count: ``None`` -> serial, ``0`` -> all cores."""
-    if workers is None:
-        return 1
-    if workers == 0:
-        return os.cpu_count() or 1
-    if workers < 0:
-        raise SimError(f"workers must be >= 0, got {workers}")
-    return workers
+def run_mission_payload(spec: dict, seed: np.random.SeedSequence) -> dict:
+    """Execution-layer entry point: fly one mission from plain data.
+
+    Args:
+        spec: a seed-free :meth:`MissionSpec.to_dict` payload.
+        seed: the mission's root stream, injected by the executor from
+            the job's ``(seed_entropy, spawn_key)`` provenance.
+
+    Returns:
+        The mission record as a plain dict
+        (:meth:`~repro.sim.results.MissionRecord.to_dict`).
+    """
+    data = dict(spec)
+    data["seed_entropy"], data["spawn_key"] = seed_provenance(seed)
+    return execute_mission(MissionSpec.from_dict(data)).to_dict()
+
+
+def mission_job(spec: MissionSpec) -> JobSpec:
+    """Describe one mission as an execution-layer job.
+
+    The payload is the spec's plain dict with the seed fields lifted
+    into the job's provenance (the stream is part of the job identity,
+    not of the world description) and the scenario's cosmetic
+    ``description`` dropped -- rewording a preset's documentation must
+    not re-fly every cached mission, mirroring
+    :meth:`~repro.sim.campaign.Campaign.campaign_hash`.
+    """
+    payload = spec.to_dict()
+    payload.pop("seed_entropy")
+    payload.pop("spawn_key")
+    payload["scenario"] = {
+        k: v for k, v in payload["scenario"].items() if k != "description"
+    }
+    return JobSpec(
+        fn="repro.sim.runner:run_mission_payload",
+        kwargs={"spec": payload},
+        seed_entropy=spec.seed_entropy,
+        spawn_key=spec.spawn_key,
+        version=MISSION_JOB_VERSION,
+        label=(
+            f"{spec.scenario.name}/{spec.policy}"
+            f"@{spec.speed:g} run {spec.run_idx}"
+        ),
+    )
 
 
 def run_campaign(
     campaign: Campaign,
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
+    cache: Optional[ResultCache] = None,
 ) -> CampaignResult:
     """Execute every mission of ``campaign`` and collect the results.
 
@@ -89,15 +137,22 @@ def run_campaign(
             created (restricted environments), execution silently falls
             back to the serial path -- results are identical either way.
         progress: optional callback invoked after each finished mission
-            with ``(done, total, record)``. Under the pool it runs in the
-            parent process, in completion order.
+            with ``(done, total, record)``. Runs in the parent process;
+            cache hits are reported first (in mission order), then
+            executed missions in completion order.
+        cache: optional persistent :class:`~repro.exec.ResultCache`.
+            Missions whose job hash is already stored load instead of
+            flying again; fresh results are stored for the next run.
+            ``None`` (the default) disables caching.
 
     Returns:
         A :class:`~repro.sim.results.CampaignResult` with one record per
-        mission, sorted by mission index.
+        mission, sorted by mission index. Its ``execution`` attribute
+        holds the :class:`~repro.exec.ExecutionReport` (how many
+        missions were cached vs. executed).
 
     Raises:
-        SimError: for a negative ``workers`` count.
+        ExecError: for a negative ``workers`` count.
 
     Example:
         >>> from repro.sim import Campaign, get_scenario, run_campaign
@@ -112,38 +167,20 @@ def run_campaign(
         1
         >>> result.records[0].scenario
         'paper-room'
+        >>> result.execution.executed
+        1
     """
-    specs = campaign.missions()
-    total = len(specs)
-    n_workers = resolve_workers(workers)
-    records = None
-    if n_workers > 1 and total > 1:
-        records = _run_pooled(specs, min(n_workers, total), total, progress)
-    if records is None:
-        records = []
-        for spec in specs:
-            records.append(execute_mission(spec))
-            if progress is not None:
-                progress(len(records), total, records[-1])
-    return CampaignResult(campaign.to_dict(), campaign.campaign_hash(), records)
-
-
-def _run_pooled(specs, n_workers: int, total: int, progress):
-    """Pool execution; returns ``None`` if no pool can be created."""
-    try:
-        pool = multiprocessing.Pool(processes=n_workers)
-    except (OSError, ValueError, ImportError):  # pragma: no cover - env specific
-        return None
-    records = []
-    try:
-        # ``with pool`` terminates on exit: when a mission raises, the
-        # queued remainder is killed immediately instead of burning the
-        # rest of the campaign's wall-clock before the error surfaces.
-        with pool:
-            for record in pool.imap_unordered(execute_mission, specs):
-                records.append(record)
-                if progress is not None:
-                    progress(len(records), total, record)
-    finally:
-        pool.join()
-    return records
+    jobs = [mission_job(spec) for spec in campaign.missions()]
+    executor = Executor(workers=workers, cache=cache)
+    exec_progress = None
+    if progress is not None:
+        def exec_progress(done, total, job, payload, cached):
+            progress(done, total, MissionRecord.from_dict(payload))
+    payloads = executor.run(jobs, progress=exec_progress)
+    records = [MissionRecord.from_dict(p) for p in payloads]
+    return CampaignResult(
+        campaign.to_dict(),
+        campaign.campaign_hash(),
+        records,
+        execution=executor.last_report,
+    )

@@ -1,0 +1,48 @@
+"""Regression: experiment signatures carry honest Optional annotations.
+
+The ``run()`` entry points defaulted ``scale`` to ``None`` while
+annotating it as a bare ``ExperimentScale``; under ``from __future__
+import annotations`` the lie only surfaces when the hints are actually
+resolved. Resolve them all here and require every ``None``-defaulted
+parameter to be ``Optional``.
+"""
+
+import inspect
+import typing
+
+import pytest
+
+from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
+from repro.experiments.config import ExperimentScale
+
+MODULES = (table1, table2, table3, table4, fig3, fig5, fig6)
+
+FUNCTIONS = [mod.run for mod in MODULES] + [table3.build_campaign]
+
+
+def _id(fn):
+    return f"{fn.__module__.rsplit('.', 1)[-1]}.{fn.__name__}"
+
+
+@pytest.mark.parametrize("fn", FUNCTIONS, ids=_id)
+def test_hints_resolve_without_type_errors(fn):
+    hints = typing.get_type_hints(fn)
+    assert "scale" in hints
+
+
+@pytest.mark.parametrize("fn", FUNCTIONS, ids=_id)
+def test_scale_is_optional_experiment_scale(fn):
+    hints = typing.get_type_hints(fn)
+    assert hints["scale"] == typing.Optional[ExperimentScale]
+
+
+@pytest.mark.parametrize("fn", FUNCTIONS, ids=_id)
+def test_every_none_default_is_annotated_optional(fn):
+    hints = typing.get_type_hints(fn)
+    for name, param in inspect.signature(fn).parameters.items():
+        if param.default is None:
+            args = typing.get_args(hints[name])
+            assert type(None) in args, (
+                f"{_id(fn)} parameter {name!r} defaults to None but is "
+                f"annotated {hints[name]!r}"
+            )

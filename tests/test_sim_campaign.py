@@ -234,7 +234,10 @@ class TestResultStore:
             assert record.distance_flown_m > 1.0
 
     def test_negative_workers_rejected(self):
+        # Worker validation moved into the execution layer; the runner
+        # re-exports it for compatibility.
+        from repro.errors import ExecError
         from repro.sim.runner import resolve_workers
 
-        with pytest.raises(SimError):
+        with pytest.raises(ExecError):
             resolve_workers(-1)

@@ -29,6 +29,10 @@ MARKDOWN_GLOBS = ("*.md", "docs/*.md")
 
 #: Modules whose docstring examples are executed.
 DOCTEST_MODULES = (
+    "repro.exec.cache",
+    "repro.exec.demo",
+    "repro.exec.executor",
+    "repro.exec.jobspec",
     "repro.seeding",
     "repro.sim.campaign",
     "repro.sim.generators",
