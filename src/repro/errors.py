@@ -43,3 +43,7 @@ class SimError(ReproError):
 
 class ExecError(ReproError):
     """Raised on invalid job specs, executors or result caches."""
+
+
+class ObsError(ReproError):
+    """Raised on missing/corrupt flight traces or failed replay checks."""

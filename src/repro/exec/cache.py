@@ -45,10 +45,18 @@ def default_cache_dir() -> str:
 
 
 class CacheStats(NamedTuple):
-    """Point-in-time size of a cache directory."""
+    """Point-in-time size of a cache directory.
+
+    ``by_version`` breaks the entries down by the job ``version`` token
+    they were stored under (the schema of the computation: mission
+    records, experiment jobs, ...), as ``(version, entries, bytes)``
+    rows sorted by version; unreadable files land under
+    ``"<unreadable>"``.
+    """
 
     entries: int  #: number of valid-looking entry files
     total_bytes: int  #: bytes on disk across those entries
+    by_version: Tuple[Tuple[str, int, int], ...] = ()  #: per-version breakdown
 
 
 @dataclass
@@ -166,16 +174,56 @@ class ResultCache:
                     yield os.path.join(shard_dir, name)
 
     def stats(self) -> CacheStats:
-        """Entry count and bytes on disk (walks the directory)."""
+        """Entry count, bytes on disk and a per-job-version breakdown.
+
+        Walks the directory and reads every entry to attribute it to
+        the job ``version`` token it was stored under -- a point-in-time
+        inventory, not a hot-path call.
+        """
         entries = 0
         total = 0
+        versions: dict = {}
         for path in self._entry_files():
             try:
-                total += os.path.getsize(path)
+                size = os.path.getsize(path)
             except OSError:  # pragma: no cover - racing deletion
                 continue
             entries += 1
-        return CacheStats(entries=entries, total_bytes=total)
+            total += size
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    data = json.load(fh)
+                version = data["job"].get("version") or "<none>"
+            except (OSError, ValueError, KeyError, AttributeError, TypeError):
+                version = "<unreadable>"
+            count, nbytes = versions.get(version, (0, 0))
+            versions[version] = (count + 1, nbytes + size)
+        return CacheStats(
+            entries=entries,
+            total_bytes=total,
+            by_version=tuple(
+                (version, count, nbytes)
+                for version, (count, nbytes) in sorted(versions.items())
+            ),
+        )
+
+    def load_entry(self, content_hash: str) -> Optional[dict]:
+        """The raw cache entry for ``content_hash``, or ``None``.
+
+        Unlike :meth:`get` this starts from a bare hash -- no
+        :class:`~repro.exec.jobspec.JobSpec` needed -- and returns the
+        whole ``{"schema", "job", "result"}`` document, which is how
+        replay tooling reconstructs a job (and its mission spec) from
+        an artifact on disk. Does not touch the hit/miss counters.
+        """
+        try:
+            with open(self.entry_path(content_hash), "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(data, dict) or data.get("schema") != CACHE_SCHEMA:
+            return None
+        return data
 
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""

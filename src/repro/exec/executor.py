@@ -57,12 +57,23 @@ class ExecutionReport:
         cached: jobs served without running -- persistent-cache hits
             plus in-run duplicates of an executed job.
         elapsed_s: wall-clock seconds of the whole run.
+        job_min_s: wall clock of the fastest executed job (0 when
+            nothing executed).
+        job_mean_s: mean wall clock over the executed jobs.
+        job_max_s: wall clock of the slowest executed job.
+        slowest_label: label (or content-hash prefix) of the slowest
+            executed job -- the first place to look when a campaign
+            stalls.
     """
 
     total: int
     executed: int
     cached: int
     elapsed_s: float
+    job_min_s: float = 0.0
+    job_mean_s: float = 0.0
+    job_max_s: float = 0.0
+    slowest_label: str = ""
 
     def summary(self) -> str:
         """One-line human description, e.g. ``"12 jobs: 9 cached, 3 executed"``."""
@@ -71,11 +82,27 @@ class ExecutionReport:
             f"in {self.elapsed_s:.1f} s"
         )
 
+    def timings_summary(self) -> str:
+        """Per-job wall-clock line; empty when nothing executed."""
+        if self.executed == 0:
+            return ""
+        return (
+            f"job wall clock: {self.job_min_s:.2f}/{self.job_mean_s:.2f}/"
+            f"{self.job_max_s:.2f} s min/mean/max"
+            + (f", slowest: {self.slowest_label}" if self.slowest_label else "")
+        )
 
-def _run_indexed(item: Tuple[int, JobSpec]) -> Tuple[int, Any]:
-    """Pool worker entry point: execute one job, keep its index."""
+
+def _run_indexed(item: Tuple[int, JobSpec]) -> Tuple[int, Any, float]:
+    """Pool worker entry point: execute one job, keep its index.
+
+    Also measures the job's own wall clock (inside the worker process,
+    so pooled timings exclude queueing and transport).
+    """
     index, job = item
-    return index, job.run()
+    start = time.perf_counter()
+    result = job.run()
+    return index, result, time.perf_counter() - start
 
 
 class Executor:
@@ -116,6 +143,7 @@ class Executor:
         self,
         jobs: Sequence[JobSpec],
         progress: Optional[ProgressCallback] = None,
+        refresh: Optional[Callable[[JobSpec], bool]] = None,
     ) -> List[Any]:
         """Execute ``jobs`` and return their results in job order.
 
@@ -124,6 +152,12 @@ class Executor:
             progress: optional callback invoked once per job as results
                 become available, with ``(done, total, job, result,
                 cached)``; runs in the parent process.
+            refresh: optional predicate; jobs for which it returns True
+                skip the cache *lookup* and execute even when a stored
+                result exists (the fresh result is still stored, byte-
+                identically for a deterministic job). Used when a job's
+                side artifacts -- e.g. a mission's flight trace -- are
+                missing although its scalar result is cached.
 
         Returns:
             One (JSON-normalized) result per job, in input order.
@@ -138,6 +172,8 @@ class Executor:
         # 1. Serve what the persistent cache already knows.
         if self.cache is not None:
             for i, job in enumerate(jobs):
+                if refresh is not None and refresh(job):
+                    continue
                 value, hit = self.cache.get(job)
                 if hit:
                     results[i] = value
@@ -155,12 +191,14 @@ class Executor:
         unique = [(indices[0], jobs[indices[0]]) for indices in groups.values()]
 
         executed = 0
-        for index, raw in self._execute(unique):
+        timings: List[Tuple[float, str]] = []
+        for index, raw, job_s in self._execute(unique):
             value = json_roundtrip(raw)
             job = jobs[index]
             if self.cache is not None:
                 self.cache.put(job, value)
             executed += 1
+            timings.append((job_s, job.label or job.content_hash()[:12]))
             for k, i in enumerate(groups[job.content_hash()]):
                 results[i] = value
                 served[i] = True
@@ -168,18 +206,23 @@ class Executor:
                 if progress is not None:
                     progress(done, total, jobs[i], value, k > 0)
 
+        slowest = max(timings) if timings else (0.0, "")
         self.last_report = ExecutionReport(
             total=total,
             executed=executed,
             cached=total - executed,
             elapsed_s=time.perf_counter() - start,
+            job_min_s=min(t for t, _ in timings) if timings else 0.0,
+            job_mean_s=sum(t for t, _ in timings) / len(timings) if timings else 0.0,
+            job_max_s=slowest[0],
+            slowest_label=slowest[1],
         )
         return results
 
     # -- backends ---------------------------------------------------------
 
     def _execute(self, items: List[Tuple[int, JobSpec]]):
-        """Yield ``(index, raw_result)`` for every item, any order."""
+        """Yield ``(index, raw_result, job_seconds)`` per item, any order."""
         if self.workers > 1 and len(items) > 1:
             pooled = self._execute_pooled(items, min(self.workers, len(items)))
             if pooled is not None:

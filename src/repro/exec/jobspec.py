@@ -116,6 +116,13 @@ class JobSpec:
             invalidated instead of silently reused.
         label: human-readable name for progress lines; excluded from
             the hash (renaming a job must not re-execute it).
+        extra: observability-only keyword arguments passed to the
+            callable alongside ``kwargs`` but excluded from the hash
+            and from :meth:`to_dict`. For side effects that must not
+            change the result or its cache identity -- e.g. the trace
+            directory a recorded mission writes its telemetry to. The
+            callable's contract is that ``extra`` never influences the
+            returned value; keys may not shadow ``kwargs`` keys.
 
     Example:
         >>> from repro.exec import JobSpec
@@ -138,6 +145,7 @@ class JobSpec:
     spawn_key: Tuple[int, ...] = ()
     version: str = ""
     label: str = ""
+    extra: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.fn or (":" not in self.fn and "." not in self.fn):
@@ -149,11 +157,25 @@ class JobSpec:
         object.__setattr__(self, "spawn_key", tuple(int(k) for k in self.spawn_key))
         if self.seed_entropy is not None:
             object.__setattr__(self, "seed_entropy", int(self.seed_entropy))
+        object.__setattr__(
+            self, "extra", canonical_value(dict(self.extra), "extra")
+        )
+        shadowed = set(self.extra) & set(self.kwargs)
+        if shadowed:
+            raise ExecError(
+                f"extra keys shadow kwargs: {sorted(shadowed)}; side-channel "
+                "arguments must not overlap the hashed payload"
+            )
 
     # -- identity ---------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Canonical plain-data form (JSON- and hash-friendly)."""
+        """Canonical plain-data form (JSON- and hash-friendly).
+
+        Excludes the cosmetic ``label`` and the side-channel ``extra``:
+        the dict *is* the job's identity, and neither may influence the
+        result.
+        """
         return {
             "fn": self.fn,
             "kwargs": self.kwargs,
@@ -178,7 +200,9 @@ class JobSpec:
         """Stable SHA-256 digest of everything that determines the result.
 
         Covers ``fn``, the canonical kwargs, the seed provenance and
-        the ``version`` token; excludes the cosmetic ``label``. The
+        the ``version`` token; excludes the cosmetic ``label`` and the
+        side-channel ``extra`` (attaching observability outputs to a
+        job must not re-key its cached result). The
         digest is identical in every process and across interpreter
         runs (no ``hash()`` randomization involved). Memoized: the spec
         is frozen, and the executor asks several times per job (cache
@@ -226,13 +250,14 @@ class JobSpec:
     def run(self) -> Any:
         """Execute the job in-process and return its raw result.
 
-        The callable receives the canonical kwargs; jobs with seed
-        provenance additionally receive ``seed=<SeedSequence>`` derived
-        from ``(seed_entropy, spawn_key)`` -- the spec owns the stream,
-        the payload stays seed-free.
+        The callable receives the canonical kwargs (plus any ``extra``
+        side-channel arguments); jobs with seed provenance additionally
+        receive ``seed=<SeedSequence>`` derived from ``(seed_entropy,
+        spawn_key)`` -- the spec owns the stream, the payload stays
+        seed-free.
         """
         fn = self.resolve()
         seed = self.seed_sequence()
         if seed is None:
-            return fn(**self.kwargs)
-        return fn(**self.kwargs, seed=seed)
+            return fn(**self.kwargs, **self.extra)
+        return fn(**self.kwargs, **self.extra, seed=seed)

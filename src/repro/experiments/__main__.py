@@ -23,17 +23,33 @@ import time
 from repro.exec import ResultCache, default_cache_dir, open_cache
 from repro.experiments import FULL_SCALE, SMOKE_SCALE
 from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
+from repro.obs import ProgressLine
 
 # Every experiment accepts the shared executor knobs: a worker-pool
-# size and an optional persistent result cache.
+# size, an optional persistent result cache, and an optional live
+# progress callback.
 _EXPERIMENTS = {
-    "table1": lambda s, w, c: table1.format_table(table1.run(s, workers=w, cache=c)),
-    "table2": lambda s, w, c: table2.format_table(table2.run(s, workers=w, cache=c)),
-    "table3": lambda s, w, c: table3.format_table(table3.run(s, workers=w, cache=c)),
-    "table4": lambda s, w, c: table4.format_table(table4.run(s, workers=w, cache=c)),
-    "fig3": lambda s, w, c: fig3.format_maps(fig3.run(s, workers=w, cache=c)),
-    "fig5": lambda s, w, c: fig5.format_table(fig5.run(s, workers=w, cache=c)),
-    "fig6": lambda s, w, c: fig6.format_figure(fig6.run(s, workers=w, cache=c)),
+    "table1": lambda s, w, c, p: table1.format_table(
+        table1.run(s, workers=w, cache=c, progress=p)
+    ),
+    "table2": lambda s, w, c, p: table2.format_table(
+        table2.run(s, workers=w, cache=c, progress=p)
+    ),
+    "table3": lambda s, w, c, p: table3.format_table(
+        table3.run(s, workers=w, cache=c, progress=p)
+    ),
+    "table4": lambda s, w, c, p: table4.format_table(
+        table4.run(s, workers=w, cache=c, progress=p)
+    ),
+    "fig3": lambda s, w, c, p: fig3.format_maps(
+        fig3.run(s, workers=w, cache=c, progress=p)
+    ),
+    "fig5": lambda s, w, c, p: fig5.format_table(
+        fig5.run(s, workers=w, cache=c, progress=p)
+    ),
+    "fig6": lambda s, w, c, p: fig6.format_figure(
+        fig6.run(s, workers=w, cache=c, progress=p)
+    ),
 }
 
 
@@ -85,6 +101,11 @@ def main(argv=None) -> int:
         action="store_true",
         help="always recompute; neither read nor write the result cache",
     )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="live single-line job progress (done/total, hits vs executed, ETA)",
+    )
     args = parser.parse_args(argv)
     if args.names == ["list"]:
         for name in _EXPERIMENTS:
@@ -102,7 +123,12 @@ def main(argv=None) -> int:
         start = time.time()
         hits = cache.hits if cache else 0
         misses = cache.misses if cache else 0
-        output = _EXPERIMENTS[name](scale, args.workers, cache)
+        line = ProgressLine(name) if args.progress else None
+        try:
+            output = _EXPERIMENTS[name](scale, args.workers, cache, line)
+        finally:
+            if line is not None:
+                line.finish()
         print(f"\n===== {name} ({time.time() - start:.0f}s) =====")
         print(output)
         if cache is not None:

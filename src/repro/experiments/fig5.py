@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exec import ResultCache
+from repro.exec import ProgressCallback, ResultCache
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
 from repro.policies import POLICY_NAMES
@@ -37,6 +37,7 @@ def run(
     seed: int = 100,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig5Result:
     """Sweep every policy x speed configuration via the campaign engine."""
     scale = scale or default_scale()
@@ -50,7 +51,9 @@ def run(
         kind="explore",
         seed=seed,
     )
-    result = run_campaign(campaign, workers=workers, cache=cache)
+    result = run_campaign(
+        campaign, workers=workers, cache=cache, exec_progress=progress
+    )
     agg = result.aggregate(("policy", "speed"), value="coverage")
     return Fig5Result(
         coverage={key: stat.mean for key, stat in agg.items()},

@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.exec import ResultCache
+from repro.exec import ProgressCallback, ResultCache
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_series
 from repro.mapping.coverage import CoverageSeries
@@ -44,6 +44,7 @@ def run(
     seed: int = 900,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Fig6Result:
     """Fly the paper's best configuration ``n_runs`` times via the engine."""
     scale = scale or default_scale()
@@ -64,7 +65,9 @@ def run(
         seed=seed,
         operating_points=(op_spec,),
     )
-    result = run_campaign(campaign, workers=workers, cache=cache)
+    result = run_campaign(
+        campaign, workers=workers, cache=cache, exec_progress=progress
+    )
     runs: List[SearchResult] = [r.to_search_result() for r in result.records]
     grid_times = np.linspace(0.0, scale.flight_time_s, 61)
     mean, var = CoverageSeries.mean_and_variance(

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.exec import Executor, ResultCache
+from repro.exec import Executor, ProgressCallback, ResultCache
 from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
@@ -69,6 +69,7 @@ def run(
     seed: int = 0,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Table1Result:
     """Train, fine-tune, quantize and evaluate all width multipliers.
 
@@ -84,7 +85,7 @@ def run(
     """
     scale = scale or default_scale()
     payloads = Executor(workers=workers, cache=cache).run(
-        jobs.table1_jobs(scale, seed)
+        jobs.table1_jobs(scale, seed), progress=progress
     )
 
     maps: Dict[str, Dict[float, float]] = {key: {} for *_, key in ROW_KEYS}

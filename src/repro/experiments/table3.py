@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exec import ResultCache
+from repro.exec import ProgressCallback, ResultCache
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.fig5 import PAPER_SPEEDS
 from repro.experiments.reporting import ascii_table
@@ -69,6 +69,7 @@ def run(
     seed: int = 500,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Table3Result:
     """Sweep SSD x policy x speed through the campaign engine.
 
@@ -88,7 +89,9 @@ def run(
     """
     scale = scale or default_scale()
     campaign = build_campaign(scale, operating_points, widths, speeds, seed)
-    result = run_campaign(campaign, workers=workers, cache=cache)
+    result = run_campaign(
+        campaign, workers=workers, cache=cache, exec_progress=progress
+    )
     agg = result.aggregate(("ssd_width", "policy", "speed"), value="detection_rate")
     return Table3Result(
         rates={key: stat.mean for key, stat in agg.items()},

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.exec import Executor, ResultCache
+from repro.exec import Executor, ProgressCallback, ResultCache
 from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
@@ -32,10 +32,13 @@ def run(
     width: float = 1.0,
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> Table4Result:
     """Power breakdown with the given SSD running on the AI-deck."""
     scale = scale or default_scale()
-    [payload] = Executor(workers=workers, cache=cache).run([jobs.plan_job(width)])
+    [payload] = Executor(workers=workers, cache=cache).run(
+        [jobs.plan_job(width)], progress=progress
+    )
     plan = jobs.plan_from_dict(payload["plan"])
     ai_deck_w = AIDeckPowerModel().power_w(plan.performance)
     breakdown = platform_power_breakdown(ai_deck_w)

@@ -20,6 +20,7 @@ from repro.geometry.vec import Vec2
 from repro.mapping.coverage import CoverageSeries
 from repro.mapping.mocap import MotionCaptureTracker
 from repro.mission.detector_model import DetectionChannel, DetectorOperatingPoint
+from repro.obs import FlightRecorder, MissionTrace
 from repro.policies.base import ExplorationPolicy
 from repro.seeding import SeedLike, spawn_streams
 from repro.world.objects import SceneObject
@@ -77,6 +78,10 @@ class ClosedLoopMission:
         flight_time_s: run duration (180 s in the paper).
         start: drone start position.
         drone_config: platform configuration.
+        record: when True, capture a per-tick flight trace; after
+            :meth:`run` it is available as :attr:`last_trace`. The
+            simulated flight is bit-identical with and without
+            recording (the trace is observation, not intervention).
     """
 
     def __init__(
@@ -89,6 +94,7 @@ class ClosedLoopMission:
         flight_time_s: float = 180.0,
         start: Optional[Vec2] = None,
         drone_config: Optional[CrazyflieConfig] = None,
+        record: bool = False,
     ):
         if not objects:
             raise MissionError("a search mission needs at least one object")
@@ -105,6 +111,8 @@ class ClosedLoopMission:
         self.flight_time_s = flight_time_s
         self.start = start
         self.drone_config = drone_config
+        self.record = record
+        self.last_trace: Optional[MissionTrace] = None
 
     def run(self, seed: SeedLike = None) -> SearchResult:
         """Execute one flight; fully reproducible given ``seed``.
@@ -132,33 +140,112 @@ class ClosedLoopMission:
         distance = 0.0
         last_pos = drone.state.position
         n_steps = int(round(self.flight_time_s / drone.dt))
-        for _ in range(n_steps):
-            reading = drone.read_ranger()
-            setpoint = self.policy.update(reading, drone.estimated_state)
-            state = drone.step(setpoint)
-            distance += state.position.distance_to(last_pos)
-            last_pos = state.position
-            if tracker.observe(state):
-                series.append(state.time, tracker.coverage())
-            # Frame times derive from the frame index: repeatedly adding
-            # frame_period accumulates float error over the ~18k ticks of
-            # a 180 s flight and slowly drifts the camera schedule.
-            if state.time + 1e-9 >= frames * frame_period:
-                frames += 1
-                observations = drone.camera.observe(
-                    self.room.raycaster, state.position, state.heading, self.objects
+        recorder = None
+        if not self.record:
+            for _ in range(n_steps):
+                reading = drone.read_ranger()
+                setpoint = self.policy.update(reading, drone.estimated_state)
+                state = drone.step(setpoint)
+                distance += state.position.distance_to(last_pos)
+                last_pos = state.position
+                if tracker.observe(state):
+                    series.append(state.time, tracker.coverage())
+                # Frame times derive from the frame index: repeatedly adding
+                # frame_period accumulates float error over the ~18k ticks of
+                # a 180 s flight and slowly drifts the camera schedule.
+                if state.time + 1e-9 >= frames * frame_period:
+                    frames += 1
+                    observations = drone.camera.observe(
+                        self.room.raycaster, state.position, state.heading, self.objects
+                    )
+                    for obs in self.channel.detect(observations, state, rng):
+                        name = obs.obj.name
+                        if name not in first_detection:
+                            first_detection[name] = DetectionEvent(
+                                object_name=name,
+                                object_class=obs.obj.object_class.value,
+                                time_s=state.time,
+                                distance_m=obs.distance_m,
+                            )
+        else:
+            # Instrumented twin of the loop above: same calls in the
+            # same order (the recorder only observes), plus per-phase
+            # wall-clock accounting and per-tick telemetry capture.
+            # Phase seconds accumulate in locals -- the timing overhead
+            # per tick is a handful of perf_counter() calls.
+            import time as _time
+
+            perf = _time.perf_counter
+            recorder = FlightRecorder("search")
+            rtick = recorder.tick
+            dynamics = drone.dynamics
+            ph_ranger = ph_policy = ph_step = ph_mocap = 0.0
+            ph_camera = ph_detect = 0.0
+            for _ in range(n_steps):
+                t0 = perf()
+                reading = drone.read_ranger()
+                t1 = perf()
+                estimate = drone.estimated_state
+                setpoint = self.policy.update(reading, estimate)
+                t2 = perf()
+                state = drone.step(setpoint)
+                t3 = perf()
+                distance += state.position.distance_to(last_pos)
+                last_pos = state.position
+                sampled = tracker.observe(state)
+                t4 = perf()
+                ph_ranger += t1 - t0
+                ph_policy += t2 - t1
+                ph_step += t3 - t2
+                ph_mocap += t4 - t3
+                if sampled:
+                    coverage = tracker.coverage()
+                    series.append(state.time, coverage)
+                    recorder.coverage_sample(state.time, coverage)
+                if state.time + 1e-9 >= frames * frame_period:
+                    frames += 1
+                    t5 = perf()
+                    observations = drone.camera.observe(
+                        self.room.raycaster,
+                        state.position,
+                        state.heading,
+                        self.objects,
+                    )
+                    t6 = perf()
+                    recorder.frame(state.time, len(observations))
+                    detected = list(self.channel.detect(observations, state, rng))
+                    ph_camera += t6 - t5
+                    ph_detect += perf() - t6
+                    for obs in detected:
+                        name = obs.obj.name
+                        if name not in first_detection:
+                            first_detection[name] = DetectionEvent(
+                                object_name=name,
+                                object_class=obs.obj.object_class.value,
+                                time_s=state.time,
+                                distance_m=obs.distance_m,
+                            )
+                            recorder.detection(
+                                name,
+                                obs.obj.object_class.value,
+                                state.time,
+                                obs.distance_m,
+                            )
+                rtick(
+                    state,
+                    estimate,
+                    setpoint,
+                    reading,
+                    dynamics.collision_count,
                 )
-                for obs in self.channel.detect(observations, state, rng):
-                    name = obs.obj.name
-                    if name not in first_detection:
-                        first_detection[name] = DetectionEvent(
-                            object_name=name,
-                            object_class=obs.obj.object_class.value,
-                            time_s=state.time,
-                            distance_m=obs.distance_m,
-                        )
+            recorder.add_phase("ranger", ph_ranger)
+            recorder.add_phase("policy", ph_policy)
+            recorder.add_phase("step", ph_step)
+            recorder.add_phase("mocap", ph_mocap)
+            recorder.add_phase("camera", ph_camera)
+            recorder.add_phase("detect", ph_detect)
         events = sorted(first_detection.values(), key=lambda e: e.time_s)
-        return SearchResult(
+        result = SearchResult(
             detection_rate=len(events) / len(self.objects),
             events=events,
             coverage=tracker.coverage(),
@@ -171,3 +258,19 @@ class ClosedLoopMission:
             reachable_cells=tracker.reachable_cells,
             grid_cells=tracker.grid.n_cells,
         )
+        if recorder is not None:
+            self.last_trace = recorder.finish(
+                {
+                    "detection_rate": result.detection_rate,
+                    "coverage": result.coverage,
+                    "coverage_raw": result.coverage_raw,
+                    "collisions": result.collisions,
+                    "distance_flown_m": result.distance_flown_m,
+                    "flight_time_s": self.flight_time_s,
+                    "frames_processed": result.frames_processed,
+                    "n_objects": len(self.objects),
+                    "reachable_cells": result.reachable_cells,
+                    "grid_cells": result.grid_cells,
+                }
+            )
+        return result

@@ -16,6 +16,7 @@ from repro.geometry.vec import Vec2
 from repro.mapping.coverage import CoverageSeries
 from repro.mapping.mocap import MotionCaptureTracker
 from repro.mapping.occupancy import OccupancyGrid
+from repro.obs import FlightRecorder, MissionTrace
 from repro.policies.base import ExplorationPolicy
 from repro.seeding import SeedLike, spawn_streams
 from repro.world.room import Room
@@ -57,6 +58,10 @@ class ExplorationMission:
         start: start position; defaults to (1, 1) m.
         start_heading: initial heading, rad.
         drone_config: platform configuration (noise, control rate).
+        record: when True, capture a per-tick flight trace; after
+            :meth:`run` it is available as :attr:`last_trace`. The
+            simulated flight is bit-identical with and without
+            recording (the trace is observation, not intervention).
     """
 
     def __init__(
@@ -67,6 +72,7 @@ class ExplorationMission:
         start: Optional[Vec2] = None,
         start_heading: float = 0.0,
         drone_config: Optional[CrazyflieConfig] = None,
+        record: bool = False,
     ):
         if flight_time_s <= 0.0:
             raise MissionError("flight time must be positive")
@@ -76,6 +82,8 @@ class ExplorationMission:
         self.start = start
         self.start_heading = start_heading
         self.drone_config = drone_config
+        self.record = record
+        self.last_trace: Optional[MissionTrace] = None
 
     def run(self, seed: SeedLike = None) -> ExplorationResult:
         """Execute one flight and return its statistics.
@@ -101,15 +109,62 @@ class ExplorationMission:
         distance = 0.0
         last_pos = drone.state.position
         n_steps = int(round(self.flight_time_s / drone.dt))
-        for _ in range(n_steps):
-            reading = drone.read_ranger()
-            setpoint = self.policy.update(reading, drone.estimated_state)
-            state = drone.step(setpoint)
-            distance += state.position.distance_to(last_pos)
-            last_pos = state.position
-            if tracker.observe(state):
-                series.append(state.time, tracker.coverage())
-        return ExplorationResult(
+        recorder = None
+        if not self.record:
+            for _ in range(n_steps):
+                reading = drone.read_ranger()
+                setpoint = self.policy.update(reading, drone.estimated_state)
+                state = drone.step(setpoint)
+                distance += state.position.distance_to(last_pos)
+                last_pos = state.position
+                if tracker.observe(state):
+                    series.append(state.time, tracker.coverage())
+        else:
+            # Instrumented twin of the loop above: same calls in the
+            # same order (the recorder only observes), plus per-phase
+            # wall-clock accounting and per-tick telemetry capture.
+            # Phase seconds accumulate in locals -- the timing overhead
+            # per tick is a handful of perf_counter() calls.
+            import time as _time
+
+            perf = _time.perf_counter
+            recorder = FlightRecorder("explore")
+            rtick = recorder.tick
+            dynamics = drone.dynamics
+            ph_ranger = ph_policy = ph_step = ph_mocap = 0.0
+            for _ in range(n_steps):
+                t0 = perf()
+                reading = drone.read_ranger()
+                t1 = perf()
+                estimate = drone.estimated_state
+                setpoint = self.policy.update(reading, estimate)
+                t2 = perf()
+                state = drone.step(setpoint)
+                t3 = perf()
+                distance += state.position.distance_to(last_pos)
+                last_pos = state.position
+                sampled = tracker.observe(state)
+                t4 = perf()
+                ph_ranger += t1 - t0
+                ph_policy += t2 - t1
+                ph_step += t3 - t2
+                ph_mocap += t4 - t3
+                if sampled:
+                    coverage = tracker.coverage()
+                    series.append(state.time, coverage)
+                    recorder.coverage_sample(state.time, coverage)
+                rtick(
+                    state,
+                    estimate,
+                    setpoint,
+                    reading,
+                    dynamics.collision_count,
+                )
+            recorder.add_phase("ranger", ph_ranger)
+            recorder.add_phase("policy", ph_policy)
+            recorder.add_phase("step", ph_step)
+            recorder.add_phase("mocap", ph_mocap)
+        result = ExplorationResult(
             coverage=tracker.coverage(),
             grid=tracker.grid,
             series=series,
@@ -121,3 +176,16 @@ class ExplorationMission:
             reachable_cells=tracker.reachable_cells,
             grid_cells=tracker.grid.n_cells,
         )
+        if recorder is not None:
+            self.last_trace = recorder.finish(
+                {
+                    "coverage": result.coverage,
+                    "coverage_raw": result.coverage_raw,
+                    "collisions": result.collisions,
+                    "distance_flown_m": result.distance_flown_m,
+                    "flight_time_s": result.flight_time_s,
+                    "reachable_cells": result.reachable_cells,
+                    "grid_cells": result.grid_cells,
+                }
+            )
+        return result

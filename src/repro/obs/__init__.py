@@ -1,0 +1,28 @@
+"""Observability: flight recording, deterministic replay, reporting.
+
+The package splits along the circular-import boundary with the sim
+layer: this module exports only the *capture* side (trace format,
+recorder, store, progress line), which the mission and sim modules
+import freely. The *consumption* side -- :mod:`repro.obs.replay` and
+:mod:`repro.obs.report` -- imports the sim layer itself and is
+therefore only ever imported as a submodule, by the CLIs.
+
+See ``docs/observability.md`` for the trace schema and the replay
+determinism contract.
+"""
+
+from repro.obs.progress import ProgressLine
+from repro.obs.recorder import FlightRecorder
+from repro.obs.store import TRACE_SUFFIX, TraceStats, TraceStore
+from repro.obs.trace import TICK_COLUMNS, TRACE_SCHEMA, MissionTrace
+
+__all__ = [
+    "FlightRecorder",
+    "MissionTrace",
+    "ProgressLine",
+    "TICK_COLUMNS",
+    "TRACE_SCHEMA",
+    "TRACE_SUFFIX",
+    "TraceStats",
+    "TraceStore",
+]

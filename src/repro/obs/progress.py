@@ -1,0 +1,87 @@
+"""Live progress line for the campaign and experiment CLIs.
+
+A :class:`ProgressLine` is an executor
+:data:`~repro.exec.executor.ProgressCallback` that rewrites one
+terminal line in place (carriage return, no newline) as jobs complete::
+
+    campaign obs-pin:  7/20 jobs (3 cached, 4 executed), ETA 12s
+
+The ETA extrapolates from the mean wall clock of the *executed* jobs
+only -- cache hits arrive in a burst up front and would otherwise make
+the estimate absurdly optimistic. Output goes to ``stderr`` by default
+so piping a CLI's stdout (JSON output, reports) stays clean.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Any, Optional, TextIO
+
+from repro.exec.jobspec import JobSpec
+
+
+def _format_eta(seconds: float) -> str:
+    """Compact duration: ``"42s"``, ``"3m10s"``, ``"2h05m"``."""
+    seconds = max(0, int(round(seconds)))
+    if seconds < 60:
+        return f"{seconds}s"
+    minutes, sec = divmod(seconds, 60)
+    if minutes < 60:
+        return f"{minutes}m{sec:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+class ProgressLine:
+    """Executor progress callback that maintains a single live line.
+
+    Args:
+        label: prefix naming what is running (campaign or experiment).
+        stream: where to write; ``None`` means ``sys.stderr``.
+
+    The instance is callable with the executor's ``(done, total, job,
+    result, cached)`` signature; call :meth:`finish` afterwards to
+    terminate the line with a newline (safe when nothing was printed).
+    """
+
+    def __init__(self, label: str, stream: Optional[TextIO] = None):
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.started = time.perf_counter()
+        self.hits = 0
+        self.executed = 0
+        self._dirty = False
+
+    def __call__(
+        self, done: int, total: int, job: JobSpec, result: Any, cached: bool
+    ) -> None:
+        if cached:
+            self.hits += 1
+        else:
+            self.executed += 1
+        line = (
+            f"{self.label}: {done}/{total} jobs "
+            f"({self.hits} cached, {self.executed} executed)"
+        )
+        eta = self._eta(done, total)
+        if eta is not None:
+            line += f", ETA {_format_eta(eta)}"
+        self.stream.write(f"\r{line:<79}")
+        self.stream.flush()
+        self._dirty = True
+
+    def _eta(self, done: int, total: int) -> Optional[float]:
+        """Remaining seconds, or ``None`` while there is no basis."""
+        remaining = total - done
+        if remaining <= 0 or self.executed == 0:
+            return None
+        per_job = (time.perf_counter() - self.started) / self.executed
+        return remaining * per_job
+
+    def finish(self) -> None:
+        """Terminate the live line with a newline, if one was printed."""
+        if self._dirty:
+            self.stream.write("\n")
+            self.stream.flush()
+            self._dirty = False

@@ -1,0 +1,194 @@
+"""Deterministic replay of recorded missions.
+
+Reconstructs a flight from the artifacts beside the result cache: the
+cache entry (``<hash>.json``) holds the full job -- and therefore the
+mission spec and seed provenance -- while the trace artifact
+(``<hash>.trace.json.gz``) holds the telemetry. Replay cross-checks the
+two without re-flying; ``verify=True`` additionally re-flies the
+mission from the reconstructed spec and asserts bit-identity between
+the live and the recorded telemetry (fingerprints over the canonical
+telemetry JSON, wall-clock timings excluded -- the contract documented
+in ``docs/observability.md``).
+
+This module imports the sim layer and must therefore never be imported
+from :mod:`repro.obs`'s ``__init__`` (the sim layer imports the capture
+side of the package); the CLIs import it as a submodule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import ObsError
+from repro.exec import JobSpec, ResultCache, json_roundtrip
+from repro.obs.store import TraceStore
+from repro.obs.trace import MissionTrace
+from repro.sim.campaign import Campaign, MissionSpec
+from repro.sim.results import CampaignResult
+from repro.sim.runner import fly_mission, mission_job
+
+
+@dataclass(frozen=True)
+class ReplayOutcome:
+    """What replaying one recorded mission established.
+
+    ``verified`` is ``None`` when no re-flight was requested, ``True``
+    when the re-flight was bit-identical (a mismatch raises instead of
+    reporting ``False`` -- a broken determinism contract is an error,
+    not a result).
+    """
+
+    content_hash: str
+    label: str
+    kind: str
+    n_ticks: int
+    fingerprint: str
+    verified: Optional[bool]
+
+    def summary(self) -> str:
+        """One human line, e.g. for the CLI."""
+        state = "verified bit-identical" if self.verified else "consistent"
+        return (
+            f"{self.content_hash[:12]} {self.label}: {self.kind}, "
+            f"{self.n_ticks} ticks, {state}"
+        )
+
+
+def mission_spec_from_entry(entry: dict) -> MissionSpec:
+    """Rebuild the mission spec a cache entry's job flew.
+
+    The stored job payload is the seed-free spec dict with provenance
+    lifted onto the job (see :func:`repro.sim.runner.mission_job`);
+    this reverses that lift.
+
+    Raises:
+        ObsError: when the entry's job is not a mission job.
+    """
+    job = JobSpec.from_dict(entry["job"])
+    if "spec" not in job.kwargs:
+        raise ObsError(
+            f"cache entry for {job.fn!r} is not a mission job; "
+            "only campaign missions can be replayed"
+        )
+    data = dict(job.kwargs["spec"])
+    data["seed_entropy"] = job.seed_entropy
+    data["spawn_key"] = list(job.spawn_key)
+    return MissionSpec.from_dict(data)
+
+
+def _check_final_against_result(trace: MissionTrace, result: dict, h: str) -> None:
+    """The trace's scalar summary must agree with the cached record."""
+    for key, value in trace.final.items():
+        stored = result.get(key)
+        if json_roundtrip(value) != json_roundtrip(stored):
+            raise ObsError(
+                f"trace/result mismatch for {h[:12]}: "
+                f"trace.final[{key!r}] = {value!r} but the cached record "
+                f"has {stored!r}"
+            )
+
+
+def replay_mission(
+    content_hash: str,
+    cache_dir: str,
+    verify: bool = False,
+) -> ReplayOutcome:
+    """Replay one recorded mission from its artifacts.
+
+    Without ``verify`` this reconstructs the mission spec from the
+    cache entry, loads the trace, and cross-checks the trace's scalar
+    summary against the cached record -- no flying involved. With
+    ``verify`` the mission is re-flown from the reconstructed spec and
+    both the scalar record and the telemetry fingerprint must be
+    bit-identical to what is stored.
+
+    Args:
+        content_hash: full job content hash (resolve prefixes with
+            :meth:`~repro.obs.store.TraceStore.find` first).
+        cache_dir: the shared cache/trace directory.
+        verify: re-fly and assert bit-identity.
+
+    Raises:
+        ObsError: on missing artifacts, trace/record disagreement, or
+            a failed bit-identity check.
+    """
+    store = TraceStore(cache_dir)
+    cache = ResultCache(cache_dir)
+    trace = store.get(content_hash)
+    entry = cache.load_entry(content_hash)
+    if entry is None:
+        raise ObsError(
+            f"trace {content_hash[:12]} has no matching result cache "
+            f"entry in {cache_dir}; the cache may have been cleared"
+        )
+    spec = mission_spec_from_entry(entry)
+    if mission_job(spec).content_hash() != content_hash:
+        raise ObsError(
+            f"cache entry {content_hash[:12]} does not round-trip to its "
+            "own hash; refusing to replay a tampered artifact"
+        )
+    stored_result = entry.get("result") or {}
+    _check_final_against_result(trace, stored_result, content_hash)
+    label = mission_job(spec).label
+    verified: Optional[bool] = None
+    if verify:
+        record, live_trace = fly_mission(spec, record=True)
+        if json_roundtrip(record.to_dict()) != stored_result:
+            raise ObsError(
+                f"re-flight of {content_hash[:12]} produced a different "
+                "scalar record than the cache holds -- determinism broken "
+                "or code changed without a version bump"
+            )
+        if live_trace.fingerprint() != trace.fingerprint():
+            raise ObsError(
+                f"re-flight of {content_hash[:12]} produced different "
+                "telemetry than the stored trace (fingerprint "
+                f"{live_trace.fingerprint()[:12]} != "
+                f"{trace.fingerprint()[:12]})"
+            )
+        verified = True
+    return ReplayOutcome(
+        content_hash=content_hash,
+        label=label,
+        kind=trace.kind,
+        n_ticks=trace.n_ticks,
+        fingerprint=trace.fingerprint(),
+        verified=verified,
+    )
+
+
+def campaign_hashes(result: CampaignResult) -> List[str]:
+    """The job content hashes of a saved campaign result, in mission order.
+
+    Re-expands the persisted campaign definition into mission specs and
+    derives each mission's job hash -- the key under which both the
+    cached record and the trace live.
+    """
+    campaign = Campaign.from_dict(result.campaign)
+    return [mission_job(spec).content_hash() for spec in campaign.missions()]
+
+
+def replay_target_hashes(target: str, cache_dir: str) -> List[str]:
+    """Resolve a CLI replay target to full content hashes.
+
+    ``target`` is either a (possibly abbreviated) job hash or the path
+    to a saved campaign result file; a file target expands to every
+    mission of the campaign.
+
+    Raises:
+        ObsError: when nothing matches.
+    """
+    import os
+
+    if os.path.isfile(target):
+        return campaign_hashes(CampaignResult.load(target))
+    store = TraceStore(cache_dir)
+    full = store.find(target)
+    if full is None:
+        raise ObsError(
+            f"no recorded trace matches {target!r} in {cache_dir}; "
+            "run the campaign with --record first (`cache stats` lists "
+            "trace counts)"
+        )
+    return [full]

@@ -1,0 +1,307 @@
+"""Self-contained HTML campaign reports built on :mod:`repro.viz`.
+
+One document per campaign result: a summary header, executor/cache
+statistics, and a per-mission gallery. Missions with a recorded flight
+trace render a full panel -- trajectory SVG (walls, obstacles, objects,
+path), coverage sparkline, and a full-room visited-cell heatmap binned
+from the per-tick telemetry; missions without a trace fall back to the
+sparkline the scalar record already carries. The mission whose primary
+metric is best and the one whose is worst are highlighted, and rows
+more than two population standard deviations from the campaign mean
+are flagged as outliers.
+
+Like :mod:`repro.obs.replay`, this module imports the sim layer and is
+only ever imported as a submodule (never from ``repro.obs.__init__``).
+"""
+
+from __future__ import annotations
+
+import html
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.mapping.mocap import TrackedSample
+from repro.mapping.occupancy import CELL_SIZE_M
+from repro.geometry.vec import Vec2
+from repro.mission.closed_loop import DetectionEvent
+from repro.obs.store import TraceStore
+from repro.obs.trace import MissionTrace
+from repro.sim.campaign import Campaign, MissionSpec
+from repro.sim.results import CampaignResult, MissionRecord
+from repro.viz import grid_heatmap_to_svg, sparkline_to_svg, trajectory_to_svg
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 1.5em;
+       color: #222; background: #fff; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table.stats { border-collapse: collapse; font-size: 0.9em; }
+table.stats td, table.stats th { border: 1px solid #ccc; padding: 3px 9px;
+       text-align: left; }
+.mission { border: 1px solid #ddd; border-radius: 6px; padding: 0.8em;
+       margin: 0.9em 0; }
+.mission.best { border-color: #2a9d2a; box-shadow: 0 0 4px #2a9d2a55; }
+.mission.worst { border-color: #d03030; box-shadow: 0 0 4px #d0303055; }
+.mission h3 { margin: 0 0 0.4em 0; font-size: 1.0em; font-family: monospace; }
+.badge { font-size: 0.75em; padding: 1px 7px; border-radius: 8px;
+       color: #fff; margin-left: 0.6em; vertical-align: middle; }
+.badge.best { background: #2a9d2a; } .badge.worst { background: #d03030; }
+.badge.outlier { background: #d08a20; }
+.panels { display: flex; flex-wrap: wrap; gap: 1em; align-items: flex-start; }
+.panel { font-size: 0.8em; color: #555; }
+.note { color: #888; font-style: italic; font-size: 0.85em; }
+"""
+
+
+def _primary_metric(result: CampaignResult) -> str:
+    return (
+        "detection_rate"
+        if result.campaign.get("kind", "search") == "search"
+        else "coverage"
+    )
+
+
+def _trace_samples(trace: MissionTrace) -> List[TrackedSample]:
+    cols = trace.columns
+    return [
+        TrackedSample(time=t, position=Vec2(x, y), heading=h)
+        for t, x, y, h in zip(cols["t"], cols["x"], cols["y"], cols["heading"])
+    ]
+
+
+def _trace_heatmap(
+    trace: MissionTrace, width: float, length: float
+) -> List[List[float]]:
+    """Seconds spent per cell over the whole room, binned from telemetry.
+
+    Mirrors the occupancy grid's layout (row 0 = south) at the standard
+    cell size, so the rendered heatmap spans the full room including
+    never-visited cells.
+    """
+    nx = max(1, int(np.ceil(width / CELL_SIZE_M)))
+    ny = max(1, int(np.ceil(length / CELL_SIZE_M)))
+    seconds = np.zeros((ny, nx), dtype=np.float64)
+    times = np.asarray(trace.columns["t"], dtype=np.float64)
+    xs = np.asarray(trace.columns["x"], dtype=np.float64)
+    ys = np.asarray(trace.columns["y"], dtype=np.float64)
+    if len(times) == 0:
+        return seconds.tolist()
+    dts = np.diff(times, prepend=0.0)
+    ix = np.clip((xs / CELL_SIZE_M).astype(int), 0, nx - 1)
+    iy = np.clip((ys / CELL_SIZE_M).astype(int), 0, ny - 1)
+    np.add.at(seconds, (iy, ix), dts)
+    return seconds.tolist()
+
+
+def _mission_events(record: MissionRecord) -> List[DetectionEvent]:
+    return [
+        DetectionEvent(
+            object_name=name, object_class=cls, time_s=t, distance_m=d
+        )
+        for name, cls, t, d in record.events
+    ]
+
+
+def _stats_rows(
+    result: CampaignResult, cache_dir: Optional[str], traced: int
+) -> List[Tuple[str, str]]:
+    rows: List[Tuple[str, str]] = [
+        ("campaign", result.name),
+        ("campaign hash", result.campaign_hash[:16]),
+        ("missions", str(len(result))),
+        ("recorded traces", str(traced)),
+    ]
+    if result.execution is not None:
+        report = result.execution
+        rows.append(("execution", report.summary()))
+        timings = report.timings_summary()
+        if timings:
+            rows.append(("timings", timings))
+    else:
+        rows.append(("execution", "n/a (loaded result; no live run)"))
+    if cache_dir is not None:
+        from repro.exec import ResultCache
+
+        stats = ResultCache(cache_dir).stats()
+        rows.append(
+            (
+                "result cache",
+                f"{stats.entries} entries, {stats.total_bytes / 1e6:.2f} MB "
+                f"({cache_dir})",
+            )
+        )
+        tstats = TraceStore(cache_dir).stats()
+        rows.append(
+            (
+                "trace store",
+                f"{tstats.traces} traces, {tstats.total_bytes / 1e6:.2f} MB",
+            )
+        )
+    return rows
+
+
+def _select_highlights(
+    result: CampaignResult, metric: str
+) -> Tuple[Optional[int], Optional[int], set]:
+    """Indices of the best and worst record plus the >2-sigma outliers."""
+    if not result.records:
+        return None, None, set()
+    values = np.asarray([getattr(r, metric) for r in result.records])
+    best = int(result.records[int(np.argmax(values))].index)
+    worst = int(result.records[int(np.argmin(values))].index)
+    outliers: set = set()
+    if len(values) >= 3:
+        mean, std = float(values.mean()), float(values.std())
+        if std > 0.0:
+            outliers = {
+                r.index
+                for r, v in zip(result.records, values)
+                if abs(v - mean) > 2.0 * std
+            }
+    return best, worst, outliers
+
+
+def render_report(
+    result: CampaignResult, cache_dir: Optional[str] = None
+) -> str:
+    """Render ``result`` into one self-contained HTML document.
+
+    Args:
+        result: the campaign to report (live or loaded from disk).
+        cache_dir: the shared cache/trace directory; ``None`` skips
+            trace-backed panels (trajectories, heatmaps) and cache
+            statistics, leaving the scalar gallery.
+    """
+    metric = _primary_metric(result)
+    store = TraceStore(cache_dir) if cache_dir is not None else None
+
+    # Missions align with records by index; specs provide the rooms and
+    # objects the trajectory renderer draws. A result whose campaign
+    # definition no longer expands (old schema) degrades to no panels.
+    specs: Dict[int, MissionSpec] = {}
+    hashes: Dict[int, str] = {}
+    try:
+        campaign = Campaign.from_dict(result.campaign)
+        from repro.sim.runner import mission_job
+
+        for spec in campaign.missions():
+            specs[spec.index] = spec
+            hashes[spec.index] = mission_job(spec).content_hash()
+    except Exception:  # noqa: BLE001 - degraded report beats no report
+        pass
+
+    traces: Dict[int, MissionTrace] = {}
+    if store is not None:
+        for index, h in hashes.items():
+            if store.has(h):
+                traces[index] = store.get(h)
+
+    best, worst, outliers = _select_highlights(result, metric)
+    parts = [
+        "<!DOCTYPE html>",
+        "<html><head><meta charset='utf-8'>",
+        f"<title>campaign report: {html.escape(result.name)}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Campaign report: {html.escape(result.name)}</h1>",
+        "<h2>Run statistics</h2>",
+        "<table class='stats'>",
+    ]
+    for key, value in _stats_rows(result, cache_dir, len(traces)):
+        parts.append(
+            f"<tr><th>{html.escape(key)}</th>"
+            f"<td>{html.escape(value)}</td></tr>"
+        )
+    parts.append("</table>")
+
+    parts.append("<h2>Missions</h2>")
+    if not result.records:
+        parts.append("<p class='note'>empty campaign result</p>")
+    for record in result.records:
+        classes = ["mission"]
+        badges = []
+        if record.index == best:
+            classes.append("best")
+            badges.append("<span class='badge best'>best</span>")
+        if record.index == worst:
+            classes.append("worst")
+            badges.append("<span class='badge worst'>worst</span>")
+        if record.index in outliers:
+            badges.append("<span class='badge outlier'>outlier &gt;2&sigma;</span>")
+        title = (
+            f"#{record.index} {record.scenario}/{record.policy}"
+            f"@{record.speed:g} run {record.run_idx}"
+        )
+        metric_line = f"{metric.replace('_', ' ')} {getattr(record, metric):.1%}"
+        detail = (
+            f"coverage {record.coverage:.1%}, {record.collisions} collisions, "
+            f"{record.distance_flown_m:.1f} m flown"
+        )
+        if record.kind == "search":
+            detail = (
+                f"detection {record.detection_rate:.1%}, " + detail
+                + f", {record.frames_processed} frames"
+            )
+        if record.index in hashes:
+            # the replay handle: `python -m repro.sim replay <prefix>`
+            detail += f" · job {hashes[record.index][:12]}"
+        parts.append(f"<div class='{' '.join(classes)}'>")
+        parts.append(
+            f"<h3>{html.escape(title)} &mdash; {html.escape(metric_line)}"
+            f"{''.join(badges)}</h3>"
+        )
+        parts.append(f"<p class='panel'>{html.escape(detail)}</p>")
+        parts.append("<div class='panels'>")
+        trace = traces.get(record.index)
+        spec = specs.get(record.index)
+        if trace is not None and spec is not None:
+            room = spec.scenario.build_room()
+            objects = spec.scenario.build_objects()
+            parts.append(
+                "<div class='panel'>trajectory<br>"
+                + trajectory_to_svg(
+                    room,
+                    _trace_samples(trace),
+                    objects=objects,
+                    events=_mission_events(record),
+                )
+                + "</div>"
+            )
+            parts.append(
+                "<div class='panel'>visited cells<br>"
+                + grid_heatmap_to_svg(
+                    _trace_heatmap(trace, room.width, room.length)
+                )
+                + "</div>"
+            )
+        parts.append(
+            "<div class='panel'>coverage over time<br>"
+            + sparkline_to_svg(
+                list(record.series_times),
+                list(record.series_coverage),
+                y_max=1.0,
+            )
+            + "</div>"
+        )
+        parts.append("</div>")
+        if trace is None:
+            parts.append(
+                "<p class='note'>no flight trace recorded for this "
+                "mission (re-run with --record)</p>"
+            )
+        parts.append("</div>")
+    parts.append("</body></html>")
+    return "\n".join(parts)
+
+
+def write_report(
+    result: CampaignResult, path: str, cache_dir: Optional[str] = None
+) -> str:
+    """Render and write the report; returns ``path``."""
+    import os
+
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render_report(result, cache_dir=cache_dir))
+    return path

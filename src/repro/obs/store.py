@@ -1,0 +1,175 @@
+"""On-disk trace store, sharing layout with the result cache.
+
+Traces live *beside* their result-cache entries, keyed by the same job
+content hash and sharded the same way::
+
+    <cache-dir>/
+        ab/
+            ab3f...9c.json            result entry (repro.exec.cache)
+            ab3f...9c.trace.json.gz   flight trace  (this module)
+
+The ``.trace.json.gz`` suffix keeps traces invisible to the result
+cache's entry scan (which only considers bare ``.json`` files), so
+recording never perturbs cache statistics or ``clear()``; symmetric,
+:meth:`TraceStore.clear` only removes traces. Writes are atomic
+(temp file + ``os.replace``), like cache entries.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, NamedTuple, Optional
+
+from repro.errors import ObsError
+from repro.obs.trace import MissionTrace
+
+#: Trace-artifact filename suffix. Must not end in a bare ``.json`` or
+#: the result cache's entry scan would pick traces up as corrupt
+#: entries.
+TRACE_SUFFIX = ".trace.json.gz"
+
+
+class TraceStats(NamedTuple):
+    """Point-in-time size of the trace side of a cache directory."""
+
+    traces: int  #: number of trace artifacts
+    total_bytes: int  #: bytes on disk across them
+
+
+@dataclass
+class TraceStore:
+    """Flight traces on disk, keyed by job content hash.
+
+    Shares a directory with the :class:`~repro.exec.cache.ResultCache`
+    so one job hash locates both the scalar result and the telemetry
+    behind it.
+    """
+
+    directory: str
+
+    def __post_init__(self) -> None:
+        if not self.directory:
+            raise ObsError("trace store needs a directory")
+
+    # -- paths ------------------------------------------------------------
+
+    def path(self, content_hash: str) -> str:
+        """Where the trace for ``content_hash`` lives (existing or not)."""
+        if len(content_hash) < 3:
+            raise ObsError(f"implausible content hash {content_hash!r}")
+        return os.path.join(
+            self.directory, content_hash[:2], f"{content_hash}{TRACE_SUFFIX}"
+        )
+
+    def has(self, content_hash: str) -> bool:
+        """Whether a trace artifact exists for ``content_hash``."""
+        return os.path.isfile(self.path(content_hash))
+
+    # -- I/O --------------------------------------------------------------
+
+    def put(self, content_hash: str, trace: MissionTrace) -> str:
+        """Store ``trace`` under ``content_hash``; returns the path.
+
+        Atomic via a sibling temp file + ``os.replace``. The temp name
+        is derived from the content hash rather than randomized
+        (``mkstemp``): the hash already makes it unique per job, two
+        writers of the same job write identical telemetry, and skipping
+        the secure-name dance keeps ``put`` off the recorded mission's
+        overhead budget.
+        """
+        path = self.path(content_hash)
+        shard = os.path.dirname(path)
+        os.makedirs(shard, exist_ok=True)
+        tmp = os.path.join(shard, f".tmp-{content_hash}.gz")
+        try:
+            with open(tmp, "wb") as fh:
+                fh.write(trace.to_bytes())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):  # pragma: no cover - cleanup path
+                os.unlink(tmp)
+            raise
+        return path
+
+    def get(self, content_hash: str) -> MissionTrace:
+        """Load the trace for ``content_hash``.
+
+        Raises:
+            ObsError: when no trace exists or the artifact is corrupt.
+        """
+        path = self.path(content_hash)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError as exc:
+            raise ObsError(
+                f"no flight trace for {content_hash[:12]}... "
+                f"(expected at {path}); re-run the campaign with --record"
+            ) from exc
+        return MissionTrace.from_bytes(blob)
+
+    # -- discovery --------------------------------------------------------
+
+    def _trace_files(self):
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(TRACE_SUFFIX) and not name.startswith("."):
+                    yield os.path.join(shard_dir, name)
+
+    def hashes(self) -> List[str]:
+        """Content hashes of every stored trace, sorted."""
+        return sorted(
+            os.path.basename(path)[: -len(TRACE_SUFFIX)]
+            for path in self._trace_files()
+        )
+
+    def find(self, prefix: str) -> Optional[str]:
+        """Resolve a (possibly abbreviated) content hash to a full one.
+
+        Returns ``None`` when no stored trace matches.
+
+        Raises:
+            ObsError: when the prefix is ambiguous.
+        """
+        matches = [h for h in self.hashes() if h.startswith(prefix)]
+        if not matches:
+            return None
+        if len(matches) > 1:
+            raise ObsError(
+                f"trace hash prefix {prefix!r} is ambiguous: "
+                f"{[m[:12] for m in matches]}"
+            )
+        return matches[0]
+
+    def stats(self) -> TraceStats:
+        """Trace count and bytes on disk."""
+        traces = 0
+        total = 0
+        for path in self._trace_files():
+            try:
+                size = os.path.getsize(path)
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+            traces += 1
+            total += size
+        return TraceStats(traces=traces, total_bytes=total)
+
+    def clear(self) -> int:
+        """Delete every trace artifact; returns how many were removed.
+
+        Result-cache entries in the shared directory are untouched.
+        """
+        removed = 0
+        for path in self._trace_files():
+            try:
+                os.unlink(path)
+                removed += 1
+            except OSError:  # pragma: no cover - racing deletion
+                continue
+        return removed

@@ -1,0 +1,276 @@
+"""The flight-trace artifact: per-tick telemetry of one recorded mission.
+
+A :class:`MissionTrace` is what the :class:`~repro.obs.recorder.FlightRecorder`
+produces at the end of a recorded flight: columnar per-tick telemetry
+(true and estimated pose, the commanded set-point, the Multi-ranger
+beams, the cumulative collision count), the camera frame and detection
+events of a search mission, the coverage-over-time series, a scalar
+summary, and wall-clock phase timings of the tick loop.
+
+Two identity domains live in one artifact:
+
+- **Telemetry** is deterministic: the same mission spec and seed stream
+  produce bit-identical columns in any process (the replay ``--verify``
+  contract). :meth:`MissionTrace.fingerprint` hashes exactly this part.
+- **Timings** are wall clock and therefore never reproducible; they are
+  stored for profiling but excluded from the fingerprint and from every
+  replay comparison.
+
+Traces serialize as gzip-compressed canonical JSON with a fixed mtime,
+carrying their own ``schema`` token (:data:`TRACE_SCHEMA`) so a
+trace-format bump invalidates traces without touching the result cache
+(whose entries live in sibling ``.json`` files under a different
+schema). Inside the JSON document the dense float series -- the tick
+columns and the coverage series -- are packed as base64-encoded
+little-endian float64 arrays rather than JSON number lists: packing is
+exact (the fingerprint is bit-identity over the raw IEEE 754 words) and
+keeps serialization off a recorded mission's critical path, which is
+what holds the ``--record`` overhead under the benchmark's ceiling.
+"""
+
+from __future__ import annotations
+
+import base64
+import gzip
+import hashlib
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.errors import ObsError
+from repro.exec.jobspec import canonical_json, json_roundtrip
+
+#: Trace-artifact schema token; bump when the layout below changes so
+#: stale traces read as errors instead of mis-parsing. Deliberately
+#: independent of the result-cache schema: a trace-format bump must not
+#: bust cached mission results.
+TRACE_SCHEMA = "repro.obs.trace/v1"
+
+#: The per-tick telemetry columns, in storage order. ``collisions`` is
+#: the cumulative collision count after the tick, so collision *events*
+#: are its increments.
+TICK_COLUMNS = (
+    "t",
+    "x",
+    "y",
+    "heading",
+    "est_x",
+    "est_y",
+    "est_heading",
+    "set_forward",
+    "set_side",
+    "set_yaw_rate",
+    "ranger_front",
+    "ranger_back",
+    "ranger_left",
+    "ranger_right",
+    "collisions",
+)
+
+
+def _pack_f64(values: List[float]) -> str:
+    """Base64 of the values as little-endian float64 -- exact and fast."""
+    return base64.b64encode(
+        struct.pack(f"<{len(values)}d", *values)
+    ).decode("ascii")
+
+
+def _unpack_f64(blob: str) -> List[float]:
+    raw = base64.b64decode(blob.encode("ascii"))
+    if len(raw) % 8:
+        raise ObsError(f"packed float series has {len(raw)} bytes (not / 8)")
+    return list(struct.unpack(f"<{len(raw) // 8}d", raw))
+
+
+@dataclass
+class MissionTrace:
+    """Columnar telemetry of one recorded mission.
+
+    Attributes:
+        kind: ``"explore"`` or ``"search"``.
+        columns: per-tick telemetry, one equal-length list per
+            :data:`TICK_COLUMNS` entry.
+        frames: camera frame events as ``{"t": [...], "visible": [...]}``
+            (frame time, number of visible objects); empty columns on
+            exploration missions.
+        detections: first-detection events as
+            ``[name, object_class, time_s, distance_m]`` rows.
+        coverage: the coverage-over-time series as
+            ``{"t": [...], "value": [...]}`` (mocap-rate samples).
+        final: scalar summary of the flight (coverage, collisions,
+            distance flown, ...) -- what the mission record reports,
+            duplicated here so a trace is self-describing.
+        timings: wall-clock profile ``{"ticks": n, "phases": {name:
+            seconds}}``; never part of the trace identity.
+        schema: the artifact schema token this trace was built with.
+    """
+
+    kind: str
+    columns: Dict[str, List[float]]
+    frames: Dict[str, List[float]] = field(default_factory=lambda: {"t": [], "visible": []})
+    detections: List[List[Any]] = field(default_factory=list)
+    coverage: Dict[str, List[float]] = field(default_factory=lambda: {"t": [], "value": []})
+    final: Dict[str, Any] = field(default_factory=dict)
+    timings: Dict[str, Any] = field(default_factory=dict)
+    schema: str = TRACE_SCHEMA
+
+    def __post_init__(self) -> None:
+        missing = [c for c in TICK_COLUMNS if c not in self.columns]
+        if missing:
+            raise ObsError(f"trace is missing telemetry columns: {missing}")
+        lengths = {len(self.columns[c]) for c in TICK_COLUMNS}
+        if len(lengths) > 1:
+            raise ObsError(
+                f"telemetry columns have unequal lengths: "
+                f"{ {c: len(self.columns[c]) for c in TICK_COLUMNS} }"
+            )
+
+    @property
+    def n_ticks(self) -> int:
+        """Number of recorded control ticks."""
+        return len(self.columns["t"])
+
+    # -- identity ---------------------------------------------------------
+
+    def telemetry_dict(self) -> dict:
+        """The deterministic part of the trace, in storage form.
+
+        Everything except ``timings``, with the dense float series
+        packed (see the module docstring): this is the payload the
+        replay ``--verify`` bit-identity contract is defined over.
+        """
+        return {
+            "schema": self.schema,
+            "kind": self.kind,
+            "columns": {
+                name: _pack_f64(values) for name, values in self.columns.items()
+            },
+            "frames": json_roundtrip(self.frames),
+            "detections": json_roundtrip(self.detections),
+            "coverage": {
+                name: _pack_f64(values) for name, values in self.coverage.items()
+            },
+            "final": json_roundtrip(self.final),
+        }
+
+    def _canonical_telemetry_body(self) -> str:
+        """Canonical JSON of :meth:`telemetry_dict`, sans closing brace.
+
+        Byte-for-byte what ``canonical_json(self.telemetry_dict())``
+        produces (keys in sorted order, compact separators), assembled
+        by hand: the packed column strings are base64 and can never
+        need JSON escaping, so routing a quarter-megabyte of them
+        through ``json.dumps``'s escape scan would dominate the
+        serialization cost. Callers close the document (``"}"``) or
+        splice the ``timings`` member in first (:meth:`to_bytes`).
+        """
+        dump = canonical_json
+        cols = ",".join(
+            f'"{name}":"{_pack_f64(self.columns[name])}"'
+            for name in sorted(self.columns)
+        )
+        cov = ",".join(
+            f'"{name}":"{_pack_f64(self.coverage[name])}"'
+            for name in sorted(self.coverage)
+        )
+        return (
+            f'{{"columns":{{{cols}}},"coverage":{{{cov}}},'
+            f'"detections":{dump(self.detections)},'
+            f'"final":{dump(self.final)},'
+            f'"frames":{dump(self.frames)},'
+            f'"kind":{dump(self.kind)},'
+            f'"schema":{dump(self.schema)}'
+        )
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the canonical telemetry (timings excluded).
+
+        Two recordings of the same mission (same spec, same seed
+        stream, any process) have equal fingerprints; their wall-clock
+        timings will differ. Float series are fingerprinted over their
+        packed IEEE 754 words, so equality means bit-identical floats.
+        """
+        blob = self._canonical_telemetry_body() + "}"
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Full storage form, timings included."""
+        data = self.telemetry_dict()
+        data["timings"] = json_roundtrip(self.timings)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MissionTrace":
+        """Inverse of :meth:`to_dict` (unpacks the float series).
+
+        Raises:
+            ObsError: on a schema mismatch or malformed columns.
+        """
+        if not isinstance(data, dict) or data.get("schema") != TRACE_SCHEMA:
+            raise ObsError(
+                f"not a {TRACE_SCHEMA} trace (schema "
+                f"{data.get('schema') if isinstance(data, dict) else None!r})"
+            )
+        try:
+            columns = {
+                name: _unpack_f64(blob) for name, blob in data["columns"].items()
+            }
+            coverage = {
+                name: _unpack_f64(blob)
+                for name, blob in data.get("coverage", {}).items()
+            } or {"t": [], "value": []}
+        except (ValueError, TypeError) as exc:
+            raise ObsError(f"corrupt trace columns: {exc}") from exc
+        return cls(
+            kind=data["kind"],
+            columns=columns,
+            frames=data.get("frames", {"t": [], "visible": []}),
+            detections=data.get("detections", []),
+            coverage=coverage,
+            final=data.get("final", {}),
+            timings=data.get("timings", {}),
+            schema=data["schema"],
+        )
+
+    def to_bytes(self, compresslevel: int = 0) -> bytes:
+        """Gzip-wrapped canonical JSON (fixed mtime).
+
+        The payload is byte-for-byte ``canonical_json(self.to_dict())``
+        (assembled without the escape scan -- see
+        :meth:`_canonical_telemetry_body`). The telemetry part is
+        deterministic; the bytes as a whole are not (timings), which is
+        why replay comparisons go through :meth:`fingerprint` instead
+        of file bytes.
+
+        Args:
+            compresslevel: gzip level. The default of 0 (stored, not
+                deflated) is deliberate: serialization runs on the
+                recorded mission's critical path, and deflating the
+                packed columns costs more wall clock than the whole
+                capture loop. The artifact is a valid ``.gz`` either
+                way; pass 1-9 to trade capture time for disk.
+        """
+        body = (
+            self._canonical_telemetry_body()
+            + f',"timings":{canonical_json(self.timings)}}}'
+        )
+        return gzip.compress(
+            body.encode("utf-8"), compresslevel=compresslevel, mtime=0
+        )
+
+    @classmethod
+    def from_bytes(cls, blob: bytes) -> "MissionTrace":
+        """Inverse of :meth:`to_bytes`.
+
+        Raises:
+            ObsError: on undecodable bytes or a schema mismatch.
+        """
+        import json
+
+        try:
+            data = json.loads(gzip.decompress(blob).decode("utf-8"))
+        except (OSError, ValueError) as exc:
+            raise ObsError(f"corrupt trace artifact: {exc}") from exc
+        return cls.from_dict(data)

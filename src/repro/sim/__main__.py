@@ -7,12 +7,19 @@ Usage:
     python -m repro.sim run --scenario paper-room --runs 2 --flight-time 30
     python -m repro.sim run --family perfect-maze --family-seed 1 2 3 \\
         --param cell_m=1.0 --runs 2 --workers 0 --out results
+    python -m repro.sim run --record --progress --out results
+    python -m repro.sim replay ab3f --verify
+    python -m repro.sim replay results/campaign-cli-ab3f....json
+    python -m repro.sim report results/campaign-cli-ab3f....json --out report.html
     python -m repro.sim cache stats
 
 Campaign runs cache mission results under ``.repro-cache`` (override
 with ``--cache-dir`` or ``$REPRO_CACHE_DIR``); re-running an identical
 campaign loads every mission from the cache instead of re-flying it.
-``--no-cache`` opts out.
+``--no-cache`` opts out. ``--record`` additionally stores a per-tick
+flight trace beside each cache entry; ``replay`` reconstructs recorded
+missions from those artifacts (``--verify`` re-flies and asserts
+bit-identity) and ``report`` renders a campaign result into HTML.
 """
 
 from __future__ import annotations
@@ -21,8 +28,9 @@ import argparse
 import sys
 import time
 
-from repro.errors import ExecError, SimError
+from repro.errors import ExecError, ObsError, SimError
 from repro.exec import ResultCache, default_cache_dir, open_cache
+from repro.obs import ProgressLine, TraceStore
 from repro.experiments.reporting import ascii_table
 from repro.sim.campaign import Campaign
 from repro.sim.generators import (
@@ -172,15 +180,65 @@ def _summary(result: CampaignResult) -> str:
 
 def _cmd_cache(args) -> int:
     cache = ResultCache(args.cache_dir or default_cache_dir())
+    store = TraceStore(cache.directory)
     if args.action == "clear":
         removed = cache.clear()
-        print(f"removed {removed} cached results from {cache.directory}")
+        traces = store.clear()
+        print(
+            f"removed {removed} cached results and {traces} flight traces "
+            f"from {cache.directory}"
+        )
         return 0
     stats = cache.stats()
     print(
         f"cache {cache.directory}: {stats.entries} results, "
         f"{stats.total_bytes / 1e6:.2f} MB"
     )
+    if stats.by_version:
+        print(
+            ascii_table(
+                ["job version", "entries", "MB"],
+                [
+                    [version, str(count), f"{nbytes / 1e6:.2f}"]
+                    for version, count, nbytes in stats.by_version
+                ],
+                title="entries by job version",
+            )
+        )
+    tstats = store.stats()
+    print(
+        f"traces: {tstats.traces} recorded flights, "
+        f"{tstats.total_bytes / 1e6:.2f} MB"
+    )
+    return 0
+
+
+def _cmd_replay(args) -> int:
+    from repro.obs.replay import replay_mission, replay_target_hashes
+
+    cache_dir = args.cache_dir or default_cache_dir()
+    hashes = replay_target_hashes(args.target, cache_dir)
+    verified = 0
+    for content_hash in hashes:
+        outcome = replay_mission(content_hash, cache_dir, verify=args.verify)
+        print(outcome.summary(), flush=True)
+        if outcome.verified:
+            verified += 1
+    if args.verify:
+        print(f"{verified}/{len(hashes)} missions re-flown bit-identical")
+    else:
+        print(f"{len(hashes)} recorded missions consistent with the cache")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import write_report
+    from repro.sim.results import CampaignResult as _CR
+
+    result = _CR.load(args.result)
+    cache_dir = args.cache_dir or default_cache_dir()
+    path = write_report(result, args.out, cache_dir=cache_dir)
+    print(f"report written to {path} ({len(result)} missions)")
     return 0
 
 
@@ -219,13 +277,22 @@ def _cmd_run(args) -> int:
         f"hash {campaign.campaign_hash()[:12]}",
         flush=True,
     )
-    start = time.perf_counter()
-    result = run_campaign(
-        campaign,
-        workers=workers,
-        progress=None if args.quiet else _progress,
-        cache=cache,
+    progress_line = (
+        ProgressLine(f"campaign {campaign.name!r}") if args.progress else None
     )
+    start = time.perf_counter()
+    try:
+        result = run_campaign(
+            campaign,
+            workers=workers,
+            progress=None if (args.quiet or args.progress) else _progress,
+            cache=cache,
+            record=args.record,
+            exec_progress=progress_line,
+        )
+    finally:
+        if progress_line is not None:
+            progress_line.finish()
     elapsed = time.perf_counter() - start
     print()
     print(_summary(result))
@@ -237,6 +304,16 @@ def _cmd_run(args) -> int:
         print(
             f"cache: {report.cached}/{report.total} hits, "
             f"{report.executed} executed ({cache.directory}){note}"
+        )
+        timings = report.timings_summary()
+        if timings:
+            print(timings)
+    if args.record:
+        trace_dir = cache.directory if cache is not None else default_cache_dir()
+        tstats = TraceStore(trace_dir).stats()
+        print(
+            f"traces: {tstats.traces} recorded flights in {trace_dir} "
+            f"({tstats.total_bytes / 1e6:.2f} MB)"
         )
     if args.out:
         path = result.save(args.out)
@@ -294,6 +371,16 @@ def main(argv=None) -> int:
     run.add_argument("--out", default=None, help="directory for the JSON result (default: don't persist)")
     run.add_argument("--quiet", action="store_true", help="suppress per-mission progress lines")
     run.add_argument(
+        "--progress", action="store_true",
+        help="live single-line progress (done/total, hits vs executed, ETA) "
+        "instead of per-mission lines",
+    )
+    run.add_argument(
+        "--record", action="store_true",
+        help="store a per-tick flight trace beside each mission's cache "
+        "entry (re-flies cached missions whose trace is missing)",
+    )
+    run.add_argument(
         "--cache-dir", default=None,
         help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
     )
@@ -302,6 +389,39 @@ def main(argv=None) -> int:
         help="always re-fly missions; neither read nor write the result cache",
     )
     run.set_defaults(fn=_cmd_run)
+
+    replay = sub.add_parser(
+        "replay",
+        help="reconstruct recorded missions from their trace artifacts",
+    )
+    replay.add_argument(
+        "target",
+        help="job content hash (prefix ok) or path to a saved campaign "
+        "result file (replays every mission of the campaign)",
+    )
+    replay.add_argument(
+        "--verify", action="store_true",
+        help="re-fly each mission and assert bit-identity with the stored "
+        "trace and record",
+    )
+    replay.add_argument(
+        "--cache-dir", default=None,
+        help="cache/trace directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    replay.set_defaults(fn=_cmd_replay)
+
+    report = sub.add_parser(
+        "report", help="render a saved campaign result into an HTML report"
+    )
+    report.add_argument("result", help="path to a saved campaign result JSON")
+    report.add_argument(
+        "--out", default="campaign-report.html", help="output HTML path"
+    )
+    report.add_argument(
+        "--cache-dir", default=None,
+        help="cache/trace directory the trace-backed panels load from",
+    )
+    report.set_defaults(fn=_cmd_report)
 
     cache = sub.add_parser("cache", help="inspect or clear the result cache")
     cache.add_argument("action", choices=("stats", "clear"))
@@ -314,7 +434,7 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except (ExecError, SimError) as exc:
+    except (ExecError, ObsError, SimError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -348,6 +348,36 @@ class Campaign:
             data["generated"] = [spec.to_dict() for spec in self.generated]
         return data
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Campaign":
+        """Inverse of :meth:`to_dict`.
+
+        Rebuilds a campaign from its persisted definition (e.g. the
+        ``campaign`` block of a saved result file), re-expanding to the
+        same missions and job hashes -- which is how the replay tooling
+        maps a result file back to the traces behind it. Extra keys
+        (such as a derived result's ``filter`` annotation) are ignored.
+        """
+        return cls(
+            name=data["name"],
+            scenarios=tuple(
+                Scenario.from_dict(s) for s in data.get("scenarios", ())
+            ),
+            policies=tuple(data.get("policies", ())),
+            speeds=tuple(data.get("speeds", ())),
+            ssd_widths=tuple(data.get("ssd_widths", ())),
+            n_runs=int(data.get("n_runs", 1)),
+            flight_time_s=data.get("flight_time_s"),
+            kind=data.get("kind", "search"),
+            seed=int(data.get("seed", 0)),
+            operating_points=tuple(
+                OperatingPointSpec(**op) for op in data.get("operating_points", ())
+            ),
+            generated=tuple(
+                GeneratedSpec.from_dict(g) for g in data.get("generated", ())
+            ),
+        )
+
     def campaign_hash(self) -> str:
         """Stable SHA-256 content hash of the campaign definition.
 

@@ -14,15 +14,18 @@ paths indistinguishable downstream.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+import dataclasses
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.exec import Executor, JobSpec, ResultCache
+from repro.exec import Executor, JobSpec, ResultCache, default_cache_dir
 from repro.exec import resolve_workers  # noqa: F401  (re-export, see below)
+from repro.exec.executor import ProgressCallback as ExecProgressCallback
 from repro.mission.closed_loop import ClosedLoopMission
 from repro.mission.detector_model import CalibratedDetectorModel
 from repro.mission.explorer import ExplorationMission
+from repro.obs import MissionTrace, TraceStore
 from repro.policies import PolicyConfig, make_policy
 from repro.seeding import seed_provenance
 from repro.sim.campaign import Campaign, MissionSpec
@@ -38,15 +41,20 @@ ProgressCallback = Callable[[int, int, MissionRecord], None]
 MISSION_JOB_VERSION = RESULT_SCHEMA
 
 
-def execute_mission(spec: MissionSpec) -> MissionRecord:
-    """Run one mission from its spec.
+def fly_mission(
+    spec: MissionSpec, record: bool = False
+) -> Tuple[MissionRecord, Optional[MissionTrace]]:
+    """Run one mission from its spec, optionally recording telemetry.
 
     Args:
         spec: a fully-specified mission from
             :meth:`~repro.sim.campaign.Campaign.missions`.
+        record: when True, also return the flight's
+            :class:`~repro.obs.MissionTrace`. Recording never changes
+            the flight: the record is bit-identical either way.
 
     Returns:
-        The flat :class:`~repro.sim.results.MissionRecord` outcome.
+        ``(record, trace)``; the trace is ``None`` unless ``record``.
     """
     scenario = spec.scenario
     room = scenario.build_room()
@@ -60,29 +68,57 @@ def execute_mission(spec: MissionSpec) -> MissionRecord:
             start=scenario.start_position(),
             start_heading=scenario.start_heading,
             drone_config=scenario.drone_config(),
+            record=record,
         )
-        return MissionRecord.from_exploration(spec, mission.run(seed=seed))
-    op = spec.operating_point()
-    mission = ClosedLoopMission(
-        room,
-        scenario.build_objects(),
-        policy,
-        CalibratedDetectorModel(op),
-        op,
-        flight_time_s=spec.flight_time_s,
-        start=scenario.start_position(),
-        drone_config=scenario.drone_config(),
-    )
-    return MissionRecord.from_search(spec, mission.run(seed=seed))
+        outcome = MissionRecord.from_exploration(spec, mission.run(seed=seed))
+    else:
+        op = spec.operating_point()
+        mission = ClosedLoopMission(
+            room,
+            scenario.build_objects(),
+            policy,
+            CalibratedDetectorModel(op),
+            op,
+            flight_time_s=spec.flight_time_s,
+            start=scenario.start_position(),
+            drone_config=scenario.drone_config(),
+            record=record,
+        )
+        outcome = MissionRecord.from_search(spec, mission.run(seed=seed))
+    return outcome, mission.last_trace
 
 
-def run_mission_payload(spec: dict, seed: np.random.SeedSequence) -> dict:
+def execute_mission(spec: MissionSpec) -> MissionRecord:
+    """Run one mission from its spec.
+
+    Args:
+        spec: a fully-specified mission from
+            :meth:`~repro.sim.campaign.Campaign.missions`.
+
+    Returns:
+        The flat :class:`~repro.sim.results.MissionRecord` outcome.
+    """
+    return fly_mission(spec)[0]
+
+
+def run_mission_payload(
+    spec: dict,
+    seed: np.random.SeedSequence,
+    trace_dir: Optional[str] = None,
+    trace_key: Optional[str] = None,
+) -> dict:
     """Execution-layer entry point: fly one mission from plain data.
 
     Args:
         spec: a seed-free :meth:`MissionSpec.to_dict` payload.
         seed: the mission's root stream, injected by the executor from
             the job's ``(seed_entropy, spawn_key)`` provenance.
+        trace_dir: side-channel (job ``extra``, excluded from the job
+            hash): when set, the flight is recorded and its trace
+            stored here under ``trace_key``. Never influences the
+            returned record.
+        trace_key: content hash the trace is filed under -- the job's
+            own hash, attached by :func:`mission_job`.
 
     Returns:
         The mission record as a plain dict
@@ -90,10 +126,15 @@ def run_mission_payload(spec: dict, seed: np.random.SeedSequence) -> dict:
     """
     data = dict(spec)
     data["seed_entropy"], data["spawn_key"] = seed_provenance(seed)
-    return execute_mission(MissionSpec.from_dict(data)).to_dict()
+    mission_spec = MissionSpec.from_dict(data)
+    if trace_dir is None:
+        return execute_mission(mission_spec).to_dict()
+    outcome, trace = fly_mission(mission_spec, record=True)
+    TraceStore(trace_dir).put(trace_key, trace)
+    return outcome.to_dict()
 
 
-def mission_job(spec: MissionSpec) -> JobSpec:
+def mission_job(spec: MissionSpec, trace_dir: Optional[str] = None) -> JobSpec:
     """Describe one mission as an execution-layer job.
 
     The payload is the spec's plain dict with the seed fields lifted
@@ -102,6 +143,14 @@ def mission_job(spec: MissionSpec) -> JobSpec:
     ``description`` dropped -- rewording a preset's documentation must
     not re-fly every cached mission, mirroring
     :meth:`~repro.sim.campaign.Campaign.campaign_hash`.
+
+    Args:
+        spec: the mission to describe.
+        trace_dir: when set, the job records its flight trace there,
+            keyed by the job's own content hash. Rides in the job's
+            ``extra`` side channel: the hash -- and therefore the
+            cached result's identity -- is the same with and without
+            recording.
     """
     payload = spec.to_dict()
     payload.pop("seed_entropy")
@@ -109,7 +158,7 @@ def mission_job(spec: MissionSpec) -> JobSpec:
     payload["scenario"] = {
         k: v for k, v in payload["scenario"].items() if k != "description"
     }
-    return JobSpec(
+    job = JobSpec(
         fn="repro.sim.runner:run_mission_payload",
         kwargs={"spec": payload},
         seed_entropy=spec.seed_entropy,
@@ -120,6 +169,12 @@ def mission_job(spec: MissionSpec) -> JobSpec:
             f"@{spec.speed:g} run {spec.run_idx}"
         ),
     )
+    if trace_dir is not None:
+        job = dataclasses.replace(
+            job,
+            extra={"trace_dir": trace_dir, "trace_key": job.content_hash()},
+        )
+    return job
 
 
 def run_campaign(
@@ -127,6 +182,9 @@ def run_campaign(
     workers: Optional[int] = None,
     progress: Optional[ProgressCallback] = None,
     cache: Optional[ResultCache] = None,
+    record: bool = False,
+    trace_dir: Optional[str] = None,
+    exec_progress: Optional[ExecProgressCallback] = None,
 ) -> CampaignResult:
     """Execute every mission of ``campaign`` and collect the results.
 
@@ -144,6 +202,18 @@ def run_campaign(
             Missions whose job hash is already stored load instead of
             flying again; fresh results are stored for the next run.
             ``None`` (the default) disables caching.
+        record: when True, every mission captures a flight trace stored
+            beside its cache entry (keyed by the job hash). Recording
+            rides the job's ``extra`` side channel, so hashes and
+            results are identical with and without it; missions whose
+            result is cached but whose trace is missing re-fly (the
+            fresh result is byte-identical to the stored one).
+        trace_dir: where traces go; defaults to the cache directory
+            (or the default cache dir when ``cache`` is ``None``).
+        exec_progress: optional executor-level callback with the raw
+            ``(done, total, job, payload, cached)`` signature -- what
+            the CLIs' live progress line consumes; may be combined
+            with ``progress``.
 
     Returns:
         A :class:`~repro.sim.results.CampaignResult` with one record per
@@ -170,13 +240,30 @@ def run_campaign(
         >>> result.execution.executed
         1
     """
-    jobs = [mission_job(spec) for spec in campaign.missions()]
+    store = None
+    if record:
+        if trace_dir is None:
+            trace_dir = cache.directory if cache is not None else default_cache_dir()
+        store = TraceStore(trace_dir)
+    jobs = [
+        mission_job(spec, trace_dir=trace_dir if record else None)
+        for spec in campaign.missions()
+    ]
     executor = Executor(workers=workers, cache=cache)
-    exec_progress = None
-    if progress is not None:
-        def exec_progress(done, total, job, payload, cached):
-            progress(done, total, MissionRecord.from_dict(payload))
-    payloads = executor.run(jobs, progress=exec_progress)
+    combined = None
+    if progress is not None or exec_progress is not None:
+        def combined(done, total, job, payload, cached):
+            if exec_progress is not None:
+                exec_progress(done, total, job, payload, cached)
+            if progress is not None:
+                progress(done, total, MissionRecord.from_dict(payload))
+    refresh = None
+    if store is not None:
+        # A cached scalar result without its trace artifact must re-fly
+        # (determinism makes the re-stored result byte-identical).
+        def refresh(job):
+            return not store.has(job.content_hash())
+    payloads = executor.run(jobs, progress=combined, refresh=refresh)
     records = [MissionRecord.from_dict(p) for p in payloads]
     return CampaignResult(
         campaign.to_dict(),

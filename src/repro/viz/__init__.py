@@ -1,6 +1,12 @@
 """Dependency-free visualization: PGM heatmaps and SVG trajectory plots."""
 
 from repro.viz.pgm import heatmap_to_pgm, write_pgm
-from repro.viz.svg import trajectory_to_svg
+from repro.viz.svg import grid_heatmap_to_svg, sparkline_to_svg, trajectory_to_svg
 
-__all__ = ["heatmap_to_pgm", "write_pgm", "trajectory_to_svg"]
+__all__ = [
+    "grid_heatmap_to_svg",
+    "heatmap_to_pgm",
+    "sparkline_to_svg",
+    "trajectory_to_svg",
+    "write_pgm",
+]

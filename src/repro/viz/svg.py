@@ -2,7 +2,10 @@
 
 Produces a self-contained SVG showing the walls, obstacles, placed
 objects, the flown path (colored by time), and detection events -- the
-kind of figure the paper's supplementary video summarizes.
+kind of figure the paper's supplementary video summarizes. Also hosts
+the small standalone renderers the campaign report is assembled from:
+coverage sparklines (:func:`sparkline_to_svg`) and visited-cell
+heatmaps (:func:`grid_heatmap_to_svg`).
 """
 
 from __future__ import annotations
@@ -104,6 +107,116 @@ def trajectory_to_svg(
         parts.append(
             f'<text x="{_MARGIN:.0f}" y="{height - 4:.0f}" '
             f'font-family="monospace" font-size="13">{title}</text>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def sparkline_to_svg(
+    times: Sequence[float],
+    values: Sequence[float],
+    width: float = 240.0,
+    height: float = 48.0,
+    y_max: Optional[float] = None,
+    stroke: str = "#1060d0",
+) -> str:
+    """Render a time series as a small inline sparkline SVG.
+
+    Used by the campaign report for per-mission coverage-over-time
+    curves. The y axis spans ``[0, y_max]`` (default: the series
+    maximum, or 1.0 for an all-zero series) and the x axis spans
+    ``[0, max(times)]``; a 2 px padding keeps the stroke inside the
+    viewBox.
+
+    Args:
+        times: sample times, ascending.
+        values: one value per time.
+        width: SVG width in pixels.
+        height: SVG height in pixels.
+        y_max: fixed y-axis ceiling (e.g. 1.0 for fractions); ``None``
+            auto-scales to the data.
+        stroke: polyline color.
+    """
+    if len(times) != len(values):
+        raise ValueError(
+            f"times and values must align, got {len(times)} vs {len(values)}"
+        )
+    pad = 2.0
+    top = y_max if y_max is not None else max(list(values) or [0.0]) or 1.0
+    t_end = max(list(times) or [0.0]) or 1.0
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+        f'<rect x="0" y="0" width="{width:.0f}" height="{height:.0f}" '
+        'fill="#fbfbf8" stroke="#ddd"/>',
+    ]
+    if times:
+        points = " ".join(
+            f"{pad + (t / t_end) * (width - 2 * pad):.1f},"
+            f"{height - pad - (min(v, top) / top) * (height - 2 * pad):.1f}"
+            for t, v in zip(times, values)
+        )
+        parts.append(
+            f'<polyline points="{points}" fill="none" stroke="{stroke}" '
+            'stroke-width="1.5"/>'
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def grid_heatmap_to_svg(
+    cells: Sequence[Sequence[float]],
+    cell_px: float = 12.0,
+    title: str = "",
+) -> str:
+    """Render a 2-D cell array as a heatmap SVG (row 0 = south).
+
+    Used by the campaign report for the full-room visited-cell heatmap:
+    ``cells[iy][ix]`` is seconds spent (or visit count) in that cell,
+    matching the layout of
+    :meth:`repro.mapping.occupancy.OccupancyGrid.heatmap`. Zero cells
+    draw dark (never visited); positive cells ramp white-to-orange with
+    intensity relative to the array maximum. Rows render north-up.
+
+    Args:
+        cells: rectangular 2-D array of non-negative cell values.
+        cell_px: pixel edge length per cell.
+        title: optional caption below the grid.
+    """
+    rows = [list(row) for row in cells]
+    if not rows or not rows[0]:
+        raise ValueError("heatmap needs a non-empty 2-D cell array")
+    nx = len(rows[0])
+    if any(len(row) != nx for row in rows):
+        raise ValueError("heatmap rows must have equal lengths")
+    ny = len(rows)
+    peak = max(max(row) for row in rows)
+    width = nx * cell_px
+    height = ny * cell_px + (18.0 if title else 0.0)
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width:.0f}" '
+        f'height="{height:.0f}" viewBox="0 0 {width:.0f} {height:.0f}">',
+    ]
+    for iy, row in enumerate(rows):
+        # Row 0 is the southernmost cells; SVG y grows downward.
+        y = (ny - 1 - iy) * cell_px
+        for ix, value in enumerate(row):
+            if value <= 0.0 or peak <= 0.0:
+                fill = "#30343a"
+            else:
+                frac = min(value / peak, 1.0)
+                r = 255
+                g = int(250 - 120 * frac)
+                b = int(235 - 200 * frac)
+                fill = f"rgb({r},{g},{b})"
+            parts.append(
+                f'<rect x="{ix * cell_px:.1f}" y="{y:.1f}" '
+                f'width="{cell_px:.1f}" height="{cell_px:.1f}" fill="{fill}"/>'
+            )
+    if title:
+        parts.append(
+            f'<text x="2" y="{height - 5:.0f}" font-family="monospace" '
+            f'font-size="12">{title}</text>'
         )
     parts.append("</svg>")
     return "\n".join(parts)

@@ -164,7 +164,7 @@ class TestResultCache:
         stats = cache.stats()
         assert stats.entries == 3 and stats.total_bytes > 0
         assert cache.clear() == 3
-        assert cache.stats() == (0, 0)
+        assert cache.stats() == (0, 0, ())
 
     def test_cache_files_are_deterministic(self, tmp_path):
         job = demo_job()
@@ -254,3 +254,98 @@ class TestExecutor:
         executor = Executor()
         executor.run(self.jobs(2))
         assert "2 jobs: 0 cached, 2 executed" in executor.last_report.summary()
+
+
+class TestExtraSideChannel:
+    def test_extra_excluded_from_hash_and_dict(self):
+        plain = demo_job()
+        extra = JobSpec(
+            fn="repro.exec.demo:seeded_normals",
+            kwargs={"n": 2},
+            seed_entropy=5,
+            spawn_key=(0,),
+            version="v1",
+            extra={"note": "side-channel"},
+        )
+        assert extra.content_hash() == plain.content_hash()
+        assert extra.to_dict() == plain.to_dict()
+
+    def test_extra_keys_may_not_shadow_kwargs(self):
+        with pytest.raises(ExecError, match="shadow"):
+            JobSpec(
+                fn="repro.exec.demo:scaled_sum",
+                kwargs={"values": [1.0], "factor": 2.0},
+                extra={"factor": 3.0},
+            )
+
+    def test_extra_is_passed_to_the_callable(self):
+        # scaled_sum(values, factor): feed factor through extra only.
+        job = JobSpec(
+            fn="repro.exec.demo:scaled_sum",
+            kwargs={"values": [1.0, 2.0]},
+            extra={"factor": 3.0},
+        )
+        assert job.run() == 9.0
+
+
+class TestRefreshAndTimings:
+    def test_refresh_forces_reexecution_and_restores_byte_identical(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = demo_job()
+        Executor(cache=cache).run([job])
+        entry = cache.entry_path(job.content_hash())
+        with open(entry, "rb") as fh:
+            before = fh.read()
+        refreshed = Executor(cache=cache)
+        refreshed.run([job], refresh=lambda j: True)
+        assert refreshed.last_report.executed == 1
+        with open(entry, "rb") as fh:
+            assert fh.read() == before
+
+    def test_refresh_false_still_hits_cache(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = demo_job()
+        Executor(cache=cache).run([job])
+        executor = Executor(cache=cache)
+        executor.run([job], refresh=lambda j: False)
+        assert executor.last_report.executed == 0
+
+    def test_report_carries_job_timings(self):
+        executor = Executor()
+        executor.run([demo_job(key=(i,), label=f"job {i}") for i in range(3)])
+        report = executor.last_report
+        assert report.job_min_s <= report.job_mean_s <= report.job_max_s
+        assert report.slowest_label.startswith("job ")
+        assert "min/mean/max" in report.timings_summary()
+        assert report.slowest_label in report.timings_summary()
+
+    def test_timings_summary_empty_without_executions(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        Executor(cache=cache).run([demo_job()])
+        executor = Executor(cache=cache)
+        executor.run([demo_job()])
+        assert executor.last_report.timings_summary() == ""
+
+
+class TestCacheInventory:
+    def test_stats_breaks_entries_down_by_version(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(demo_job(key=(0,), version="a/v1"), 1.0)
+        cache.put(demo_job(key=(1,), version="a/v1"), 2.0)
+        cache.put(demo_job(key=(2,), version="b/v1"), 3.0)
+        stats = cache.stats()
+        assert stats.entries == 3
+        by_version = {v: (n, b) for v, n, b in stats.by_version}
+        assert by_version["a/v1"][0] == 2
+        assert by_version["b/v1"][0] == 1
+        assert sum(b for _, b in by_version.values()) == stats.total_bytes
+
+    def test_load_entry_returns_raw_document(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = demo_job()
+        cache.put(job, [4.0])
+        entry = cache.load_entry(job.content_hash())
+        assert entry["schema"] == CACHE_SCHEMA
+        assert entry["job"] == job.to_dict()
+        assert entry["result"] == [4.0]
+        assert cache.load_entry("0" * 64) is None

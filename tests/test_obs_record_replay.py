@@ -1,0 +1,209 @@
+"""Integration tests: recording, replay, and the determinism contract.
+
+The pinned hashes at the bottom are the regression tripwire for the
+"recording is free" guarantee: a ``record=False`` campaign must keep
+producing byte-identical result JSON and unchanged job hashes across
+observability changes. If a pin breaks, either the mission semantics
+changed (bump ``RESULT_SCHEMA``) or recording leaked into the flight --
+the second one is a bug, not a schema event.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.errors import ObsError
+from repro.exec import ResultCache, json_roundtrip
+from repro.obs import TraceStore
+from repro.obs.replay import (
+    campaign_hashes,
+    mission_spec_from_entry,
+    replay_mission,
+    replay_target_hashes,
+)
+from repro.sim import Campaign, get_scenario, run_campaign
+from repro.sim.generators import GeneratedSpec
+from repro.sim.runner import fly_mission, mission_job
+
+#: Pre-observability pins (derived from the seed commit's code): the
+#: two mission-job hashes and the result-JSON digest of PIN_CAMPAIGN.
+PIN_JOB_HASHES = (
+    "280bd98575d19f4d3ce1be73c4677e36c529836ec1a344bbe4708035fc2c56bf",
+    "b1819e2dacbd8590230913891740cc08db94b616c72ba9c251b9ad1e6c459ce7",
+)
+PIN_RESULT_SHA256 = (
+    "25ea2990570aa025ed927b25cf45efd387be84362ab2b237900243c07627050b"
+)
+PIN_MAZE_JOB_HASH = (
+    "e764ffc871480874e639e6c7c6e4ecf75037843e9348b424a1f2a3cd6b9b1dbc"
+)
+
+
+def pin_campaign():
+    return Campaign(
+        name="obs-pin",
+        scenarios=(get_scenario("paper-room"),),
+        n_runs=2,
+        flight_time_s=10.0,
+        seed=11,
+    )
+
+
+def explore_campaign():
+    return Campaign(
+        name="obs-explore",
+        scenarios=(get_scenario("paper-room"),),
+        flight_time_s=6.0,
+        seed=4,
+        kind="explore",
+    )
+
+
+class TestRecordingIsFree:
+    def test_record_flag_never_changes_the_record(self):
+        spec = next(iter(pin_campaign().missions()))
+        plain, no_trace = fly_mission(spec, record=False)
+        recorded, trace = fly_mission(spec, record=True)
+        assert no_trace is None
+        assert trace is not None and trace.n_ticks > 0
+        assert recorded.to_dict() == plain.to_dict()
+
+    def test_trace_side_channel_keeps_job_hash(self, tmp_path):
+        spec = next(iter(pin_campaign().missions()))
+        bare = mission_job(spec)
+        traced = mission_job(spec, trace_dir=str(tmp_path))
+        assert traced.content_hash() == bare.content_hash()
+        assert traced.extra["trace_key"] == bare.content_hash()
+
+    def test_recorded_campaign_result_is_byte_identical(self, tmp_path):
+        campaign = pin_campaign()
+        plain = run_campaign(campaign)
+        cache = ResultCache(str(tmp_path))
+        recorded = run_campaign(campaign, cache=cache, record=True)
+        assert recorded.to_json(indent=1) == plain.to_json(indent=1)
+        store = TraceStore(str(tmp_path))
+        assert store.stats().traces == len(plain.records)
+
+    def test_missing_trace_triggers_exactly_one_refly(self, tmp_path):
+        campaign = pin_campaign()
+        cache = ResultCache(str(tmp_path))
+        first = run_campaign(campaign, cache=cache, record=True)
+        assert first.execution.executed == 2
+        store = TraceStore(str(tmp_path))
+        victim = campaign_hashes(first)[0]
+        # drop one trace by hand; the result cache entry stays
+        import os
+
+        os.remove(store.path(victim))
+        again = run_campaign(campaign, cache=cache, record=True)
+        assert again.execution.executed == 1
+        assert again.execution.cached == 1
+        assert again.to_json(indent=1) == first.to_json(indent=1)
+        assert store.has(victim)
+
+
+class TestReplay:
+    @pytest.fixture()
+    def recorded(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_campaign(pin_campaign(), cache=cache, record=True)
+        return str(tmp_path), result
+
+    def test_replay_without_verify_cross_checks(self, recorded):
+        cache_dir, result = recorded
+        for h in campaign_hashes(result):
+            outcome = replay_mission(h, cache_dir)
+            assert outcome.verified is None
+            assert outcome.kind == "search"
+            assert outcome.n_ticks > 0
+            assert "consistent" in outcome.summary()
+
+    def test_replay_verify_is_bit_identical(self, recorded):
+        cache_dir, result = recorded
+        h = campaign_hashes(result)[0]
+        outcome = replay_mission(h, cache_dir, verify=True)
+        assert outcome.verified is True
+        assert "bit-identical" in outcome.summary()
+
+    def test_spec_reconstruction_roundtrips(self, recorded):
+        cache_dir, result = recorded
+        h = campaign_hashes(result)[0]
+        entry = ResultCache(cache_dir).load_entry(h)
+        spec = mission_spec_from_entry(entry)
+        assert mission_job(spec).content_hash() == h
+
+    def test_target_resolution(self, recorded, tmp_path):
+        cache_dir, result = recorded
+        hashes = campaign_hashes(result)
+        out = result.save(str(tmp_path / "results"))
+        assert replay_target_hashes(out, cache_dir) == hashes
+        assert replay_target_hashes(hashes[0][:10], cache_dir) == [hashes[0]]
+        with pytest.raises(ObsError, match="no recorded trace"):
+            replay_target_hashes("ffff", cache_dir)
+
+    def test_missing_cache_entry_is_an_error(self, recorded):
+        cache_dir, result = recorded
+        h = campaign_hashes(result)[0]
+        ResultCache(cache_dir).clear()
+        with pytest.raises(ObsError, match="no matching result cache"):
+            replay_mission(h, cache_dir)
+
+    def test_tampered_result_detected(self, recorded):
+        cache_dir, result = recorded
+        h = campaign_hashes(result)[0]
+        cache = ResultCache(cache_dir)
+        path = cache.entry_path(h)
+        entry = json.loads(open(path).read())
+        entry["result"]["coverage"] += 0.25
+        with open(path, "w") as fh:
+            json.dump(entry, fh)
+        with pytest.raises(ObsError, match="trace/result mismatch"):
+            replay_mission(h, cache_dir)
+
+    def test_explore_missions_replay_too(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        result = run_campaign(explore_campaign(), cache=cache, record=True)
+        h = campaign_hashes(result)[0]
+        outcome = replay_mission(h, str(tmp_path), verify=True)
+        assert outcome.kind == "explore"
+        assert outcome.verified is True
+
+
+class TestPrePRPins:
+    """record=False behaviour must be frozen relative to the seed."""
+
+    def test_job_hashes_unchanged(self):
+        hashes = tuple(
+            mission_job(spec).content_hash()
+            for spec in pin_campaign().missions()
+        )
+        assert hashes == PIN_JOB_HASHES
+
+    def test_result_json_unchanged(self):
+        result = run_campaign(pin_campaign())
+        digest = hashlib.sha256(result.to_json(indent=1).encode()).hexdigest()
+        assert digest == PIN_RESULT_SHA256
+
+    def test_generated_scenario_hash_unchanged(self):
+        campaign = Campaign(
+            name="obs-pin-maze",
+            generated=(
+                GeneratedSpec.create(
+                    "perfect-maze", {"cols": 5.0, "rows": 4.0}, seed=2
+                ),
+            ),
+            flight_time_s=8.0,
+            seed=3,
+            kind="explore",
+        )
+        spec = next(iter(campaign.missions()))
+        assert mission_job(spec).content_hash() == PIN_MAZE_JOB_HASH
+
+    def test_campaign_definition_roundtrips(self):
+        campaign = pin_campaign()
+        again = Campaign.from_dict(json_roundtrip(campaign.to_dict()))
+        assert again.campaign_hash() == campaign.campaign_hash()
+        assert [mission_job(s).content_hash() for s in again.missions()] == [
+            mission_job(s).content_hash() for s in campaign.missions()
+        ]

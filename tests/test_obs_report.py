@@ -1,0 +1,48 @@
+"""Smoke tests of the HTML campaign report."""
+
+import pytest
+
+from repro.exec import ResultCache
+from repro.obs.replay import campaign_hashes
+from repro.obs.report import render_report, write_report
+from repro.sim import Campaign, get_scenario, run_campaign
+
+
+@pytest.fixture(scope="module")
+def recorded(tmp_path_factory):
+    cache_dir = str(tmp_path_factory.mktemp("cache"))
+    campaign = Campaign(
+        name="report-smoke",
+        scenarios=(get_scenario("paper-room"),),
+        n_runs=3,
+        flight_time_s=6.0,
+        seed=9,
+    )
+    result = run_campaign(campaign, cache=ResultCache(cache_dir), record=True)
+    return cache_dir, result
+
+
+class TestRenderReport:
+    def test_full_report_with_traces(self, recorded):
+        cache_dir, result = recorded
+        html = render_report(result, cache_dir=cache_dir)
+        assert html.lstrip().startswith("<!DOCTYPE html>")
+        # one trajectory + one heatmap + one sparkline per mission
+        assert html.count("<svg") >= 3 * len(result.records)
+        assert "best" in html and "worst" in html
+        for h in campaign_hashes(result):
+            assert h[:12] in html
+
+    def test_report_without_traces_degrades(self, recorded):
+        _, result = recorded
+        html = render_report(result, cache_dir=None)
+        # sparklines come from the records themselves; no trajectories
+        assert html.count("<svg") >= len(result.records)
+        assert "no flight trace recorded" in html
+
+    def test_write_report(self, recorded, tmp_path):
+        cache_dir, result = recorded
+        out = tmp_path / "report.html"
+        path = write_report(result, str(out), cache_dir=cache_dir)
+        assert path == str(out)
+        assert out.read_text(encoding="utf-8").lstrip().startswith("<!DOCTYPE html>")

@@ -1,0 +1,173 @@
+"""SVG renderer tests: golden fixture plus structural property checks.
+
+The golden file (``tests/data/trajectory_golden.svg``) pins the exact
+output of :func:`trajectory_to_svg` for a fixed scene; regenerate it
+deliberately with::
+
+    PYTHONPATH=src python tests/test_viz_svg.py --regenerate
+
+A diff in the golden means the report's figures changed for everyone --
+that should be a reviewed decision, not a drive-by.
+"""
+
+import math
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.geometry import Vec2
+from repro.mapping.mocap import TrackedSample
+from repro.mission.closed_loop import DetectionEvent
+from repro.sim import get_scenario
+from repro.viz import grid_heatmap_to_svg, sparkline_to_svg, trajectory_to_svg
+from repro.world.objects import ObjectClass, SceneObject
+
+GOLDEN = Path(__file__).parent / "data" / "trajectory_golden.svg"
+
+_POINT_RE = re.compile(r'points="([^"]+)"')
+_VIEWBOX_RE = re.compile(r'viewBox="0 0 ([\d.]+) ([\d.]+)"')
+
+
+def golden_scene():
+    """A deterministic scene: fixed room, spiral path, two objects."""
+    room = get_scenario("paper-room").build_room()
+    samples = []
+    for i in range(40):
+        t = 0.25 * i
+        r = 0.4 + 0.05 * i
+        angle = 0.35 * i
+        samples.append(
+            TrackedSample(
+                time=t,
+                position=Vec2(
+                    room.width / 2 + r * math.cos(angle),
+                    room.length / 2 + r * math.sin(angle),
+                ),
+                heading=angle,
+            )
+        )
+    objects = [
+        SceneObject(ObjectClass.BOTTLE, Vec2(1.0, 1.0), name="b1"),
+        SceneObject(ObjectClass.TIN_CAN, Vec2(room.width - 1.0, 1.5), name="c1"),
+    ]
+    events = [DetectionEvent("b1", "bottle", 4.0, 1.2)]
+    return room, samples, objects, events
+
+
+def render_golden():
+    room, samples, objects, events = golden_scene()
+    return trajectory_to_svg(room, samples, objects, events, title="golden scene")
+
+
+def _polyline_points(svg):
+    return [
+        tuple(float(v) for v in pair.split(","))
+        for match in _POINT_RE.findall(svg)
+        for pair in match.split()
+    ]
+
+
+def _viewbox(svg):
+    match = _VIEWBOX_RE.search(svg)
+    assert match, "SVG must declare a zero-origin viewBox"
+    return float(match.group(1)), float(match.group(2))
+
+
+class TestTrajectoryGolden:
+    def test_matches_golden_fixture(self):
+        assert render_golden() == GOLDEN.read_text(encoding="utf-8")
+
+    def test_render_is_deterministic(self):
+        assert render_golden() == render_golden()
+
+
+class TestTrajectoryProperties:
+    def test_all_points_inside_viewbox(self):
+        svg = render_golden()
+        width, height = _viewbox(svg)
+        for x, y in _polyline_points(svg):
+            assert 0.0 <= x <= width
+            assert 0.0 <= y <= height
+
+    def test_detected_objects_get_rings(self):
+        svg = render_golden()
+        # b1 detected -> marker + ring; c1 undetected -> marker only.
+        assert svg.count('r="12"') == 1
+        assert svg.count('r="7"') == 2
+
+    def test_empty_trajectory_still_renders(self):
+        room = get_scenario("paper-room").build_room()
+        svg = trajectory_to_svg(room, [])
+        assert svg.startswith("<svg") and svg.endswith("</svg>")
+        assert "polyline" not in svg
+
+
+class TestSparkline:
+    def test_one_polyline_per_series(self):
+        svg = sparkline_to_svg([0.0, 1.0, 2.0], [0.0, 0.4, 0.9])
+        assert svg.count("<polyline") == 1
+
+    def test_points_inside_viewbox(self):
+        times = [0.5 * i for i in range(30)]
+        values = [abs(math.sin(0.3 * i)) for i in range(30)]
+        svg = sparkline_to_svg(times, values, y_max=1.0)
+        width, height = _viewbox(svg)
+        points = _polyline_points(svg)
+        assert len(points) == 30
+        for x, y in points:
+            assert 0.0 <= x <= width
+            assert 0.0 <= y <= height
+
+    def test_values_above_ceiling_are_clamped(self):
+        svg = sparkline_to_svg([0.0, 1.0], [0.5, 7.0], y_max=1.0)
+        _, height = _viewbox(svg)
+        for _, y in _polyline_points(svg):
+            assert y >= 0.0  # clamped, not shot off the top
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="must align"):
+            sparkline_to_svg([0.0, 1.0], [0.5])
+
+    def test_empty_series_renders_frame_only(self):
+        svg = sparkline_to_svg([], [])
+        assert "<polyline" not in svg
+        assert svg.count("<rect") == 1
+
+
+class TestGridHeatmap:
+    def test_one_rect_per_cell_plus_none(self):
+        svg = grid_heatmap_to_svg([[0.0, 1.0], [2.0, 0.5], [0.0, 0.0]])
+        assert svg.count("<rect") == 6
+
+    def test_zero_cells_draw_dark(self):
+        svg = grid_heatmap_to_svg([[0.0, 4.0]])
+        assert svg.count("#30343a") == 1
+
+    def test_peak_cell_is_full_intensity(self):
+        svg = grid_heatmap_to_svg([[1.0, 2.0]])
+        assert "rgb(255,130,35)" in svg  # frac == 1.0
+
+    def test_row_zero_renders_at_bottom(self):
+        svg = grid_heatmap_to_svg([[1.0], [0.0]], cell_px=10.0)
+        # south row (index 0, the visited one) must be the lower rect
+        rects = re.findall(r'<rect x="0.0" y="([\d.]+)" .*?fill="([^"]+)"', svg)
+        rects.sort(key=lambda r: float(r[0]))
+        assert rects[0][1] == "#30343a"  # top = north = unvisited
+        assert rects[1][1].startswith("rgb(")
+
+    def test_ragged_and_empty_rejected(self):
+        with pytest.raises(ValueError, match="equal lengths"):
+            grid_heatmap_to_svg([[1.0, 2.0], [3.0]])
+        with pytest.raises(ValueError, match="non-empty"):
+            grid_heatmap_to_svg([])
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regenerate" in sys.argv:
+        GOLDEN.write_text(render_golden(), encoding="utf-8")
+        print(f"wrote {GOLDEN}")
+    else:
+        sys.exit("run under pytest, or pass --regenerate")

@@ -33,6 +33,7 @@ DOCTEST_MODULES = (
     "repro.exec.demo",
     "repro.exec.executor",
     "repro.exec.jobspec",
+    "repro.obs.recorder",
     "repro.seeding",
     "repro.sim.campaign",
     "repro.sim.generators",
