@@ -12,9 +12,11 @@ JSON report::
     PYTHONPATH=src python benchmarks/bench_campaign_throughput.py \\
         --out BENCH_campaign_throughput.json
 
-which adds three sections: ``executor_overhead`` (per-job cost of the
+which adds four sections: ``executor_overhead`` (per-job cost of the
 JobSpec hash + executor bookkeeping against calling the function
-directly, with and without a cache), ``cache_hit_throughput`` (the
+directly, with and without a cache), ``fault_tolerance`` (the no-fault
+cost of the retry-policy machinery, and the per-job cost of recovering
+from one injected transient failure), ``cache_hit_throughput`` (the
 same campaign re-run against a warm cache: zero missions executed, all
 records loaded) and ``record_overhead`` (the same campaign flown with
 ``--record`` telemetry capture on; asserts the capture costs < 10 %
@@ -27,8 +29,9 @@ import os
 import tempfile
 import time
 
-from repro.exec import Executor, JobSpec, ResultCache
+from repro.exec import Executor, JobSpec, ResultCache, RetryPolicy
 from repro.exec.demo import scaled_sum
+from repro.exec.faults import FaultPlan, FaultSpec, injected
 from repro.experiments.reporting import ascii_table
 from repro.sim import Campaign, get_scenario, run_campaign
 
@@ -98,6 +101,54 @@ def bench_executor_overhead(n_jobs: int = 500) -> dict:
         "overhead_us_per_job": (executor_s - direct_s) / n_jobs * 1e6,
         "store_us_per_job": (cold_cache_s - direct_s) / n_jobs * 1e6,
         "hit_us_per_job": warm_cache_s / n_jobs * 1e6,
+    }
+
+
+def bench_fault_tolerance(n_jobs: int = 500) -> dict:
+    """Cost of the fault-tolerance machinery on the hot (no-fault) path.
+
+    The retry policy, the fault-plan lookup and the per-attempt
+    bookkeeping all sit on every job execution, so their no-op cost
+    must stay in the noise. Times the same trivial job set three ways
+    -- no policy, a 3-attempt policy with nothing failing, and a
+    3-attempt policy with an injected transient fault on every first
+    attempt -- and verifies the chaos arm still returns the exact
+    no-fault results.
+    """
+    jobs = [
+        JobSpec(
+            fn="repro.exec.demo:scaled_sum",
+            kwargs={"values": [float(i)], "factor": 2.0},
+            version="bench/v1",
+        )
+        for i in range(n_jobs)
+    ]
+
+    start = time.perf_counter()
+    baseline = Executor().run(jobs)
+    baseline_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    with_policy = Executor(retry=RetryPolicy(max_attempts=3)).run(jobs)
+    policy_s = time.perf_counter() - start
+    assert with_policy == baseline
+
+    chaos_executor = Executor(retry=RetryPolicy(max_attempts=3))
+    plan = FaultPlan((FaultSpec(kind="raise", attempt=0),))
+    start = time.perf_counter()
+    with injected(plan):
+        chaos = chaos_executor.run(jobs)
+    chaos_s = time.perf_counter() - start
+    assert chaos == baseline
+    assert chaos_executor.last_report.retried == n_jobs
+
+    return {
+        "n_jobs": n_jobs,
+        "baseline_s": baseline_s,
+        "policy_s": policy_s,
+        "chaos_s": chaos_s,
+        "policy_overhead_us_per_job": (policy_s - baseline_s) / n_jobs * 1e6,
+        "retry_us_per_job": (chaos_s - baseline_s) / n_jobs * 1e6,
     }
 
 
@@ -206,6 +257,7 @@ def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
     assert serial.to_json() == pooled.to_json()
 
     overhead = bench_executor_overhead(100 if quick else 500)
+    faults = bench_fault_tolerance(100 if quick else 500)
     cache_hits = bench_cache_hit_throughput(campaign, serial_s)
     recording = bench_record_overhead(campaign)
 
@@ -238,6 +290,12 @@ def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
         f"(limit {recording['limit_frac']:.0%}), "
         f"{recording['trace_bytes_per_mission'] / 1e3:.1f} kB trace/mission"
     )
+    print(
+        f"fault tolerance: retry-policy bookkeeping "
+        f"{faults['policy_overhead_us_per_job']:.0f} us/job on the no-fault "
+        f"path, {faults['retry_us_per_job']:.0f} us/job with one injected "
+        f"transient failure per job"
+    )
 
     payload = {
         "campaign": {
@@ -252,6 +310,7 @@ def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
             "pool_speedup": serial_s / pooled_s,
         },
         "executor_overhead": overhead,
+        "fault_tolerance": faults,
         "cache_hit_throughput": cache_hits,
         "record_overhead": recording,
     }

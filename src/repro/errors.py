@@ -45,5 +45,33 @@ class ExecError(ReproError):
     """Raised on invalid job specs, executors or result caches."""
 
 
+class TransientJobError(ExecError):
+    """A job failure worth retrying (flaky I/O, injected chaos, ...).
+
+    Job callables may raise this to signal that the same attempt could
+    succeed if repeated; the executor's retry policy treats it -- along
+    with :class:`JobTimeout`, :class:`WorkerCrash`, ``OSError`` and
+    ``ConnectionError`` -- as *transient*. Every other exception is
+    *permanent* and never retried.
+    """
+
+
+class JobTimeout(ExecError):
+    """A job exceeded its per-attempt wall-clock budget.
+
+    Raised by the serial watchdog; synthesized by the pool supervisor
+    when it kills a worker whose job overran. Classified transient.
+    """
+
+
+class WorkerCrash(ExecError):
+    """A pool worker died abruptly (``kill -9``, ``os._exit``, OOM).
+
+    Synthesized by the pool supervisor for the job the dead worker was
+    running; raised directly by an injected ``crash`` fault when no
+    worker process exists to kill. Classified transient.
+    """
+
+
 class ObsError(ReproError):
     """Raised on missing/corrupt flight traces or failed replay checks."""

@@ -5,31 +5,45 @@ experiments alike -- flows through this package as
 :class:`~repro.exec.jobspec.JobSpec` values: self-contained, picklable
 descriptions of one deterministic computation. An
 :class:`~repro.exec.executor.Executor` runs them serially or through a
-process pool with bit-identical results, and a persistent
+supervised process pool with bit-identical results, and a persistent
 :class:`~repro.exec.cache.ResultCache` keyed by each job's
 :meth:`~repro.exec.jobspec.JobSpec.content_hash` makes reruns
 incremental: work whose (callable, inputs, seed stream, code version)
 already ran is loaded, not recomputed -- across campaigns, across
 experiments, across processes.
 
-See ``docs/execution.md`` for the determinism contract and the cache
-directory layout.
+The layer is fault-tolerant: a :class:`~repro.exec.executor.RetryPolicy`
+bounds attempts, backoff and per-job wall clock; failures become
+structured :class:`~repro.exec.executor.JobFailure` envelopes instead
+of aborting sibling jobs; and :mod:`repro.exec.faults` injects
+deterministic chaos (exceptions, worker crashes, corrupt cache writes)
+to prove the recovery paths.
+
+See ``docs/execution.md`` for the determinism contract, the retry and
+failure semantics, and the cache directory layout.
 """
 
 from repro.exec.cache import (
     CACHE_DIR_ENV,
     CACHE_SCHEMA,
+    TRACE_SUFFIX,
     CacheStats,
+    EvictionReport,
     ResultCache,
     default_cache_dir,
     open_cache,
 )
 from repro.exec.executor import (
+    FAILURE_SCHEMA,
     ExecutionReport,
     Executor,
+    JobFailure,
     ProgressCallback,
+    RetryPolicy,
+    is_transient,
     resolve_workers,
 )
+from repro.exec.faults import FAULT_PLAN_ENV, FaultPlan, FaultSpec
 from repro.exec.jobspec import (
     JobSpec,
     canonical_json,
@@ -41,14 +55,23 @@ __all__ = [
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
     "CacheStats",
+    "EvictionReport",
     "ExecutionReport",
     "Executor",
+    "FAILURE_SCHEMA",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "JobFailure",
     "JobSpec",
     "ProgressCallback",
     "ResultCache",
+    "RetryPolicy",
+    "TRACE_SUFFIX",
     "canonical_json",
     "canonical_value",
     "default_cache_dir",
+    "is_transient",
     "json_roundtrip",
     "open_cache",
     "resolve_workers",

@@ -1,12 +1,25 @@
 """The one execution engine behind campaigns and experiments.
 
 Runs a list of :class:`~repro.exec.jobspec.JobSpec` through a serial
-loop or a ``multiprocessing`` pool, with an optional persistent
+loop or a supervised worker pool, with an optional persistent
 :class:`~repro.exec.cache.ResultCache` consulted first. All three paths
 -- serial, pooled, cache hit -- return byte-identical results: jobs are
 self-contained and deterministic, and every result is normalized
 through the same JSON round trip before it reaches the caller (see
 :func:`~repro.exec.jobspec.json_roundtrip`).
+
+The engine is fault-tolerant. A :class:`RetryPolicy` gives every job a
+bounded number of attempts with deterministic backoff and an optional
+per-attempt wall-clock timeout (enforced by a watchdog thread on the
+serial path and by killing the worker on the pooled path). Transient
+failures -- :class:`~repro.errors.TransientJobError`, timeouts, abrupt
+worker deaths, ``OSError`` -- are retried; permanent ones are not.
+A job that exhausts its attempts becomes a structured
+:class:`JobFailure` envelope: with ``keep_going`` the failure takes the
+job's slot in the result list and its siblings keep running, without it
+the first permanent failure aborts the batch with the job's label and
+hash in the error. Injected faults (:mod:`repro.exec.faults`) ride the
+same paths, which is how chaos tests prove the recovery machinery.
 
 Within one ``run()`` call, jobs sharing a content hash execute once;
 the result fans out to every duplicate. Progress callbacks fire in the
@@ -18,18 +31,48 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import pickle
+import queue
+import threading
 import time
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import ExecError
+from repro.errors import ExecError, JobTimeout, TransientJobError, WorkerCrash
+from repro.exec import faults
 from repro.exec.cache import ResultCache
 from repro.exec.jobspec import JobSpec, json_roundtrip
 
 #: Progress callback signature: ``(done, total, job, result, cached)``.
 #: ``cached`` is ``True`` when the result was not freshly executed for
 #: this job -- a cache-file hit or an in-run duplicate of another job.
+#: With ``keep_going``, ``result`` is a :class:`JobFailure` for jobs
+#: that exhausted their attempts.
 ProgressCallback = Callable[[int, int, JobSpec, Any, bool], None]
+
+#: Schema token of the :class:`JobFailure` plain-data envelope.
+FAILURE_SCHEMA = "repro.exec.failure/v1"
+
+#: Exception types the retry policy treats as transient (retryable).
+#: Everything else is permanent. ``TimeoutError`` is an ``OSError``
+#: subclass, so stdlib timeouts are covered too.
+TRANSIENT_ERROR_TYPES = (
+    TransientJobError,
+    JobTimeout,
+    WorkerCrash,
+    ConnectionError,
+    OSError,
+)
+
+#: Supervisor poll period: how often worker liveness and per-job
+#: deadlines are checked while no result is arriving.
+_TICK_S = 0.02
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Whether ``exc`` is worth retrying under a :class:`RetryPolicy`."""
+    return isinstance(exc, TRANSIENT_ERROR_TYPES)
 
 
 def resolve_workers(workers: Optional[int]) -> int:
@@ -48,6 +91,101 @@ def resolve_workers(workers: Optional[int]) -> int:
 
 
 @dataclass(frozen=True)
+class RetryPolicy:
+    """How many attempts a job gets, and how long each may take.
+
+    Attributes:
+        max_attempts: total attempts per job (1 = no retries). Only
+            *transient* failures (see :data:`TRANSIENT_ERROR_TYPES`)
+            consume retries; a permanent error fails the job on the
+            spot regardless of remaining attempts.
+        backoff_s: deterministic exponential backoff -- the wait before
+            attempt ``k+1`` is ``backoff_s * 2**(k-1)`` seconds, no
+            jitter (retries must be as reproducible as the jobs).
+        timeout_s: per-attempt wall-clock budget. ``None`` disables.
+            On the pooled path an overrunning worker is killed and
+            replaced; on the serial path a watchdog thread abandons the
+            attempt (the stuck call may linger in the background until
+            the process exits, but the batch moves on). Timeouts are
+            transient: the attempt counts and the job may retry.
+
+    Example:
+        >>> RetryPolicy(max_attempts=3, backoff_s=0.5).backoff_for(2)
+        1.0
+    """
+
+    max_attempts: int = 1
+    backoff_s: float = 0.0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ExecError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if self.backoff_s < 0:
+            raise ExecError(f"backoff_s must be >= 0, got {self.backoff_s}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ExecError(f"timeout_s must be > 0, got {self.timeout_s}")
+
+    def backoff_for(self, completed_attempts: int) -> float:
+        """Seconds to wait before the next attempt (deterministic)."""
+        if self.backoff_s == 0.0 or completed_attempts < 1:
+            return 0.0
+        return self.backoff_s * (2.0 ** (completed_attempts - 1))
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """Structured envelope of one job's final failure.
+
+    What a failed job hands back instead of a result when the executor
+    runs with ``keep_going``: everything an operator (or a campaign
+    result file) needs to triage without digging through logs.
+    Serializes to plain data carrying :data:`FAILURE_SCHEMA`.
+    """
+
+    job_hash: str
+    label: str
+    fn: str
+    error_type: str
+    message: str
+    attempts: int
+    transient: bool
+    timed_out: bool = False
+    worker_crash: bool = False
+
+    def summary(self) -> str:
+        """One-line human description of the failure."""
+        name = self.label or self.job_hash[:12]
+        return (
+            f"{name} failed after {self.attempts} attempt(s): "
+            f"{self.error_type}: {self.message}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": FAILURE_SCHEMA,
+            "job_hash": self.job_hash,
+            "label": self.label,
+            "fn": self.fn,
+            "error_type": self.error_type,
+            "message": self.message,
+            "attempts": self.attempts,
+            "transient": self.transient,
+            "timed_out": self.timed_out,
+            "worker_crash": self.worker_crash,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobFailure":
+        return cls(**{k: v for k, v in data.items() if k != "schema"})
+
+    @staticmethod
+    def is_failure_payload(payload: Any) -> bool:
+        """Whether a plain-data payload is a serialized failure envelope."""
+        return isinstance(payload, dict) and payload.get("schema") == FAILURE_SCHEMA
+
+
+@dataclass(frozen=True)
 class ExecutionReport:
     """What one :meth:`Executor.run` call actually did.
 
@@ -57,6 +195,13 @@ class ExecutionReport:
         cached: jobs served without running -- persistent-cache hits
             plus in-run duplicates of an executed job.
         elapsed_s: wall-clock seconds of the whole run.
+        failed: jobs that exhausted their attempts (only nonzero with
+            ``keep_going``; without it the first failure raises).
+        retried: extra attempts beyond the first, summed over jobs --
+            a successful job that needed one retry contributes 1.
+        timed_out: attempts cut short by the per-job timeout (counts
+            attempts, not jobs: a job that timed out twice and then
+            succeeded contributes 2).
         job_min_s: wall clock of the fastest executed job (0 when
             nothing executed).
         job_mean_s: mean wall clock over the executed jobs.
@@ -70,6 +215,9 @@ class ExecutionReport:
     executed: int
     cached: int
     elapsed_s: float
+    failed: int = 0
+    retried: int = 0
+    timed_out: int = 0
     job_min_s: float = 0.0
     job_mean_s: float = 0.0
     job_max_s: float = 0.0
@@ -77,10 +225,17 @@ class ExecutionReport:
 
     def summary(self) -> str:
         """One-line human description, e.g. ``"12 jobs: 9 cached, 3 executed"``."""
-        return (
+        line = (
             f"{self.total} jobs: {self.cached} cached, {self.executed} executed "
             f"in {self.elapsed_s:.1f} s"
         )
+        if self.failed:
+            line += f", {self.failed} failed"
+        if self.retried:
+            line += f", {self.retried} retries"
+        if self.timed_out:
+            line += f", {self.timed_out} timeouts"
+        return line
 
     def timings_summary(self) -> str:
         """Per-job wall-clock line; empty when nothing executed."""
@@ -93,20 +248,153 @@ class ExecutionReport:
         )
 
 
-def _run_indexed(item: Tuple[int, JobSpec]) -> Tuple[int, Any, float]:
-    """Pool worker entry point: execute one job, keep its index.
+# -- attempt machinery ----------------------------------------------------
 
-    Also measures the job's own wall clock (inside the worker process,
-    so pooled timings exclude queueing and transport).
+
+def _attempt(job: JobSpec, attempt: int) -> Any:
+    """Run one attempt of ``job``, applying any injected faults first."""
+    faults.fire_job_faults(job.content_hash(), attempt)
+    return job.run()
+
+
+def _watchdog_attempt(job: JobSpec, attempt: int, timeout_s: float) -> Any:
+    """Serial-path attempt with a wall-clock watchdog.
+
+    The job body runs in a daemon thread; overrunning ``timeout_s``
+    raises :class:`~repro.errors.JobTimeout` and abandons the thread
+    (it cannot be killed, but it no longer blocks the batch).
     """
-    index, job = item
-    start = time.perf_counter()
-    result = job.run()
-    return index, result, time.perf_counter() - start
+    box: Dict[str, Any] = {}
+
+    def target() -> None:
+        try:
+            box["value"] = _attempt(job, attempt)
+        except BaseException as exc:  # noqa: BLE001 - relayed to the caller
+            box["error"] = exc
+
+    thread = threading.Thread(
+        target=target, name=f"job-{job.content_hash()[:12]}", daemon=True
+    )
+    thread.start()
+    thread.join(timeout_s)
+    if thread.is_alive():
+        raise JobTimeout(
+            f"job {job.label or job.content_hash()[:12]} "
+            f"[{job.content_hash()[:12]}] exceeded the {timeout_s:g} s "
+            f"per-attempt timeout (serial watchdog)"
+        )
+    if "error" in box:
+        raise box["error"]
+    return box["value"]
+
+
+class _Task:
+    """Mutable per-job retry state inside one ``run()`` call."""
+
+    __slots__ = ("index", "job", "attempts", "timeouts")
+
+    def __init__(self, index: int, job: JobSpec):
+        self.index = index
+        self.job = job
+        self.attempts = 0  # completed (failed) attempts so far
+        self.timeouts = 0
+
+
+@dataclass
+class _Outcome:
+    """Final result of one unique job: a value or a failure envelope."""
+
+    index: int
+    attempts: int
+    timeouts: int
+    value: Any = None
+    job_s: float = 0.0
+    failure: Optional[JobFailure] = None
+
+
+def _failure_from_parts(
+    job: JobSpec,
+    attempts: int,
+    error_type: str,
+    message: str,
+    transient: bool,
+    timed_out: bool = False,
+    worker_crash: bool = False,
+) -> JobFailure:
+    return JobFailure(
+        job_hash=job.content_hash(),
+        label=job.label,
+        fn=job.fn,
+        error_type=error_type,
+        message=message,
+        attempts=attempts,
+        transient=transient,
+        timed_out=timed_out,
+        worker_crash=worker_crash,
+    )
+
+
+# -- pool worker ----------------------------------------------------------
+
+
+def _pool_worker(worker_id: int, task_q, result_q) -> None:
+    """Worker-process main loop: pull ``(index, attempt, job)``, push results.
+
+    Results are pre-pickled in the worker so an unpicklable value
+    surfaces as that job's error instead of silently wedging the
+    queue's feeder thread.
+    """
+    while True:
+        item = task_q.get()
+        if item is None:
+            return
+        index, attempt, job = item
+        start = time.perf_counter()
+        try:
+            value = _attempt(job, attempt)
+            blob = pickle.dumps(value)
+        except Exception as exc:  # noqa: BLE001 - relayed to the supervisor
+            result_q.put(
+                (
+                    "err",
+                    worker_id,
+                    index,
+                    type(exc).__name__,
+                    str(exc),
+                    is_transient(exc),
+                    isinstance(exc, JobTimeout),
+                    time.perf_counter() - start,
+                )
+            )
+        else:
+            result_q.put(("ok", worker_id, index, blob, time.perf_counter() - start))
+
+
+class _Worker:
+    """Parent-side handle of one pool worker process."""
+
+    __slots__ = ("proc", "task_q", "current", "deadline")
+
+    def __init__(self, proc, task_q):
+        self.proc = proc
+        self.task_q = task_q
+        self.current: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+
+    def kill(self) -> None:
+        """Terminate the worker process, escalating to SIGKILL."""
+        try:
+            self.proc.terminate()
+            self.proc.join(0.5)
+            if self.proc.is_alive():
+                self.proc.kill()
+                self.proc.join(0.5)
+        except (OSError, ValueError):  # pragma: no cover - already dead
+            pass
 
 
 class Executor:
-    """Serial or process-pool job execution with result caching.
+    """Serial or process-pool job execution with caching and retries.
 
     Args:
         workers: ``None``/``1`` for the serial path, ``0`` for one
@@ -115,6 +403,13 @@ class Executor:
             back to the serial path -- results are identical either way.
         cache: optional persistent result cache consulted before (and
             filled after) every execution; ``None`` disables caching.
+        retry: per-job attempt/backoff/timeout policy; ``None`` means
+            one attempt, no timeout (the historical behavior).
+        keep_going: when ``True``, a job that exhausts its attempts
+            yields a :class:`JobFailure` in its result slot and its
+            siblings keep running; when ``False`` (default) the first
+            exhausted job aborts the batch with an
+            :class:`~repro.errors.ExecError` naming the job.
 
     Example:
         >>> from repro.exec import Executor, JobSpec
@@ -134,9 +429,13 @@ class Executor:
         self,
         workers: Optional[int] = None,
         cache: Optional[ResultCache] = None,
+        retry: Optional[RetryPolicy] = None,
+        keep_going: bool = False,
     ):
         self.workers = resolve_workers(workers)
         self.cache = cache
+        self.retry = retry or RetryPolicy()
+        self.keep_going = keep_going
         self.last_report: Optional[ExecutionReport] = None
 
     def run(
@@ -160,7 +459,14 @@ class Executor:
                 missing although its scalar result is cached.
 
         Returns:
-            One (JSON-normalized) result per job, in input order.
+            One (JSON-normalized) result per job, in input order. With
+            ``keep_going``, slots of failed jobs hold their
+            :class:`JobFailure` instead.
+
+        Raises:
+            ExecError: when a job exhausts its attempts and
+                ``keep_going`` is off; the message carries the job's
+                label, hash, attempt count and original error.
         """
         start = time.perf_counter()
         jobs = list(jobs)
@@ -191,27 +497,53 @@ class Executor:
         unique = [(indices[0], jobs[indices[0]]) for indices in groups.values()]
 
         executed = 0
+        failed = 0
+        retried = 0
+        timed_out = 0
         timings: List[Tuple[float, str]] = []
-        for index, raw, job_s in self._execute(unique):
-            value = json_roundtrip(raw)
-            job = jobs[index]
-            if self.cache is not None:
-                self.cache.put(job, value)
-            executed += 1
-            timings.append((job_s, job.label or job.content_hash()[:12]))
-            for k, i in enumerate(groups[job.content_hash()]):
-                results[i] = value
-                served[i] = True
-                done += 1
-                if progress is not None:
-                    progress(done, total, jobs[i], value, k > 0)
+        outcomes = self._execute(unique)
+        try:
+            for outcome in outcomes:
+                job = jobs[outcome.index]
+                group = groups[job.content_hash()]
+                retried += outcome.attempts - 1
+                timed_out += outcome.timeouts
+                if outcome.failure is not None:
+                    if not self.keep_going:
+                        raise ExecError(
+                            f"job {outcome.failure.summary()} "
+                            f"(pass keep_going to isolate failures)"
+                        )
+                    failed += len(group)
+                    value: Any = outcome.failure
+                else:
+                    value = json_roundtrip(outcome.value)
+                    if self.cache is not None:
+                        self.cache.put(job, value)
+                    executed += 1
+                    timings.append(
+                        (outcome.job_s, job.label or job.content_hash()[:12])
+                    )
+                for k, i in enumerate(group):
+                    results[i] = value
+                    served[i] = True
+                    done += 1
+                    if progress is not None:
+                        progress(done, total, jobs[i], value, k > 0)
+        finally:
+            close = getattr(outcomes, "close", None)
+            if close is not None:
+                close()  # tear down pool workers on abort
 
         slowest = max(timings) if timings else (0.0, "")
         self.last_report = ExecutionReport(
             total=total,
             executed=executed,
-            cached=total - executed,
+            cached=total - executed - failed,
             elapsed_s=time.perf_counter() - start,
+            failed=failed,
+            retried=retried,
+            timed_out=timed_out,
             job_min_s=min(t for t, _ in timings) if timings else 0.0,
             job_mean_s=sum(t for t, _ in timings) / len(timings) if timings else 0.0,
             job_max_s=slowest[0],
@@ -221,31 +553,300 @@ class Executor:
 
     # -- backends ---------------------------------------------------------
 
-    def _execute(self, items: List[Tuple[int, JobSpec]]):
-        """Yield ``(index, raw_result, job_seconds)`` per item, any order."""
+    def _execute(self, items: List[Tuple[int, JobSpec]]) -> Iterator[_Outcome]:
+        """Yield one final :class:`_Outcome` per item, in any order."""
         if self.workers > 1 and len(items) > 1:
             pooled = self._execute_pooled(items, min(self.workers, len(items)))
             if pooled is not None:
                 return pooled
-        return map(_run_indexed, items)
+        return (self._serial_outcome(_Task(index, job)) for index, job in items)
 
-    @staticmethod
-    def _execute_pooled(items, n_workers: int):
-        """Run through a pool; ``None`` if no pool can be created."""
+    # -- serial path ------------------------------------------------------
+
+    def _serial_outcome(self, task: _Task) -> _Outcome:
+        """Run ``task`` to completion in-process, honoring the policy."""
+        policy = self.retry
+        while True:
+            start = time.perf_counter()
+            try:
+                if policy.timeout_s is None:
+                    value = _attempt(task.job, task.attempts)
+                else:
+                    value = _watchdog_attempt(
+                        task.job, task.attempts, policy.timeout_s
+                    )
+            except KeyboardInterrupt:
+                raise  # user abort is not a job failure
+            except Exception as exc:  # noqa: BLE001 - classified below
+                task.attempts += 1
+                if isinstance(exc, JobTimeout):
+                    task.timeouts += 1
+                if is_transient(exc) and task.attempts < policy.max_attempts:
+                    backoff = policy.backoff_for(task.attempts)
+                    if backoff > 0.0:
+                        time.sleep(backoff)
+                    continue
+                return _Outcome(
+                    index=task.index,
+                    attempts=task.attempts,
+                    timeouts=task.timeouts,
+                    failure=_failure_from_parts(
+                        task.job,
+                        task.attempts,
+                        type(exc).__name__,
+                        str(exc),
+                        is_transient(exc),
+                        timed_out=isinstance(exc, JobTimeout),
+                        worker_crash=isinstance(exc, WorkerCrash),
+                    ),
+                )
+            else:
+                return _Outcome(
+                    index=task.index,
+                    attempts=task.attempts + 1,
+                    timeouts=task.timeouts,
+                    value=value,
+                    job_s=time.perf_counter() - start,
+                )
+
+    # -- pooled path ------------------------------------------------------
+
+    def _execute_pooled(
+        self, items: List[Tuple[int, JobSpec]], n_workers: int
+    ) -> Optional[Iterator[_Outcome]]:
+        """Supervised worker pool; ``None`` if no worker can be started.
+
+        Each worker owns a task queue, so the supervisor always knows
+        which job a worker holds: an abrupt worker death (``kill -9``,
+        ``os._exit``, OOM) is charged to exactly that job instead of
+        hanging the batch, and a job overrunning the policy timeout is
+        reclaimed by killing its worker. Dead and killed workers are
+        replaced while work remains.
+        """
         try:
-            pool = multiprocessing.Pool(processes=n_workers)
+            result_q: Any = multiprocessing.Queue()
         except (OSError, ValueError, ImportError):  # pragma: no cover - env specific
             return None
+        workers: Dict[int, _Worker] = {}
+        for worker_id in range(n_workers):
+            worker = self._start_worker(worker_id, result_q)
+            if worker is None:
+                break
+            workers[worker_id] = worker
+        if not workers:
+            return None  # restricted environment: fall back to serial
+        return self._supervise(items, workers, result_q, next_id=n_workers)
 
-        def results():
+    @staticmethod
+    def _start_worker(worker_id: int, result_q) -> Optional[_Worker]:
+        """Spawn one worker process, or ``None`` when the env forbids it."""
+        try:
+            task_q: Any = multiprocessing.Queue()
+            proc = multiprocessing.Process(
+                target=_pool_worker,
+                args=(worker_id, task_q, result_q),
+                daemon=True,
+                name=f"repro-exec-{worker_id}",
+            )
+            proc.start()
+        except (OSError, ValueError, ImportError, AttributeError):
+            return None
+        return _Worker(proc, task_q)
+
+    def _supervise(
+        self,
+        items: List[Tuple[int, JobSpec]],
+        workers: Dict[int, _Worker],
+        result_q,
+        next_id: int,
+    ) -> Iterator[_Outcome]:
+        """Dispatch/collect loop: retries, deadlines, crash recovery."""
+        policy = self.retry
+        pending = deque(_Task(index, job) for index, job in items)
+        delayed: List[Tuple[float, _Task]] = []  # (due perf_counter, task)
+        outstanding = len(pending)
+        target_size = len(workers)
+        try:
+            while outstanding:
+                now = time.perf_counter()
+                if delayed:
+                    due = [entry for entry in delayed if entry[0] <= now]
+                    for entry in due:
+                        delayed.remove(entry)
+                        pending.append(entry[1])
+                for worker in workers.values():
+                    if worker.current is None and pending:
+                        task = pending.popleft()
+                        worker.current = task
+                        worker.deadline = (
+                            now + policy.timeout_s
+                            if policy.timeout_s is not None
+                            else None
+                        )
+                        worker.task_q.put((task.index, task.attempts, task.job))
+                try:
+                    msg = result_q.get(timeout=_TICK_S)
+                except queue.Empty:
+                    msg = None
+                if msg is not None:
+                    outcome = self._handle_message(msg, workers, delayed)
+                    if outcome is not None:
+                        outstanding -= 1
+                        yield outcome
+                    continue
+                # No message this tick: check deadlines and liveness.
+                for worker_id in list(workers):
+                    worker = workers[worker_id]
+                    outcome = self._reap_worker(worker_id, worker, workers, delayed)
+                    if outcome is not None:
+                        outstanding -= 1
+                        yield outcome
+                # Replace dead/killed workers while work remains.
+                live_needed = min(target_size, outstanding)
+                while len(workers) < live_needed:
+                    worker = self._start_worker(next_id, result_q)
+                    if worker is None:
+                        break
+                    workers[next_id] = worker
+                    next_id += 1
+                if not workers and outstanding:
+                    # Every worker is gone and none can be started:
+                    # drain the remainder in-process so the batch still
+                    # completes (results are identical either way).
+                    leftovers = [
+                        entry[1] for entry in delayed
+                    ] + list(pending)
+                    delayed.clear()
+                    pending.clear()
+                    for task in leftovers:
+                        outstanding -= 1
+                        yield self._serial_outcome(task)
+                    return
+        finally:
+            self._shutdown(workers, result_q)
+
+    def _handle_message(
+        self,
+        msg: tuple,
+        workers: Dict[int, _Worker],
+        delayed: List[Tuple[float, _Task]],
+    ) -> Optional[_Outcome]:
+        """Process one worker message; returns a final outcome, if any."""
+        kind, worker_id, index = msg[0], msg[1], msg[2]
+        worker = workers.get(worker_id)
+        if worker is None or worker.current is None or worker.current.index != index:
+            return None  # stale message from a worker killed on timeout
+        task = worker.current
+        worker.current = None
+        worker.deadline = None
+        if kind == "ok":
+            _, _, _, blob, job_s = msg
+            return _Outcome(
+                index=task.index,
+                attempts=task.attempts + 1,
+                timeouts=task.timeouts,
+                value=pickle.loads(blob),
+                job_s=job_s,
+            )
+        _, _, _, error_type, message, transient, was_timeout, _job_s = msg
+        task.attempts += 1
+        if was_timeout:
+            task.timeouts += 1
+        if transient and task.attempts < self.retry.max_attempts:
+            delayed.append(
+                (
+                    time.perf_counter() + self.retry.backoff_for(task.attempts),
+                    task,
+                )
+            )
+            return None
+        return _Outcome(
+            index=task.index,
+            attempts=task.attempts,
+            timeouts=task.timeouts,
+            failure=_failure_from_parts(
+                task.job, task.attempts, error_type, message, transient,
+                timed_out=was_timeout,
+            ),
+        )
+
+    def _reap_worker(
+        self,
+        worker_id: int,
+        worker: _Worker,
+        workers: Dict[int, _Worker],
+        delayed: List[Tuple[float, _Task]],
+    ) -> Optional[_Outcome]:
+        """Handle one worker's timeout or death; returns a final outcome."""
+        now = time.perf_counter()
+        task = worker.current
+        if task is not None and worker.deadline is not None and now > worker.deadline:
+            # Per-job timeout: reclaim the worker, charge the attempt.
+            worker.kill()
+            del workers[worker_id]
+            task.attempts += 1
+            task.timeouts += 1
+            if task.attempts < self.retry.max_attempts:
+                delayed.append((now + self.retry.backoff_for(task.attempts), task))
+                return None
+            job = task.job
+            return _Outcome(
+                index=task.index,
+                attempts=task.attempts,
+                timeouts=task.timeouts,
+                failure=_failure_from_parts(
+                    job,
+                    task.attempts,
+                    JobTimeout.__name__,
+                    f"job {job.label or job.content_hash()[:12]} "
+                    f"[{job.content_hash()[:12]}] exceeded the "
+                    f"{self.retry.timeout_s:g} s per-attempt timeout; "
+                    f"worker killed",
+                    transient=True,
+                    timed_out=True,
+                ),
+            )
+        if worker.proc.is_alive():
+            return None
+        # Abrupt death (kill -9, os._exit, OOM): charge the held job.
+        exitcode = worker.proc.exitcode
+        del workers[worker_id]
+        if task is None:
+            return None  # died idle; replacement handled by the caller
+        task.attempts += 1
+        if task.attempts < self.retry.max_attempts:
+            delayed.append((now + self.retry.backoff_for(task.attempts), task))
+            return None
+        job = task.job
+        return _Outcome(
+            index=task.index,
+            attempts=task.attempts,
+            timeouts=task.timeouts,
+            failure=_failure_from_parts(
+                job,
+                task.attempts,
+                WorkerCrash.__name__,
+                f"worker died (exit code {exitcode}) while running "
+                f"{job.label or job.content_hash()[:12]} "
+                f"[{job.content_hash()[:12]}]",
+                transient=True,
+                worker_crash=True,
+            ),
+        )
+
+    @staticmethod
+    def _shutdown(workers: Dict[int, _Worker], result_q) -> None:
+        """Stop every worker: sentinel first, then escalate."""
+        for worker in workers.values():
             try:
-                # ``with pool`` terminates on exit: when a job raises,
-                # the queued remainder is killed immediately instead of
-                # burning the rest of the batch before the error surfaces.
-                with pool:
-                    for indexed in pool.imap_unordered(_run_indexed, items):
-                        yield indexed
-            finally:
-                pool.join()
-
-        return results()
+                worker.task_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - queue torn down
+                pass
+        for worker in workers.values():
+            worker.proc.join(0.5)
+            if worker.proc.is_alive():
+                worker.kill()
+        for worker in workers.values():
+            worker.task_q.close()
+        result_q.close()
+        workers.clear()

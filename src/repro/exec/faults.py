@@ -1,0 +1,283 @@
+"""Deterministic fault injection for the execution layer.
+
+Chaos testing without flaky sleeps or real randomness: a
+:class:`FaultPlan` is a list of :class:`FaultSpec` rules keyed by job
+content-hash prefix and attempt number. When a plan is active, the
+executor consults it at the top of every job attempt (``raise`` /
+``delay`` / ``crash`` faults) and the result cache consults it on every
+entry write (``cache-corrupt`` / ``cache-torn`` faults). The same plan
+against the same jobs always injects the same faults -- which is what
+lets tests and CI *assert* that the recovery paths (retries, worker
+respawn, cache quarantine) produce byte-identical results.
+
+Plans activate two ways:
+
+- in-process, via :func:`activate`/:func:`deactivate` or the
+  :func:`injected` context manager (forked pool workers inherit the
+  active plan);
+- via the ``$REPRO_FAULT_PLAN`` environment variable, holding either
+  the plan's JSON or a path to a JSON file -- how CLI chaos runs and CI
+  inject faults into unmodified commands.
+
+Example:
+    >>> from repro.exec import Executor, JobSpec, RetryPolicy
+    >>> from repro.exec.faults import FaultPlan, FaultSpec, injected
+    >>> job = JobSpec(fn="repro.exec.demo:scaled_sum",
+    ...               kwargs={"values": [1.0, 2.0], "factor": 3.0})
+    >>> plan = FaultPlan((FaultSpec(kind="raise", attempt=0),))
+    >>> with injected(plan):  # attempt 0 fails, the retry succeeds
+    ...     Executor(retry=RetryPolicy(max_attempts=2)).run([job])
+    [9.0]
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Tuple
+
+from repro.errors import ExecError, TransientJobError, WorkerCrash
+
+#: Environment variable activating a plan process-wide: either the
+#: plan's JSON document or a path to a file containing it.
+FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
+
+#: Fault kinds applied at the top of a job attempt.
+JOB_FAULT_KINDS = ("raise", "delay", "crash")
+
+#: Fault kinds applied to result-cache entry writes.
+CACHE_FAULT_KINDS = ("cache-corrupt", "cache-torn")
+
+FAULT_KINDS = JOB_FAULT_KINDS + CACHE_FAULT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One deterministic fault rule.
+
+    Attributes:
+        kind: what to inject --
+            ``"raise"`` raises :class:`~repro.errors.TransientJobError`
+            (or a permanent :class:`~repro.errors.ExecError` when
+            ``permanent``), ``"delay"`` sleeps ``delay_s`` before the
+            job body runs (inside the timeout window, so it can force a
+            timeout), ``"crash"`` hard-kills the worker process with
+            ``os._exit(exit_code)`` (in the parent process it raises
+            :class:`~repro.errors.WorkerCrash` instead -- chaos must
+            not nuke the orchestrator), ``"cache-corrupt"`` replaces a
+            cache entry's bytes with garbage at write time and
+            ``"cache-torn"`` truncates them mid-document.
+        match: content-hash prefix the fault applies to; ``""`` matches
+            every job.
+        attempt: 0-based attempt number the fault fires on; ``None``
+            fires on every attempt (a *permanently* failing job).
+            Ignored by cache faults (writes have no attempt).
+        message: carried into the injected exception.
+        permanent: for ``"raise"``: classify the injected error as
+            permanent (never retried) instead of transient.
+        delay_s: for ``"delay"``: seconds to sleep.
+        exit_code: for ``"crash"``: the worker's exit code.
+    """
+
+    kind: str
+    match: str = ""
+    attempt: Optional[int] = 0
+    message: str = "injected fault"
+    permanent: bool = False
+    delay_s: float = 0.05
+    exit_code: int = 137
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ExecError(
+                f"unknown fault kind {self.kind!r}; known: {FAULT_KINDS}"
+            )
+        if self.delay_s < 0:
+            raise ExecError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def matches(self, content_hash: str, attempt: Optional[int] = None) -> bool:
+        """Whether this fault fires for ``(content_hash, attempt)``."""
+        if not content_hash.startswith(self.match):
+            return False
+        if self.kind in CACHE_FAULT_KINDS or self.attempt is None:
+            return True
+        return attempt == self.attempt
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "match": self.match,
+            "attempt": self.attempt,
+            "message": self.message,
+            "permanent": self.permanent,
+            "delay_s": self.delay_s,
+            "exit_code": self.exit_code,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultSpec":
+        return cls(**{k: data[k] for k in data})
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault rules, applied first-match-wins per stage.
+
+    Job faults (``raise``/``delay``/``crash``) are checked at the top
+    of every attempt; ``delay`` faults sleep and fall through to later
+    rules, so one plan can both delay and crash a job. Cache faults are
+    checked on every entry write.
+    """
+
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+
+    def job_faults(
+        self, content_hash: str, attempt: int
+    ) -> Tuple[FaultSpec, ...]:
+        """Every job fault firing for this ``(hash, attempt)``, in order."""
+        return tuple(
+            spec
+            for spec in self.faults
+            if spec.kind in JOB_FAULT_KINDS and spec.matches(content_hash, attempt)
+        )
+
+    def cache_fault(self, content_hash: str) -> Optional[FaultSpec]:
+        """The first cache-write fault firing for ``content_hash``."""
+        for spec in self.faults:
+            if spec.kind in CACHE_FAULT_KINDS and spec.matches(content_hash):
+                return spec
+        return None
+
+    def to_dict(self) -> dict:
+        return {"faults": [spec.to_dict() for spec in self.faults]}
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        return cls(tuple(FaultSpec.from_dict(f) for f in data.get("faults", ())))
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise ExecError(f"fault plan is not valid JSON: {exc}") from exc
+        if not isinstance(data, dict):
+            raise ExecError("fault plan JSON must be an object {'faults': [...]}")
+        return cls.from_dict(data)
+
+
+# -- activation -----------------------------------------------------------
+
+_ACTIVE: Optional[FaultPlan] = None
+
+#: Memoized parse of the env-var plan: ``(raw env value, plan)``.
+_ENV_CACHE: Tuple[Optional[str], Optional[FaultPlan]] = (None, None)
+
+
+def activate(plan: FaultPlan) -> None:
+    """Make ``plan`` the process-wide active plan (overrides the env)."""
+    global _ACTIVE
+    _ACTIVE = plan
+
+
+def deactivate() -> None:
+    """Clear the in-process plan (an env-var plan becomes visible again)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+@contextlib.contextmanager
+def injected(plan: FaultPlan) -> Iterator[FaultPlan]:
+    """Context manager scoping :func:`activate` to a ``with`` block."""
+    global _ACTIVE
+    previous = _ACTIVE
+    activate(plan)
+    try:
+        yield plan
+    finally:
+        _ACTIVE = previous
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in force: in-process activation first, then the env var.
+
+    The env value may be the plan's JSON (starts with ``{``) or a path
+    to a JSON file; parsing is memoized on the raw value.
+    """
+    if _ACTIVE is not None:
+        return _ACTIVE
+    raw = os.environ.get(FAULT_PLAN_ENV)
+    if not raw:
+        return None
+    global _ENV_CACHE
+    if _ENV_CACHE[0] == raw:
+        return _ENV_CACHE[1]
+    text = raw
+    if not raw.lstrip().startswith("{"):
+        try:
+            with open(raw, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            raise ExecError(
+                f"${FAULT_PLAN_ENV}={raw!r} is neither JSON nor a readable file: {exc}"
+            ) from exc
+    plan = FaultPlan.from_json(text)
+    _ENV_CACHE = (raw, plan)
+    return plan
+
+
+# -- application points ---------------------------------------------------
+
+
+def fire_job_faults(content_hash: str, attempt: int) -> None:
+    """Apply the active plan's job faults for this attempt (executor hook).
+
+    Called at the top of every job attempt, before the callable runs.
+    No active plan, or no matching fault, is a no-op on the hot path.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    for spec in plan.job_faults(content_hash, attempt):
+        note = f"{spec.message} [injected: {spec.kind}, attempt {attempt}]"
+        if spec.kind == "delay":
+            time.sleep(spec.delay_s)
+        elif spec.kind == "raise":
+            if spec.permanent:
+                raise ExecError(note)
+            raise TransientJobError(note)
+        elif spec.kind == "crash":
+            if multiprocessing.parent_process() is not None:
+                # A real abrupt death: no cleanup, no exception, the
+                # supervisor must notice the corpse.
+                os._exit(spec.exit_code)
+            raise WorkerCrash(note)
+
+
+def mangle_cache_write(content_hash: str, blob: str) -> str:
+    """Apply the active plan's cache-write fault to ``blob`` (cache hook).
+
+    Returns the bytes the cache should actually write: unchanged when
+    no fault matches, garbage for ``cache-corrupt``, a truncated prefix
+    for ``cache-torn`` -- both unparseable, so the next read quarantines
+    the entry instead of serving it.
+    """
+    plan = active_plan()
+    if plan is None:
+        return blob
+    spec = plan.cache_fault(content_hash)
+    if spec is None:
+        return blob
+    if spec.kind == "cache-corrupt":
+        return "\x00corrupt " + blob[: len(blob) // 4]
+    return blob[: max(1, len(blob) // 3)]  # cache-torn

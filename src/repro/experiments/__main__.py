@@ -20,53 +20,85 @@ import argparse
 import sys
 import time
 
-from repro.exec import ResultCache, default_cache_dir, open_cache
+from repro.errors import ExecError
+from repro.exec import ResultCache, RetryPolicy, default_cache_dir, open_cache
+from repro.exec.cache import parse_age, parse_size
 from repro.experiments import FULL_SCALE, SMOKE_SCALE
 from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
 from repro.obs import ProgressLine
 
 # Every experiment accepts the shared executor knobs: a worker-pool
-# size, an optional persistent result cache, and an optional live
-# progress callback.
+# size, an optional persistent result cache, an optional live progress
+# callback, and an optional retry policy. ``kg`` (--keep-going) only
+# reaches the campaign-backed experiments: a table built from per-width
+# jobs has no meaningful partial result, but a campaign aggregates over
+# whichever missions survived.
 _EXPERIMENTS = {
-    "table1": lambda s, w, c, p: table1.format_table(
-        table1.run(s, workers=w, cache=c, progress=p)
+    "table1": lambda s, w, c, p, r, kg: table1.format_table(
+        table1.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "table2": lambda s, w, c, p: table2.format_table(
-        table2.run(s, workers=w, cache=c, progress=p)
+    "table2": lambda s, w, c, p, r, kg: table2.format_table(
+        table2.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "table3": lambda s, w, c, p: table3.format_table(
-        table3.run(s, workers=w, cache=c, progress=p)
+    "table3": lambda s, w, c, p, r, kg: table3.format_table(
+        table3.run(s, workers=w, cache=c, progress=p, retry=r, keep_going=kg)
     ),
-    "table4": lambda s, w, c, p: table4.format_table(
-        table4.run(s, workers=w, cache=c, progress=p)
+    "table4": lambda s, w, c, p, r, kg: table4.format_table(
+        table4.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "fig3": lambda s, w, c, p: fig3.format_maps(
-        fig3.run(s, workers=w, cache=c, progress=p)
+    "fig3": lambda s, w, c, p, r, kg: fig3.format_maps(
+        fig3.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "fig5": lambda s, w, c, p: fig5.format_table(
-        fig5.run(s, workers=w, cache=c, progress=p)
+    "fig5": lambda s, w, c, p, r, kg: fig5.format_table(
+        fig5.run(s, workers=w, cache=c, progress=p, retry=r, keep_going=kg)
     ),
-    "fig6": lambda s, w, c, p: fig6.format_figure(
-        fig6.run(s, workers=w, cache=c, progress=p)
+    "fig6": lambda s, w, c, p, r, kg: fig6.format_figure(
+        fig6.run(s, workers=w, cache=c, progress=p, retry=r, keep_going=kg)
     ),
 }
 
 
-def _cmd_cache(names, cache_dir) -> int:
+def _cmd_cache(names, args) -> int:
     action = names[1] if len(names) > 1 else "stats"
-    if action not in ("stats", "clear"):
-        print(f"error: unknown cache action {action!r} (stats, clear)", file=sys.stderr)
+    if action not in ("stats", "clear", "evict"):
+        print(
+            f"error: unknown cache action {action!r} (stats, clear, evict)",
+            file=sys.stderr,
+        )
         return 2
-    cache = ResultCache(cache_dir or default_cache_dir())
+    cache = ResultCache(args.cache_dir or default_cache_dir())
     if action == "clear":
         print(f"removed {cache.clear()} cached results from {cache.directory}")
+        return 0
+    if action == "evict":
+        if args.max_bytes is None and args.max_age is None:
+            print(
+                "error: cache evict needs --max-bytes and/or --max-age",
+                file=sys.stderr,
+            )
+            return 2
+        report = cache.evict(
+            max_bytes=None if args.max_bytes is None else parse_size(args.max_bytes),
+            max_age_s=None if args.max_age is None else parse_age(args.max_age),
+        )
+        print(
+            f"evicted {report.removed_entries} entries "
+            f"(+{report.removed_traces} paired traces, "
+            f"{report.removed_junk} junk files), freed "
+            f"{report.freed_bytes / 1e6:.2f} MB; "
+            f"{report.remaining_bytes / 1e6:.2f} MB remain in {cache.directory}"
+        )
         return 0
     stats = cache.stats()
     print(
         f"cache {cache.directory}: {stats.entries} results, "
         f"{stats.total_bytes / 1e6:.2f} MB"
     )
+    if stats.orphans or stats.quarantined:
+        print(
+            f"  junk: {stats.orphans} orphaned temp files, "
+            f"{stats.quarantined} quarantined corrupt entries"
+        )
     return 0
 
 
@@ -106,26 +138,57 @@ def main(argv=None) -> int:
         action="store_true",
         help="live single-line job progress (done/total, hits vs executed, ETA)",
     )
+    parser.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per job (1 = no retries); only transient failures "
+        "(crashed workers, timeouts, flaky I/O) are retried",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock budget per job",
+    )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help="campaign-backed experiments (table3, fig5, fig6) aggregate "
+        "over the missions that survived instead of aborting on the "
+        "first exhausted one",
+    )
+    parser.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="for `cache evict`: byte budget (k/M/G suffixes ok)",
+    )
+    parser.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="for `cache evict`: drop entries last used longer ago than "
+        "this (s/m/h/d suffixes ok)",
+    )
     args = parser.parse_args(argv)
     if args.names == ["list"]:
         for name in _EXPERIMENTS:
             print(name)
         return 0
     if args.names[0] == "cache":
-        return _cmd_cache(args.names, args.cache_dir)
+        try:
+            return _cmd_cache(args.names, args)
+        except ExecError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
     names = list(_EXPERIMENTS) if args.names == ["all"] else args.names
     unknown = [n for n in names if n not in _EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiments: {', '.join(unknown)}")
     scale = FULL_SCALE if args.full else SMOKE_SCALE
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
+    retry = RetryPolicy(max_attempts=args.retries, timeout_s=args.timeout)
     for name in names:
         start = time.time()
         hits = cache.hits if cache else 0
         misses = cache.misses if cache else 0
         line = ProgressLine(name) if args.progress else None
         try:
-            output = _EXPERIMENTS[name](scale, args.workers, cache, line)
+            output = _EXPERIMENTS[name](
+                scale, args.workers, cache, line, retry, args.keep_going
+            )
         finally:
             if line is not None:
                 line.finish()

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
-from repro.exec import Executor, ProgressCallback, ResultCache
+from repro.exec import Executor, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.mapping.occupancy import OccupancyGrid
@@ -35,6 +35,7 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Fig3Result:
     """Fly each policy once and collect its occupancy grid.
 
@@ -48,7 +49,9 @@ def run(
         jobs.fig3_job(name, speed, scale.flight_time_s, seed)
         for name in POLICY_NAMES
     ]
-    payloads = Executor(workers=workers, cache=cache).run(job_list, progress=progress)
+    payloads = Executor(workers=workers, cache=cache, retry=retry).run(
+        job_list, progress=progress
+    )
     grids = {}
     coverage = {}
     for name, payload in zip(POLICY_NAMES, payloads):

@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exec import ProgressCallback, ResultCache
+from repro.exec import ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
 from repro.policies import POLICY_NAMES
@@ -38,6 +38,8 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
+    keep_going: bool = False,
 ) -> Fig5Result:
     """Sweep every policy x speed configuration via the campaign engine."""
     scale = scale or default_scale()
@@ -52,7 +54,8 @@ def run(
         seed=seed,
     )
     result = run_campaign(
-        campaign, workers=workers, cache=cache, exec_progress=progress
+        campaign, workers=workers, cache=cache, exec_progress=progress,
+        retry=retry, keep_going=keep_going,
     )
     agg = result.aggregate(("policy", "speed"), value="coverage")
     return Fig5Result(

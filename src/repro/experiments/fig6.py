@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.exec import ProgressCallback, ResultCache
+from repro.exec import ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_series
 from repro.mapping.coverage import CoverageSeries
@@ -45,6 +45,8 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
+    keep_going: bool = False,
 ) -> Fig6Result:
     """Fly the paper's best configuration ``n_runs`` times via the engine."""
     scale = scale or default_scale()
@@ -66,7 +68,8 @@ def run(
         operating_points=(op_spec,),
     )
     result = run_campaign(
-        campaign, workers=workers, cache=cache, exec_progress=progress
+        campaign, workers=workers, cache=cache, exec_progress=progress,
+        retry=retry, keep_going=keep_going,
     )
     runs: List[SearchResult] = [r.to_search_result() for r in result.records]
     grid_times = np.linspace(0.0, scale.flight_time_s, 61)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.exec import Executor, ProgressCallback, ResultCache
+from repro.exec import Executor, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
@@ -70,6 +70,7 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Table1Result:
     """Train, fine-tune, quantize and evaluate all width multipliers.
 
@@ -84,7 +85,7 @@ def run(
             retraining.
     """
     scale = scale or default_scale()
-    payloads = Executor(workers=workers, cache=cache).run(
+    payloads = Executor(workers=workers, cache=cache, retry=retry).run(
         jobs.table1_jobs(scale, seed), progress=progress
     )
 

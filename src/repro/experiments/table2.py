@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.exec import Executor, ProgressCallback, ResultCache
+from repro.exec import Executor, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
@@ -44,10 +44,11 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Table2Result:
     """Deploy every width multiplier and collect the Table II columns."""
     scale = scale or default_scale()
-    payloads = Executor(workers=workers, cache=cache).run(
+    payloads = Executor(workers=workers, cache=cache, retry=retry).run(
         jobs.plan_jobs(scale), progress=progress
     )
     power = AIDeckPowerModel()

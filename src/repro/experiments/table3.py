@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exec import ProgressCallback, ResultCache
+from repro.exec import ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.fig5 import PAPER_SPEEDS
 from repro.experiments.reporting import ascii_table
@@ -70,6 +70,8 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
+    keep_going: bool = False,
 ) -> Table3Result:
     """Sweep SSD x policy x speed through the campaign engine.
 
@@ -90,7 +92,8 @@ def run(
     scale = scale or default_scale()
     campaign = build_campaign(scale, operating_points, widths, speeds, seed)
     result = run_campaign(
-        campaign, workers=workers, cache=cache, exec_progress=progress
+        campaign, workers=workers, cache=cache, exec_progress=progress,
+        retry=retry, keep_going=keep_going,
     )
     agg = result.aggregate(("ssd_width", "policy", "speed"), value="detection_rate")
     return Table3Result(

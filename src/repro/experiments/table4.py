@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.exec import Executor, ProgressCallback, ResultCache
+from repro.exec import Executor, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments import jobs
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
@@ -33,10 +33,11 @@ def run(
     workers: Optional[int] = None,
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
 ) -> Table4Result:
     """Power breakdown with the given SSD running on the AI-deck."""
     scale = scale or default_scale()
-    [payload] = Executor(workers=workers, cache=cache).run(
+    [payload] = Executor(workers=workers, cache=cache, retry=retry).run(
         [jobs.plan_job(width)], progress=progress
     )
     plan = jobs.plan_from_dict(payload["plan"])

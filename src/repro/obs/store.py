@@ -22,12 +22,10 @@ from dataclasses import dataclass
 from typing import List, NamedTuple, Optional
 
 from repro.errors import ObsError
+from repro.exec.cache import TRACE_SUFFIX
 from repro.obs.trace import MissionTrace
 
-#: Trace-artifact filename suffix. Must not end in a bare ``.json`` or
-#: the result cache's entry scan would pick traces up as corrupt
-#: entries.
-TRACE_SUFFIX = ".trace.json.gz"
+__all__ = ["TRACE_SUFFIX", "TraceStats", "TraceStore"]
 
 
 class TraceStats(NamedTuple):
@@ -35,6 +33,7 @@ class TraceStats(NamedTuple):
 
     traces: int  #: number of trace artifacts
     total_bytes: int  #: bytes on disk across them
+    orphans: int = 0  #: abandoned ``.tmp-*.gz`` files from crashed writers
 
 
 @dataclass
@@ -122,6 +121,18 @@ class TraceStore:
                 if name.endswith(TRACE_SUFFIX) and not name.startswith("."):
                     yield os.path.join(shard_dir, name)
 
+    def _orphan_files(self):
+        """Abandoned ``.tmp-*.gz`` files from crashed trace writers."""
+        if not os.path.isdir(self.directory):
+            return
+        for shard in sorted(os.listdir(self.directory)):
+            shard_dir = os.path.join(self.directory, shard)
+            if len(shard) != 2 or not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.startswith(".tmp-") and name.endswith(".gz"):
+                    yield os.path.join(shard_dir, name)
+
     def hashes(self) -> List[str]:
         """Content hashes of every stored trace, sorted."""
         return sorted(
@@ -148,7 +159,7 @@ class TraceStore:
         return matches[0]
 
     def stats(self) -> TraceStats:
-        """Trace count and bytes on disk."""
+        """Trace count, bytes on disk, and crashed-writer orphan count."""
         traces = 0
         total = 0
         for path in self._trace_files():
@@ -158,15 +169,19 @@ class TraceStore:
                 continue
             traces += 1
             total += size
-        return TraceStats(traces=traces, total_bytes=total)
+        orphans = sum(1 for _ in self._orphan_files())
+        return TraceStats(traces=traces, total_bytes=total, orphans=orphans)
 
     def clear(self) -> int:
-        """Delete every trace artifact; returns how many were removed.
+        """Delete every trace artifact and orphaned temp file; returns
+        how many files were removed.
 
         Result-cache entries in the shared directory are untouched.
         """
         removed = 0
-        for path in self._trace_files():
+        targets = list(self._trace_files())
+        targets.extend(self._orphan_files())
+        for path in targets:
             try:
                 os.unlink(path)
                 removed += 1

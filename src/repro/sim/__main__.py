@@ -11,7 +11,9 @@ Usage:
     python -m repro.sim replay ab3f --verify
     python -m repro.sim replay results/campaign-cli-ab3f....json
     python -m repro.sim report results/campaign-cli-ab3f....json --out report.html
+    python -m repro.sim run --retries 3 --timeout 120 --keep-going --workers 0
     python -m repro.sim cache stats
+    python -m repro.sim cache evict --max-bytes 500M --max-age 30d
 
 Campaign runs cache mission results under ``.repro-cache`` (override
 with ``--cache-dir`` or ``$REPRO_CACHE_DIR``); re-running an identical
@@ -29,7 +31,8 @@ import sys
 import time
 
 from repro.errors import ExecError, ObsError, SimError
-from repro.exec import ResultCache, default_cache_dir, open_cache
+from repro.exec import ResultCache, RetryPolicy, default_cache_dir, open_cache
+from repro.exec.cache import parse_age, parse_size
 from repro.obs import ProgressLine, TraceStore
 from repro.experiments.reporting import ascii_table
 from repro.sim.campaign import Campaign
@@ -189,11 +192,32 @@ def _cmd_cache(args) -> int:
             f"from {cache.directory}"
         )
         return 0
+    if args.action == "evict":
+        if args.max_bytes is None and args.max_age is None:
+            raise SimError("cache evict needs --max-bytes and/or --max-age")
+        report = cache.evict(
+            max_bytes=None if args.max_bytes is None else parse_size(args.max_bytes),
+            max_age_s=None if args.max_age is None else parse_age(args.max_age),
+        )
+        print(
+            f"evicted {report.removed_entries} entries "
+            f"(+{report.removed_traces} paired traces, "
+            f"{report.removed_junk} junk files), freed "
+            f"{report.freed_bytes / 1e6:.2f} MB; "
+            f"{report.remaining_bytes / 1e6:.2f} MB remain in {cache.directory}"
+        )
+        return 0
     stats = cache.stats()
     print(
         f"cache {cache.directory}: {stats.entries} results, "
         f"{stats.total_bytes / 1e6:.2f} MB"
     )
+    if stats.orphans or stats.quarantined:
+        print(
+            f"  junk: {stats.orphans} orphaned temp files, "
+            f"{stats.quarantined} quarantined corrupt entries "
+            f"(remove with `cache evict` or `cache clear`)"
+        )
     if stats.by_version:
         print(
             ascii_table(
@@ -280,6 +304,11 @@ def _cmd_run(args) -> int:
     progress_line = (
         ProgressLine(f"campaign {campaign.name!r}") if args.progress else None
     )
+    retry = RetryPolicy(
+        max_attempts=args.retries,
+        backoff_s=args.retry_backoff,
+        timeout_s=args.timeout,
+    )
     start = time.perf_counter()
     try:
         result = run_campaign(
@@ -289,13 +318,16 @@ def _cmd_run(args) -> int:
             cache=cache,
             record=args.record,
             exec_progress=progress_line,
+            retry=retry,
+            keep_going=args.keep_going,
         )
     finally:
         if progress_line is not None:
             progress_line.finish()
     elapsed = time.perf_counter() - start
     print()
-    print(_summary(result))
+    if result.records:
+        print(_summary(result))
     rate = len(result) / elapsed if elapsed > 0 else float("inf")
     print(f"\n{len(result)} missions in {elapsed:.1f} s ({rate:.2f} missions/s)")
     if cache is not None and result.execution is not None:
@@ -308,6 +340,19 @@ def _cmd_run(args) -> int:
         timings = report.timings_summary()
         if timings:
             print(timings)
+    if result.execution is not None and (
+        result.execution.retried or result.execution.timed_out
+    ):
+        print(
+            f"fault tolerance: {result.execution.retried} retries, "
+            f"{result.execution.timed_out} timeouts"
+        )
+    for failure in result.failures:
+        print(
+            f"FAILED mission {failure['index']} ({failure['label']}): "
+            f"{failure['error_type']}: {failure['message']} "
+            f"[{failure['attempts']} attempt(s)]"
+        )
     if args.record:
         trace_dir = cache.directory if cache is not None else default_cache_dir()
         tstats = TraceStore(trace_dir).stats()
@@ -318,7 +363,7 @@ def _cmd_run(args) -> int:
     if args.out:
         path = result.save(args.out)
         print(f"results written to {path}")
-    return 0
+    return 1 if result.failures else 0
 
 
 def main(argv=None) -> int:
@@ -388,6 +433,25 @@ def main(argv=None) -> int:
         "--no-cache", action="store_true",
         help="always re-fly missions; neither read nor write the result cache",
     )
+    run.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="attempts per mission (1 = no retries); only transient "
+        "failures (crashed workers, timeouts, flaky I/O) are retried",
+    )
+    run.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="S",
+        help="base backoff between attempts, doubling each retry (deterministic)",
+    )
+    run.add_argument(
+        "--timeout", type=float, default=None, metavar="S",
+        help="per-attempt wall-clock budget per mission; an overrunning "
+        "pooled mission's worker is killed and the attempt retried",
+    )
+    run.add_argument(
+        "--keep-going", action="store_true",
+        help="a mission that exhausts its attempts is reported as failed "
+        "in the result instead of aborting the campaign",
+    )
     run.set_defaults(fn=_cmd_run)
 
     replay = sub.add_parser(
@@ -423,11 +487,23 @@ def main(argv=None) -> int:
     )
     report.set_defaults(fn=_cmd_report)
 
-    cache = sub.add_parser("cache", help="inspect or clear the result cache")
-    cache.add_argument("action", choices=("stats", "clear"))
+    cache = sub.add_parser(
+        "cache", help="inspect, clear or evict from the result cache"
+    )
+    cache.add_argument("action", choices=("stats", "clear", "evict"))
     cache.add_argument(
         "--cache-dir", default=None,
         help="result-cache directory (default: $REPRO_CACHE_DIR or .repro-cache)",
+    )
+    cache.add_argument(
+        "--max-bytes", default=None, metavar="SIZE",
+        help="evict: byte budget for entries + paired traces, oldest-used "
+        "evicted first (accepts k/M/G suffixes, e.g. 500M)",
+    )
+    cache.add_argument(
+        "--max-age", default=None, metavar="AGE",
+        help="evict: drop entries last used longer ago than this "
+        "(accepts s/m/h/d suffixes, e.g. 30d)",
     )
     cache.set_defaults(fn=_cmd_cache)
 

@@ -228,6 +228,11 @@ class CampaignResult:
             cached vs. freshly executed). Ephemeral run metadata: not
             persisted by :meth:`to_dict`/:meth:`save`, ``None`` on
             loaded or derived results.
+        failures: missions that exhausted their attempts when the
+            campaign ran with ``keep_going``: plain
+            :class:`~repro.exec.JobFailure` dicts, each with the
+            mission ``index`` attached. Persisted (a result file with
+            holes must say so), sorted by index; empty for a clean run.
 
     Example:
         >>> from repro.sim import Campaign, get_scenario, run_campaign
@@ -252,11 +257,15 @@ class CampaignResult:
         campaign_hash: str,
         records: Sequence[MissionRecord],
         execution=None,
+        failures: Sequence[dict] = (),
     ):
         self.campaign = campaign
         self.campaign_hash = campaign_hash
         self.records: List[MissionRecord] = sorted(records, key=lambda r: r.index)
         self.execution = execution
+        self.failures: List[dict] = sorted(
+            (dict(f) for f in failures), key=lambda f: f.get("index", -1)
+        )
 
     @property
     def name(self) -> str:
@@ -338,13 +347,21 @@ class CampaignResult:
     # -- persistence ------------------------------------------------------
 
     def to_dict(self) -> dict:
-        """Full plain-data form: definition, hash and all records."""
-        return {
+        """Full plain-data form: definition, hash and all records.
+
+        The ``failures`` key only appears when there are failures, so
+        clean runs stay byte-identical to results written before fault
+        tolerance existed.
+        """
+        data = {
             "schema": RESULT_SCHEMA,
             "campaign_hash": self.campaign_hash,
             "campaign": self.campaign,
             "records": [r.to_dict() for r in self.records],
         }
+        if self.failures:
+            data["failures"] = list(self.failures)
+        return data
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """JSON form of :meth:`to_dict`."""
@@ -385,4 +402,5 @@ class CampaignResult:
             campaign=data["campaign"],
             campaign_hash=data["campaign_hash"],
             records=[MissionRecord.from_dict(r) for r in data["records"]],
+            failures=data.get("failures", ()),
         )

@@ -19,7 +19,14 @@ from typing import Callable, Optional, Tuple
 
 import numpy as np
 
-from repro.exec import Executor, JobSpec, ResultCache, default_cache_dir
+from repro.exec import (
+    Executor,
+    JobFailure,
+    JobSpec,
+    ResultCache,
+    RetryPolicy,
+    default_cache_dir,
+)
 from repro.exec import resolve_workers  # noqa: F401  (re-export, see below)
 from repro.exec.executor import ProgressCallback as ExecProgressCallback
 from repro.mission.closed_loop import ClosedLoopMission
@@ -185,6 +192,8 @@ def run_campaign(
     record: bool = False,
     trace_dir: Optional[str] = None,
     exec_progress: Optional[ExecProgressCallback] = None,
+    retry: Optional[RetryPolicy] = None,
+    keep_going: bool = False,
 ) -> CampaignResult:
     """Execute every mission of ``campaign`` and collect the results.
 
@@ -214,15 +223,29 @@ def run_campaign(
             ``(done, total, job, payload, cached)`` signature -- what
             the CLIs' live progress line consumes; may be combined
             with ``progress``.
+        retry: optional :class:`~repro.exec.RetryPolicy` giving each
+            mission multiple attempts, deterministic backoff and a
+            per-attempt wall-clock timeout. ``None`` keeps the
+            historical one-attempt, no-timeout behavior. Retries do not
+            change results: a mission that succeeds on attempt three is
+            byte-identical to one that succeeds on attempt one.
+        keep_going: when ``True``, a mission that exhausts its attempts
+            is dropped from ``records`` and reported in the result's
+            ``failures`` (as a :class:`~repro.exec.JobFailure` dict
+            with the mission ``index``) while its siblings fly on; when
+            ``False`` (default) the first exhausted mission aborts the
+            campaign.
 
     Returns:
         A :class:`~repro.sim.results.CampaignResult` with one record per
         mission, sorted by mission index. Its ``execution`` attribute
         holds the :class:`~repro.exec.ExecutionReport` (how many
-        missions were cached vs. executed).
+        missions were cached vs. executed, plus failure/retry/timeout
+        counters).
 
     Raises:
-        ExecError: for a negative ``workers`` count.
+        ExecError: for a negative ``workers`` count, or a failed
+            mission without ``keep_going``.
 
     Example:
         >>> from repro.sim import Campaign, get_scenario, run_campaign
@@ -245,17 +268,20 @@ def run_campaign(
         if trace_dir is None:
             trace_dir = cache.directory if cache is not None else default_cache_dir()
         store = TraceStore(trace_dir)
+    specs = campaign.missions()
     jobs = [
         mission_job(spec, trace_dir=trace_dir if record else None)
-        for spec in campaign.missions()
+        for spec in specs
     ]
-    executor = Executor(workers=workers, cache=cache)
+    executor = Executor(
+        workers=workers, cache=cache, retry=retry, keep_going=keep_going
+    )
     combined = None
     if progress is not None or exec_progress is not None:
         def combined(done, total, job, payload, cached):
             if exec_progress is not None:
                 exec_progress(done, total, job, payload, cached)
-            if progress is not None:
+            if progress is not None and not isinstance(payload, JobFailure):
                 progress(done, total, MissionRecord.from_dict(payload))
     refresh = None
     if store is not None:
@@ -264,10 +290,17 @@ def run_campaign(
         def refresh(job):
             return not store.has(job.content_hash())
     payloads = executor.run(jobs, progress=combined, refresh=refresh)
-    records = [MissionRecord.from_dict(p) for p in payloads]
+    records = []
+    failures = []
+    for spec, payload in zip(specs, payloads):
+        if isinstance(payload, JobFailure):
+            failures.append({"index": spec.index, **payload.to_dict()})
+        else:
+            records.append(MissionRecord.from_dict(payload))
     return CampaignResult(
         campaign.to_dict(),
         campaign.campaign_hash(),
         records,
         execution=executor.last_report,
+        failures=failures,
     )

@@ -164,7 +164,7 @@ class TestResultCache:
         stats = cache.stats()
         assert stats.entries == 3 and stats.total_bytes > 0
         assert cache.clear() == 3
-        assert cache.stats() == (0, 0, ())
+        assert cache.stats() == (0, 0, (), 0, 0)
 
     def test_cache_files_are_deterministic(self, tmp_path):
         job = demo_job()

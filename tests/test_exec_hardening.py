@@ -1,0 +1,341 @@
+"""Cache hardening: quarantine, orphans, eviction, concurrency, interrupts."""
+
+import gzip
+import json
+import multiprocessing
+import os
+
+import pytest
+
+from repro.exec import Executor, JobSpec, ResultCache, TRACE_SUFFIX
+from repro.exec.cache import QUARANTINE_SUFFIX, parse_age, parse_size
+from repro.errors import ExecError
+from repro.sim import Campaign, get_scenario, run_campaign
+from repro.sim.results import CampaignResult
+
+
+def sum_job(i=0):
+    return JobSpec(
+        fn="repro.exec.demo:scaled_sum",
+        kwargs={"values": [1.0, float(i)], "factor": 2.0},
+        version="v1",
+    )
+
+
+def entry_path_of(cache, job):
+    return cache.entry_path(job.content_hash())
+
+
+def small_campaign(n_runs=2):
+    return Campaign(
+        name="hardening",
+        scenarios=(get_scenario("paper-room"),),
+        n_runs=n_runs,
+        flight_time_s=5.0,
+        seed=0,
+    )
+
+
+class TestParsers:
+    def test_parse_size(self):
+        assert parse_size("512") == 512
+        assert parse_size("2k") == 2_000
+        assert parse_size("1M") == 1_000_000
+        assert parse_size("1G") == 1_000_000_000
+
+    def test_parse_age(self):
+        assert parse_age("90s") == 90.0
+        assert parse_age("5m") == 300.0
+        assert parse_age("2h") == 7200.0
+        assert parse_age("1d") == 86400.0
+
+    @pytest.mark.parametrize("bad", ["", "x", "-1k", "3w", "1.5.2h"])
+    def test_bad_inputs_rejected(self, bad):
+        with pytest.raises(ExecError):
+            parse_age(bad)
+        with pytest.raises(ExecError):
+            parse_size(bad.replace("h", "k"))
+
+
+class TestQuarantine:
+    def test_unparseable_entry_quarantined_on_read(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = sum_job()
+        cache.put(job, 4.0)
+        path = entry_path_of(cache, job)
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("\x00 this is not json")
+        value, hit = cache.get(job)
+        assert not hit and value is None
+        assert not os.path.exists(path)
+        assert os.path.exists(path + QUARANTINE_SUFFIX)
+        assert cache.quarantines == 1
+        stats = cache.stats()
+        assert stats.quarantined == 1 and stats.entries == 0
+        # A second lookup is a plain miss, not a second quarantine.
+        _, hit = cache.get(job)
+        assert not hit and cache.quarantines == 1
+
+    def test_non_dict_entry_quarantined(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = sum_job()
+        cache.put(job, 4.0)
+        path = entry_path_of(cache, job)
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump([1, 2, 3], fh)
+        _, hit = cache.get(job)
+        assert not hit and cache.quarantines == 1
+
+    def test_schema_mismatch_is_a_miss_not_a_quarantine(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = sum_job()
+        cache.put(job, 4.0)
+        path = entry_path_of(cache, job)
+        with open(path, encoding="utf-8") as fh:
+            entry = json.load(fh)
+        entry["schema"] = "repro.exec.result/v0"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        _, hit = cache.get(job)
+        assert not hit
+        assert cache.quarantines == 0 and os.path.exists(path)
+
+    def test_foreign_job_entry_is_a_miss_not_a_quarantine(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        job = sum_job()
+        cache.put(job, 4.0)
+        path = entry_path_of(cache, job)
+        with open(path, encoding="utf-8") as fh:
+            entry = json.load(fh)
+        entry["job"]["kwargs"]["factor"] = 99.0  # hash collision simulation
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh)
+        _, hit = cache.get(job)
+        assert not hit
+        assert cache.quarantines == 0 and os.path.exists(path)
+
+    def test_clear_removes_quarantined_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(sum_job(), 4.0)
+        path = entry_path_of(cache, sum_job())
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("garbage")
+        cache.get(sum_job())
+        assert cache.stats().quarantined == 1
+        removed = cache.clear()
+        assert removed == 1
+        assert cache.stats() == (0, 0, (), 0, 0)
+
+
+class TestOrphans:
+    def test_orphans_counted_and_cleared(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(sum_job(), 4.0)
+        shard = os.path.dirname(entry_path_of(cache, sum_job()))
+        orphan = os.path.join(shard, ".tmp-abandoned")
+        with open(orphan, "w", encoding="utf-8") as fh:
+            fh.write("{partial")
+        stats = cache.stats()
+        assert stats.entries == 1 and stats.orphans == 1
+        cache.clear()
+        assert not os.path.exists(orphan)
+        assert cache.stats().orphans == 0
+
+    def test_trace_store_temps_are_not_cache_orphans(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(sum_job(), 4.0)
+        shard = os.path.dirname(entry_path_of(cache, sum_job()))
+        with open(os.path.join(shard, ".tmp-live.gz"), "wb") as fh:
+            fh.write(b"trace-store temp")
+        assert cache.stats().orphans == 0
+
+    def test_sweep_respects_min_age(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        cache.put(sum_job(), 4.0)
+        shard = os.path.dirname(entry_path_of(cache, sum_job()))
+        young = os.path.join(shard, ".tmp-young")
+        old = os.path.join(shard, ".tmp-old")
+        for path in (young, old):
+            with open(path, "w", encoding="utf-8") as fh:
+                fh.write("x" * 10)
+        os.utime(old, (1_000.0, 1_000.0))
+        os.utime(young, (2_000.0, 2_000.0))
+        removed, freed = cache.sweep_orphans(min_age_s=600.0, now=2_100.0)
+        assert removed == 1 and freed == 10
+        assert os.path.exists(young) and not os.path.exists(old)
+        removed, _ = cache.sweep_orphans(min_age_s=0.0, now=2_100.0)
+        assert removed == 1 and not os.path.exists(young)
+
+
+class TestEviction:
+    def _sized_cache(self, tmp_path):
+        """Three entries with controlled mtimes, oldest first."""
+        cache = ResultCache(str(tmp_path))
+        jobs = [sum_job(i) for i in range(3)]
+        for i, job in enumerate(jobs):
+            cache.put(job, float(i))
+            os.utime(entry_path_of(cache, job), (1_000.0 * (i + 1),) * 2)
+        return cache, jobs
+
+    def test_evict_lru_order_honors_byte_budget(self, tmp_path):
+        cache, jobs = self._sized_cache(tmp_path)
+        entry_bytes = os.path.getsize(entry_path_of(cache, jobs[0]))
+        report = cache.evict(max_bytes=2 * entry_bytes, now=10_000.0)
+        assert report.removed_entries == 1
+        assert report.remaining_bytes <= 2 * entry_bytes
+        # Oldest entry went; the two newest survive.
+        assert cache.get(jobs[0]) == (None, False)
+        assert cache.get(jobs[1])[1] and cache.get(jobs[2])[1]
+
+    def test_evict_max_age(self, tmp_path):
+        cache, jobs = self._sized_cache(tmp_path)
+        # now=3500: entries aged 2500, 1500, 500 — cut at 1000s.
+        report = cache.evict(max_age_s=1_000.0, now=3_500.0)
+        assert report.removed_entries == 2
+        assert not cache.get(jobs[0])[1] and not cache.get(jobs[1])[1]
+        assert cache.get(jobs[2])[1]
+
+    def test_evict_takes_paired_traces(self, tmp_path):
+        cache, jobs = self._sized_cache(tmp_path)
+        traces = []
+        for job in jobs:
+            trace = ResultCache.trace_path_for(entry_path_of(cache, job))
+            assert trace.endswith(TRACE_SUFFIX)
+            with gzip.open(trace, "wt", encoding="utf-8") as fh:
+                fh.write('{"fake": "trace"}')
+            traces.append(trace)
+        os.utime(entry_path_of(cache, jobs[0]), (1_000.0, 1_000.0))
+        report = cache.evict(max_bytes=0, now=10_000.0)
+        assert report.removed_entries == 3 and report.removed_traces == 3
+        assert not any(os.path.exists(t) for t in traces)
+        assert cache.stats().total_bytes == 0
+
+    def test_evict_removes_junk_first(self, tmp_path):
+        cache, jobs = self._sized_cache(tmp_path)
+        shard = os.path.dirname(entry_path_of(cache, jobs[0]))
+        orphan = os.path.join(shard, ".tmp-junk")
+        with open(orphan, "w", encoding="utf-8") as fh:
+            fh.write("x" * 50)
+        total = cache.stats().total_bytes
+        report = cache.evict(max_bytes=total * 10, now=10_000.0)
+        assert report.removed_junk == 1 and report.removed_entries == 0
+        assert not os.path.exists(orphan)
+
+    def test_cache_hit_refreshes_mtime(self, tmp_path):
+        cache, jobs = self._sized_cache(tmp_path)
+        path = entry_path_of(cache, jobs[0])
+        stale = os.path.getmtime(path)
+        cache.get(jobs[0])
+        assert os.path.getmtime(path) > stale
+        # The refreshed entry now survives an eviction that takes jobs[1].
+        entry_bytes = os.path.getsize(path)
+        report = cache.evict(max_bytes=2 * entry_bytes, now=10_000.0)
+        assert report.removed_entries == 1
+        assert cache.get(jobs[0])[1] and not cache.get(jobs[1])[1]
+
+    def test_evict_requires_a_bound(self, tmp_path):
+        cache = ResultCache(str(tmp_path))
+        with pytest.raises(ExecError, match="at least one"):
+            cache.evict()
+
+
+def _concurrent_writer(root, n_jobs, seed):
+    cache = ResultCache(root)
+    order = list(range(n_jobs))
+    # Deterministic per-process shuffle so writers collide on the
+    # same hashes in different orders.
+    for k in range(len(order) - 1, 0, -1):
+        j = (seed * 2654435761 + k) % (k + 1)
+        order[k], order[j] = order[j], order[k]
+    for i in order:
+        job = sum_job(i)
+        cache.put(job, 2.0 + 2.0 * i)
+        value, hit = cache.get(job)
+        assert hit and value == 2.0 + 2.0 * i, (i, value, hit)
+
+
+class TestConcurrentWriters:
+    def test_parallel_writers_leave_a_clean_cache(self, tmp_path):
+        n_jobs, n_procs = 20, 4
+        procs = [
+            multiprocessing.Process(
+                target=_concurrent_writer, args=(str(tmp_path), n_jobs, seed)
+            )
+            for seed in range(n_procs)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        cache = ResultCache(str(tmp_path))
+        stats = cache.stats()
+        assert stats.entries == n_jobs
+        assert stats.orphans == 0 and stats.quarantined == 0
+        for i in range(n_jobs):
+            value, hit = cache.get(sum_job(i))
+            assert hit and value == 2.0 + 2.0 * i
+
+
+class TestInterruptedCampaign:
+    def test_keyboard_interrupt_leaves_no_torn_entries(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "cache"))
+        campaign = small_campaign(n_runs=2)
+
+        done = []
+
+        def interrupt_after_first(done_n, total, job, payload, cached):
+            done.append(job.label)
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            run_campaign(
+                campaign, workers=0, cache=cache, exec_progress=interrupt_after_first
+            )
+        assert len(done) == 1
+        stats = cache.stats()
+        assert stats.entries == 1  # the completed mission landed
+        assert stats.orphans == 0 and stats.quarantined == 0
+
+        # The rerun reuses the survivor and is byte-identical to a
+        # fresh-cache run of the same campaign.
+        resumed = run_campaign(campaign, workers=0, cache=cache)
+        assert resumed.execution.cached == 1
+        assert resumed.execution.executed == 1
+        fresh = run_campaign(
+            campaign, workers=0, cache=ResultCache(str(tmp_path / "cache2"))
+        )
+        assert resumed.to_json() == fresh.to_json()
+
+
+class TestCampaignFailures:
+    def test_failures_roundtrip_through_result_files(self, tmp_path):
+        campaign = small_campaign(n_runs=1)
+        result = run_campaign(campaign, workers=0)
+        failure = {
+            "schema": "repro.exec.failure/v1",
+            "index": 7,
+            "job_hash": "ab" * 32,
+            "label": "mission-7",
+            "fn": "repro.sim.runner:run_mission_payload",
+            "error_type": "ExecError",
+            "message": "zap",
+            "attempts": 2,
+            "transient": False,
+            "timed_out": False,
+            "worker_crash": False,
+        }
+        broken = CampaignResult(
+            campaign=result.campaign,
+            campaign_hash=result.campaign_hash,
+            records=result.records,
+            execution=result.execution,
+            failures=[failure],
+        )
+        path = broken.save(str(tmp_path))
+        loaded = CampaignResult.load(path)
+        assert list(loaded.failures) == [failure]
+        # Clean results do not even carry the key: old files stay valid
+        # and new clean files stay byte-identical to pre-failure ones.
+        assert "failures" not in result.to_dict()
+        assert list(result.failures) == []

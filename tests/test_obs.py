@@ -165,7 +165,7 @@ class TestTraceStore:
         stats = store.stats()
         assert stats.traces == 1 and stats.total_bytes > 0
         assert store.clear() == 1
-        assert store.stats() == (0, 0)
+        assert store.stats() == (0, 0, 0)
 
     def test_traces_invisible_to_result_cache(self, tmp_path):
         # Traces share the directory with the result cache; neither

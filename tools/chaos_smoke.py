@@ -1,0 +1,209 @@
+"""Chaos smoke: the campaign CLI under an injected fault plan.
+
+End-to-end proof of the fault-tolerance contract, driving the real
+``python -m repro.sim`` CLI as a subprocess (the fault plan rides the
+``$REPRO_FAULT_PLAN`` environment variable, so the command under test
+is completely unmodified):
+
+1. a fault-free serial reference run;
+2. the same campaign under chaos -- a transient exception on one
+   mission's first attempt, a hard worker crash (``os._exit``) on the
+   other's, and corrupt cache writes for one of them -- with a pooled
+   executor and ``--retries 3``: must complete and write a result file
+   **byte-identical** to the reference;
+3. a rerun against the chaos cache: the corrupt entry must be
+   quarantined (not silently re-missed), the mission re-executed, and
+   the result file byte-identical again;
+4. a permanently-failing mission with ``--keep-going``: only that
+   mission may be marked failed, the sibling must land normally;
+5. ``cache evict --max-bytes``: the byte budget must be honored,
+   oldest entries evicted first.
+
+Exits nonzero on the first violated assertion. Used by CI; run locally
+with::
+
+    PYTHONPATH=src python tools/chaos_smoke.py --flight-time 10
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.exec import FAULT_PLAN_ENV, ResultCache  # noqa: E402
+from repro.exec.faults import FaultPlan, FaultSpec  # noqa: E402
+from repro.sim import Campaign, get_scenario  # noqa: E402
+from repro.sim.runner import mission_job  # noqa: E402
+
+
+def run_cli(args, workdir, fault_plan_path=None, expect_rc=0):
+    """Run ``python -m repro.sim`` with an optional fault plan in the env."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src")
+    env.pop(FAULT_PLAN_ENV, None)
+    if fault_plan_path is not None:
+        env[FAULT_PLAN_ENV] = fault_plan_path
+    cmd = [sys.executable, "-m", "repro.sim"] + args
+    proc = subprocess.run(
+        cmd, cwd=workdir, env=env, capture_output=True, text=True, timeout=600
+    )
+    if proc.returncode != expect_rc:
+        raise SystemExit(
+            f"chaos smoke: {' '.join(cmd)} exited {proc.returncode} "
+            f"(expected {expect_rc})\nstdout:\n{proc.stdout}\n"
+            f"stderr:\n{proc.stderr}"
+        )
+    return proc
+
+
+def result_file(out_dir):
+    """The single campaign result JSON written into ``out_dir``."""
+    names = [n for n in os.listdir(out_dir) if n.endswith(".json")]
+    if len(names) != 1:
+        raise SystemExit(f"chaos smoke: expected 1 result in {out_dir}, got {names}")
+    return os.path.join(out_dir, names[0])
+
+
+def read_bytes(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def check(condition, message):
+    if not condition:
+        raise SystemExit(f"chaos smoke FAILED: {message}")
+    print(f"  ok: {message}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--flight-time", type=float, default=10.0,
+        help="simulated seconds per mission (2 missions per run)",
+    )
+    parser.add_argument(
+        "--workdir", default="chaos-smoke-work",
+        help="scratch directory (wiped and recreated)",
+    )
+    args = parser.parse_args(argv)
+
+    work = os.path.abspath(args.workdir)
+    shutil.rmtree(work, ignore_errors=True)
+    os.makedirs(work)
+
+    # The exact campaign the CLI builds for these flags, so the fault
+    # plan can target individual missions by job content hash.
+    campaign = Campaign(
+        name="cli",
+        scenarios=(get_scenario("paper-room"),),
+        n_runs=2,
+        flight_time_s=args.flight_time,
+        seed=0,
+    )
+    hashes = [mission_job(spec).content_hash() for spec in campaign.missions()]
+    check(len(hashes) == 2, f"campaign has 2 missions ({[h[:12] for h in hashes]})")
+
+    base_flags = [
+        "run", "--runs", "2", "--flight-time", str(args.flight_time),
+        "--quiet",
+    ]
+
+    print("[1/5] fault-free serial reference run")
+    run_cli(
+        base_flags + ["--cache-dir", "cache-ref", "--out", "out-ref"], work
+    )
+    reference = read_bytes(result_file(os.path.join(work, "out-ref")))
+
+    print("[2/5] chaos run: transient raise + worker crash + corrupt cache writes")
+    chaos_plan = FaultPlan((
+        FaultSpec(kind="raise", match=hashes[0][:12], attempt=0,
+                  message="injected transient"),
+        FaultSpec(kind="crash", match=hashes[1][:12], attempt=0),
+        FaultSpec(kind="cache-corrupt", match=hashes[0][:12]),
+    ))
+    plan_path = os.path.join(work, "chaos-plan.json")
+    with open(plan_path, "w", encoding="utf-8") as fh:
+        fh.write(chaos_plan.to_json())
+    proc = run_cli(
+        base_flags + [
+            "--workers", "2", "--retries", "3",
+            "--cache-dir", "cache-chaos", "--out", "out-chaos",
+        ],
+        work,
+        fault_plan_path=plan_path,
+    )
+    chaos = read_bytes(result_file(os.path.join(work, "out-chaos")))
+    check(chaos == reference, "chaos result byte-identical to fault-free reference")
+    check("retries" in proc.stdout, "CLI reported the retries it performed")
+
+    print("[3/5] rerun against the chaos cache: quarantine + re-execute")
+    run_cli(
+        base_flags + ["--cache-dir", "cache-chaos", "--out", "out-rerun"], work
+    )
+    rerun = read_bytes(result_file(os.path.join(work, "out-rerun")))
+    check(rerun == reference, "post-chaos rerun byte-identical to reference")
+    stats = ResultCache(os.path.join(work, "cache-chaos")).stats()
+    check(
+        stats.quarantined == 1,
+        f"corrupt entry quarantined, not silently re-missed (stats: {stats})",
+    )
+    check(stats.entries == 2, "both missions cached cleanly after the rerun")
+
+    print("[4/5] permanent failure with --keep-going isolates one mission")
+    permanent_plan = FaultPlan((
+        FaultSpec(kind="raise", match=hashes[0][:12], attempt=None,
+                  permanent=True, message="injected permanent"),
+    ))
+    perm_path = os.path.join(work, "permanent-plan.json")
+    with open(perm_path, "w", encoding="utf-8") as fh:
+        fh.write(permanent_plan.to_json())
+    run_cli(
+        base_flags + [
+            "--retries", "2", "--keep-going",
+            "--cache-dir", "cache-perm", "--out", "out-perm",
+        ],
+        work,
+        fault_plan_path=perm_path,
+        expect_rc=1,
+    )
+    with open(result_file(os.path.join(work, "out-perm")), encoding="utf-8") as fh:
+        perm = json.load(fh)
+    failed = perm.get("failures", [])
+    check(len(failed) == 1, "exactly one mission marked failed")
+    check(
+        failed[0]["job_hash"] == hashes[0]
+        and failed[0]["error_type"] == "ExecError"
+        and failed[0]["attempts"] == 1,
+        f"the failure names the faulted job, permanently ({failed[0]['message']})",
+    )
+    check(len(perm["records"]) == 1, "the sibling mission landed normally")
+
+    print("[5/5] cache evict honors the byte budget, oldest first")
+    cache = ResultCache(os.path.join(work, "cache-ref"))
+    before = cache.stats()
+    check(before.entries == 2, "reference cache holds both missions")
+    budget = before.total_bytes // 2
+    run_cli(
+        ["cache", "evict", "--max-bytes", str(budget), "--cache-dir", "cache-ref"],
+        work,
+    )
+    after = cache.stats()
+    check(
+        after.total_bytes <= budget,
+        f"evicted down to the budget ({after.total_bytes} <= {budget} bytes)",
+    )
+    check(after.entries >= 1, "eviction removed only what the budget required")
+
+    print("chaos smoke: all checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,7 @@ DOCTEST_MODULES = (
     "repro.exec.cache",
     "repro.exec.demo",
     "repro.exec.executor",
+    "repro.exec.faults",
     "repro.exec.jobspec",
     "repro.obs.recorder",
     "repro.seeding",
