@@ -1,0 +1,188 @@
+"""Work-queue overhead: broker ops/sec and broker-drained campaign cost.
+
+The SQLite broker buys crash-safe, multi-machine fan-out; this bench
+measures what it costs. Three sections:
+
+- ``broker_ops``: raw submit and lease->complete cycle throughput on
+  trivial jobs (every cycle is two ``BEGIN IMMEDIATE`` transactions
+  plus a lease-audit insert);
+- ``campaign_drain``: the same campaign flown serially and through
+  enqueue -> in-process worker drain -> collect, with the byte-identity
+  contract asserted on the way;
+- the queue bookkeeping overhead per mission implied by the two.
+
+Run as a script to emit a JSON report::
+
+    PYTHONPATH=src python benchmarks/bench_queue_broker.py \\
+        --quick --out BENCH_queue_broker.json
+"""
+
+import argparse
+import json
+import os
+import tempfile
+import time
+
+from repro.exec import Broker, JobSpec, Worker
+from repro.experiments.reporting import ascii_table
+from repro.sim import Campaign, get_scenario, run_campaign
+from repro.sim.runner import enqueue_campaign
+
+FLIGHT_TIME_S = 10.0
+
+
+def build_campaign(flight_time_s: float = FLIGHT_TIME_S) -> Campaign:
+    return Campaign(
+        name="queue-bench",
+        scenarios=(get_scenario("paper-room"), get_scenario("corridor-maze")),
+        policies=("pseudo-random", "spiral"),
+        n_runs=2,
+        flight_time_s=flight_time_s,
+        seed=2024,
+    )
+
+
+def bench_broker_ops(n_jobs: int = 200) -> dict:
+    """Submit and lease->complete throughput on trivial jobs."""
+    jobs = [
+        JobSpec(
+            fn="repro.exec.demo:scaled_sum",
+            kwargs={"values": [float(i)], "factor": 2.0},
+            version="bench/v1",
+        )
+        for i in range(n_jobs)
+    ]
+    with tempfile.TemporaryDirectory() as tmp:
+        with Broker(os.path.join(tmp, "queue.db")) as broker:
+            start = time.perf_counter()
+            report = broker.submit(jobs)
+            submit_s = time.perf_counter() - start
+            assert report.submitted == n_jobs
+
+            start = time.perf_counter()
+            while True:
+                lease = broker.lease("bench")
+                if lease is None:
+                    break
+                broker.complete("bench", lease.content_hash, lease.job.run())
+            cycle_s = time.perf_counter() - start
+            counts = broker.counts()
+            assert counts.done == n_jobs and counts.remaining == 0
+    return {
+        "n_jobs": n_jobs,
+        "submit_s": submit_s,
+        "submit_jobs_per_s": n_jobs / submit_s,
+        "cycle_s": cycle_s,
+        "cycle_jobs_per_s": n_jobs / cycle_s,
+        "cycle_ms_per_job": cycle_s / n_jobs * 1e3,
+    }
+
+
+def bench_campaign_drain(campaign: Campaign) -> dict:
+    """Serial vs. enqueue->drain->collect, asserting byte-identity."""
+    n = len(campaign.missions())
+
+    start = time.perf_counter()
+    serial = run_campaign(campaign)
+    serial_s = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory() as tmp:
+        with Broker(os.path.join(tmp, "queue.db")) as broker:
+            start = time.perf_counter()
+            enqueue_campaign(campaign, broker)
+            enqueue_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            Worker(
+                broker, worker_id="bench", poll_s=0.01, exit_when_drained=True
+            ).run()
+            drain_s = time.perf_counter() - start
+
+            start = time.perf_counter()
+            brokered = run_campaign(
+                campaign, broker=broker, poll_s=0.01, wait_timeout_s=60.0
+            )
+            collect_s = time.perf_counter() - start
+    assert brokered.to_json() == serial.to_json()
+    queue_s = enqueue_s + drain_s + collect_s
+    return {
+        "missions": n,
+        "serial_s": serial_s,
+        "enqueue_s": enqueue_s,
+        "drain_s": drain_s,
+        "collect_s": collect_s,
+        "queue_total_s": queue_s,
+        "serial_missions_per_s": n / serial_s,
+        "queue_missions_per_s": n / queue_s,
+        "overhead_ms_per_mission": (queue_s - serial_s) / n * 1e3,
+    }
+
+
+def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
+    ops = bench_broker_ops(50 if quick else 200)
+    drain = bench_campaign_drain(build_campaign(5.0 if quick else FLIGHT_TIME_S))
+
+    print(
+        ascii_table(
+            ["path", "wall [s]", "missions/s"],
+            [
+                [
+                    "serial",
+                    f"{drain['serial_s']:.2f}",
+                    f"{drain['serial_missions_per_s']:.2f}",
+                ],
+                [
+                    "broker (enqueue+drain+collect)",
+                    f"{drain['queue_total_s']:.2f}",
+                    f"{drain['queue_missions_per_s']:.2f}",
+                ],
+            ],
+            title=(
+                f"queue-drained campaign: {drain['missions']} missions, "
+                f"byte-identical results"
+            ),
+        )
+    )
+    print(
+        f"broker ops: submit {ops['submit_jobs_per_s']:.0f} jobs/s, "
+        f"lease->complete {ops['cycle_jobs_per_s']:.0f} jobs/s "
+        f"({ops['cycle_ms_per_job']:.2f} ms/job); campaign bookkeeping "
+        f"{drain['overhead_ms_per_mission']:.1f} ms/mission"
+    )
+
+    payload = {"broker_ops": ops, "campaign_drain": drain}
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+        print(f"wrote {out_path}")
+    return payload
+
+
+def test_broker_ops_throughput():
+    """Lease->complete cycles stay in the milliseconds, not seconds."""
+    report = bench_broker_ops(n_jobs=50)
+    assert report["cycle_jobs_per_s"] > 5.0
+
+
+def test_broker_drained_campaign_matches_serial():
+    """Enqueue -> drain -> collect is byte-identical to a serial run."""
+    report = bench_campaign_drain(build_campaign(flight_time_s=5.0))
+    assert report["missions"] == 8
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="fewer ops jobs and 5 s flights (CI smoke)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_queue_broker.json",
+        help="path of the emitted JSON report",
+    )
+    args = parser.parse_args(argv)
+    run_benchmarks(quick=args.quick, out_path=args.out)
+
+
+if __name__ == "__main__":
+    main()

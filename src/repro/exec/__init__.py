@@ -19,6 +19,14 @@ of aborting sibling jobs; and :mod:`repro.exec.faults` injects
 deterministic chaos (exceptions, worker crashes, corrupt cache writes)
 to prove the recovery paths.
 
+It also scales out: a :class:`~repro.exec.queue.Broker` is a
+SQLite-backed work queue (leases, heartbeats, expiry reclaim,
+exactly-once completion) that any number of
+:class:`~repro.exec.worker.Worker` daemons -- ``python -m repro.exec
+worker`` processes, on any host sharing the filesystem -- drain through
+the very same attempt/cache/fault machinery, with byte-identical
+results.
+
 See ``docs/execution.md`` for the determinism contract, the retry and
 failure semantics, and the cache directory layout.
 """
@@ -50,8 +58,20 @@ from repro.exec.jobspec import (
     canonical_value,
     json_roundtrip,
 )
+from repro.exec.queue import (
+    BROKER_SCHEMA,
+    Broker,
+    JobOutcome,
+    Lease,
+    QueueCounts,
+    SubmitReport,
+    default_worker_id,
+)
+from repro.exec.worker import Worker, WorkerReport, run_worker
 
 __all__ = [
+    "BROKER_SCHEMA",
+    "Broker",
     "CACHE_DIR_ENV",
     "CACHE_SCHEMA",
     "CacheStats",
@@ -63,16 +83,24 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "JobFailure",
+    "JobOutcome",
     "JobSpec",
+    "Lease",
     "ProgressCallback",
+    "QueueCounts",
     "ResultCache",
     "RetryPolicy",
+    "SubmitReport",
     "TRACE_SUFFIX",
+    "Worker",
+    "WorkerReport",
     "canonical_json",
     "canonical_value",
     "default_cache_dir",
+    "default_worker_id",
     "is_transient",
     "json_roundtrip",
     "open_cache",
     "resolve_workers",
+    "run_worker",
 ]

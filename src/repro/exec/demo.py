@@ -9,6 +9,8 @@ or training a network.
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from typing import List, Optional, Sequence
 
@@ -51,3 +53,22 @@ def sleepy_echo(value: float, sleep_s: float = 0.0) -> float:
 def always_fails(message: str = "boom") -> None:
     """Raise ``ExecError(message)`` -- the error-propagation test job."""
     raise ExecError(message)
+
+
+def counted_echo(token: str, marker_dir: str, sleep_s: float = 0.0) -> str:
+    """Return ``token`` after dropping one marker file per *execution*.
+
+    The result is deterministic (just ``token``), but every invocation
+    leaves a uniquely-named file under ``marker_dir/token/`` as a side
+    effect -- which is how exactly-once tests distinguish "every job
+    ran once" from "every job has a result": with caching off, the
+    marker count for a token IS its execution count, regardless of how
+    many workers, retries or re-leases were involved.
+    """
+    if sleep_s > 0.0:
+        time.sleep(sleep_s)
+    directory = os.path.join(marker_dir, token)
+    os.makedirs(directory, exist_ok=True)
+    fd, _ = tempfile.mkstemp(prefix="exec-", dir=directory)
+    os.close(fd)
+    return token

@@ -474,35 +474,41 @@ class Executor:
         results: List[Any] = [None] * total
         served = [False] * total
         done = 0
-
-        # 1. Serve what the persistent cache already knows.
-        if self.cache is not None:
-            for i, job in enumerate(jobs):
-                if refresh is not None and refresh(job):
-                    continue
-                value, hit = self.cache.get(job)
-                if hit:
-                    results[i] = value
-                    served[i] = True
-                    done += 1
-                    if progress is not None:
-                        progress(done, total, job, value, True)
-
-        # 2. Group the remainder by content hash: duplicates of one
-        #    computation execute once and fan out.
-        groups: Dict[str, List[int]] = {}
-        for i, job in enumerate(jobs):
-            if not served[i]:
-                groups.setdefault(job.content_hash(), []).append(i)
-        unique = [(indices[0], jobs[indices[0]]) for indices in groups.values()]
-
         executed = 0
         failed = 0
         retried = 0
         timed_out = 0
         timings: List[Tuple[float, str]] = []
-        outcomes = self._execute(unique)
+        outcomes: Optional[Iterator[_Outcome]] = None
+        # Everything below runs under one try/finally: the report must
+        # describe THIS call even when a job or a user-supplied progress
+        # callback raises mid-run -- a stale report from a previous run
+        # would silently misattribute cache hits and timings. Cache
+        # writes happen before the callback fires, so an aborted run
+        # never loses or corrupts finished work.
         try:
+            # 1. Serve what the persistent cache already knows.
+            if self.cache is not None:
+                for i, job in enumerate(jobs):
+                    if refresh is not None and refresh(job):
+                        continue
+                    value, hit = self.cache.get(job)
+                    if hit:
+                        results[i] = value
+                        served[i] = True
+                        done += 1
+                        if progress is not None:
+                            progress(done, total, job, value, True)
+
+            # 2. Group the remainder by content hash: duplicates of one
+            #    computation execute once and fan out.
+            groups: Dict[str, List[int]] = {}
+            for i, job in enumerate(jobs):
+                if not served[i]:
+                    groups.setdefault(job.content_hash(), []).append(i)
+            unique = [(indices[0], jobs[indices[0]]) for indices in groups.values()]
+
+            outcomes = self._execute(unique)
             for outcome in outcomes:
                 job = jobs[outcome.index]
                 group = groups[job.content_hash()]
@@ -531,24 +537,29 @@ class Executor:
                     if progress is not None:
                         progress(done, total, jobs[i], value, k > 0)
         finally:
-            close = getattr(outcomes, "close", None)
-            if close is not None:
-                close()  # tear down pool workers on abort
-
-        slowest = max(timings) if timings else (0.0, "")
-        self.last_report = ExecutionReport(
-            total=total,
-            executed=executed,
-            cached=total - executed - failed,
-            elapsed_s=time.perf_counter() - start,
-            failed=failed,
-            retried=retried,
-            timed_out=timed_out,
-            job_min_s=min(t for t, _ in timings) if timings else 0.0,
-            job_mean_s=sum(t for t, _ in timings) / len(timings) if timings else 0.0,
-            job_max_s=slowest[0],
-            slowest_label=slowest[1],
-        )
+            if outcomes is not None:
+                close = getattr(outcomes, "close", None)
+                if close is not None:
+                    close()  # tear down pool workers on abort
+            slowest = max(timings) if timings else (0.0, "")
+            self.last_report = ExecutionReport(
+                total=total,
+                executed=executed,
+                # ``done - executed - failed`` == cache hits plus
+                # duplicate fan-outs; on a completed run done == total,
+                # so this matches the historical accounting exactly.
+                cached=done - executed - failed,
+                elapsed_s=time.perf_counter() - start,
+                failed=failed,
+                retried=retried,
+                timed_out=timed_out,
+                job_min_s=min(t for t, _ in timings) if timings else 0.0,
+                job_mean_s=(
+                    sum(t for t, _ in timings) / len(timings) if timings else 0.0
+                ),
+                job_max_s=slowest[0],
+                slowest_label=slowest[1],
+            )
         return results
 
     # -- backends ---------------------------------------------------------

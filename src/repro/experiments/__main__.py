@@ -21,7 +21,13 @@ import sys
 import time
 
 from repro.errors import ExecError
-from repro.exec import ResultCache, RetryPolicy, default_cache_dir, open_cache
+from repro.exec import (
+    Broker,
+    ResultCache,
+    RetryPolicy,
+    default_cache_dir,
+    open_cache,
+)
 from repro.exec.cache import parse_age, parse_size
 from repro.experiments import FULL_SCALE, SMOKE_SCALE
 from repro.experiments import fig3, fig5, fig6, table1, table2, table3, table4
@@ -34,28 +40,37 @@ from repro.obs import ProgressLine
 # jobs has no meaningful partial result, but a campaign aggregates over
 # whichever missions survived.
 _EXPERIMENTS = {
-    "table1": lambda s, w, c, p, r, kg: table1.format_table(
+    "table1": lambda s, w, c, p, r, kg, b: table1.format_table(
         table1.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "table2": lambda s, w, c, p, r, kg: table2.format_table(
+    "table2": lambda s, w, c, p, r, kg, b: table2.format_table(
         table2.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "table3": lambda s, w, c, p, r, kg: table3.format_table(
-        table3.run(s, workers=w, cache=c, progress=p, retry=r, keep_going=kg)
+    "table3": lambda s, w, c, p, r, kg, b: table3.format_table(
+        table3.run(
+            s, workers=w, cache=c, progress=p, retry=r, keep_going=kg, broker=b
+        )
     ),
-    "table4": lambda s, w, c, p, r, kg: table4.format_table(
+    "table4": lambda s, w, c, p, r, kg, b: table4.format_table(
         table4.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "fig3": lambda s, w, c, p, r, kg: fig3.format_maps(
+    "fig3": lambda s, w, c, p, r, kg, b: fig3.format_maps(
         fig3.run(s, workers=w, cache=c, progress=p, retry=r)
     ),
-    "fig5": lambda s, w, c, p, r, kg: fig5.format_table(
-        fig5.run(s, workers=w, cache=c, progress=p, retry=r, keep_going=kg)
+    "fig5": lambda s, w, c, p, r, kg, b: fig5.format_table(
+        fig5.run(
+            s, workers=w, cache=c, progress=p, retry=r, keep_going=kg, broker=b
+        )
     ),
-    "fig6": lambda s, w, c, p, r, kg: fig6.format_figure(
-        fig6.run(s, workers=w, cache=c, progress=p, retry=r, keep_going=kg)
+    "fig6": lambda s, w, c, p, r, kg, b: fig6.format_figure(
+        fig6.run(
+            s, workers=w, cache=c, progress=p, retry=r, keep_going=kg, broker=b
+        )
     ),
 }
+
+#: Experiments that can shard through ``--broker`` (campaign-backed).
+_BROKER_AWARE = frozenset({"table3", "fig5", "fig6"})
 
 
 def _cmd_cache(names, args) -> int:
@@ -154,6 +169,13 @@ def main(argv=None) -> int:
         "first exhausted one",
     )
     parser.add_argument(
+        "--broker", default=None, metavar="PATH",
+        help="campaign-backed experiments (table3, fig5, fig6) shard "
+        "their missions through this queue database; drain with "
+        "`python -m repro.exec worker --broker PATH` (byte-identical "
+        "results)",
+    )
+    parser.add_argument(
         "--max-bytes", default=None, metavar="SIZE",
         help="for `cache evict`: byte budget (k/M/G suffixes ok)",
     )
@@ -180,6 +202,15 @@ def main(argv=None) -> int:
     scale = FULL_SCALE if args.full else SMOKE_SCALE
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     retry = RetryPolicy(max_attempts=args.retries, timeout_s=args.timeout)
+    broker = Broker(args.broker) if args.broker else None
+    if broker is not None:
+        unsharded = [n for n in names if n not in _BROKER_AWARE]
+        if unsharded:
+            print(
+                f"note: --broker only shards {', '.join(sorted(_BROKER_AWARE))}; "
+                f"{', '.join(unsharded)} run in-process",
+                file=sys.stderr,
+            )
     for name in names:
         start = time.time()
         hits = cache.hits if cache else 0
@@ -187,7 +218,8 @@ def main(argv=None) -> int:
         line = ProgressLine(name) if args.progress else None
         try:
             output = _EXPERIMENTS[name](
-                scale, args.workers, cache, line, retry, args.keep_going
+                scale, args.workers, cache, line, retry, args.keep_going,
+                broker if name in _BROKER_AWARE else None,
             )
         finally:
             if line is not None:
@@ -199,6 +231,8 @@ def main(argv=None) -> int:
                 f"[cache: {cache.hits - hits} hits, "
                 f"{cache.misses - misses} misses ({cache.directory})]"
             )
+    if broker is not None:
+        broker.close()
     return 0
 
 

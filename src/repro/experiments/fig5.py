@@ -9,7 +9,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exec import ProgressCallback, ResultCache, RetryPolicy
+from repro.exec import Broker, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_table
 from repro.policies import POLICY_NAMES
@@ -40,6 +40,7 @@ def run(
     progress: Optional[ProgressCallback] = None,
     retry: Optional[RetryPolicy] = None,
     keep_going: bool = False,
+    broker: Optional[Broker] = None,
 ) -> Fig5Result:
     """Sweep every policy x speed configuration via the campaign engine."""
     scale = scale or default_scale()
@@ -55,7 +56,7 @@ def run(
     )
     result = run_campaign(
         campaign, workers=workers, cache=cache, exec_progress=progress,
-        retry=retry, keep_going=keep_going,
+        retry=retry, keep_going=keep_going, broker=broker,
     )
     agg = result.aggregate(("policy", "speed"), value="coverage")
     return Fig5Result(

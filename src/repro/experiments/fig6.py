@@ -12,7 +12,7 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.exec import ProgressCallback, ResultCache, RetryPolicy
+from repro.exec import Broker, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.reporting import ascii_series
 from repro.mapping.coverage import CoverageSeries
@@ -47,6 +47,7 @@ def run(
     progress: Optional[ProgressCallback] = None,
     retry: Optional[RetryPolicy] = None,
     keep_going: bool = False,
+    broker: Optional[Broker] = None,
 ) -> Fig6Result:
     """Fly the paper's best configuration ``n_runs`` times via the engine."""
     scale = scale or default_scale()
@@ -69,7 +70,7 @@ def run(
     )
     result = run_campaign(
         campaign, workers=workers, cache=cache, exec_progress=progress,
-        retry=retry, keep_going=keep_going,
+        retry=retry, keep_going=keep_going, broker=broker,
     )
     runs: List[SearchResult] = [r.to_search_result() for r in result.records]
     grid_times = np.linspace(0.0, scale.flight_time_s, 61)

@@ -11,7 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
-from repro.exec import ProgressCallback, ResultCache, RetryPolicy
+from repro.exec import Broker, ProgressCallback, ResultCache, RetryPolicy
 from repro.experiments.config import ExperimentScale, default_scale
 from repro.experiments.fig5 import PAPER_SPEEDS
 from repro.experiments.reporting import ascii_table
@@ -72,6 +72,7 @@ def run(
     progress: Optional[ProgressCallback] = None,
     retry: Optional[RetryPolicy] = None,
     keep_going: bool = False,
+    broker: Optional[Broker] = None,
 ) -> Table3Result:
     """Sweep SSD x policy x speed through the campaign engine.
 
@@ -88,12 +89,16 @@ def run(
             core, otherwise the pool size (identical results either way).
         cache: optional persistent result cache; missions already flown
             for this sweep load instead of re-flying.
+        broker: optional shared work queue: missions are enqueued and
+            external ``python -m repro.exec worker`` daemons fly them
+            (``workers`` and ``cache`` then apply on the worker side);
+            results are byte-identical to in-process execution.
     """
     scale = scale or default_scale()
     campaign = build_campaign(scale, operating_points, widths, speeds, seed)
     result = run_campaign(
         campaign, workers=workers, cache=cache, exec_progress=progress,
-        retry=retry, keep_going=keep_going,
+        retry=retry, keep_going=keep_going, broker=broker,
     )
     agg = result.aggregate(("ssd_width", "policy", "speed"), value="detection_rate")
     return Table3Result(

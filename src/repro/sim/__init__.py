@@ -39,7 +39,13 @@ from repro.sim.generators import (
     register_family,
 )
 from repro.sim.results import AggregateStat, CampaignResult, MissionRecord
-from repro.sim.runner import execute_mission, mission_job, run_campaign
+from repro.sim.runner import (
+    campaign_jobs,
+    enqueue_campaign,
+    execute_mission,
+    mission_job,
+    run_campaign,
+)
 from repro.sim.scenario import (
     ObjectSpec,
     ObstacleSpec,
@@ -66,6 +72,8 @@ __all__ = [
     "Scenario",
     "ScenarioFamily",
     "ascii_layout",
+    "campaign_jobs",
+    "enqueue_campaign",
     "execute_mission",
     "family_names",
     "generate_scenario",

@@ -12,6 +12,8 @@ Usage:
     python -m repro.sim replay results/campaign-cli-ab3f....json
     python -m repro.sim report results/campaign-cli-ab3f....json --out report.html
     python -m repro.sim run --retries 3 --timeout 120 --keep-going --workers 0
+    python -m repro.sim run --broker queue.db --enqueue-only --runs 8
+    python -m repro.sim run --broker queue.db --runs 8   # wait + collect
     python -m repro.sim cache stats
     python -m repro.sim cache evict --max-bytes 500M --max-age 30d
 
@@ -31,7 +33,13 @@ import sys
 import time
 
 from repro.errors import ExecError, ObsError, SimError
-from repro.exec import ResultCache, RetryPolicy, default_cache_dir, open_cache
+from repro.exec import (
+    Broker,
+    ResultCache,
+    RetryPolicy,
+    default_cache_dir,
+    open_cache,
+)
 from repro.exec.cache import parse_age, parse_size
 from repro.obs import ProgressLine, TraceStore
 from repro.experiments.reporting import ascii_table
@@ -44,7 +52,7 @@ from repro.sim.generators import (
     iter_families,
 )
 from repro.sim.results import CampaignResult
-from repro.sim.runner import run_campaign
+from repro.sim.runner import enqueue_campaign, run_campaign
 from repro.sim.scenario import get_scenario, iter_scenarios
 
 
@@ -295,12 +303,42 @@ def _cmd_run(args) -> int:
     total = len(campaign.missions())
     workers = args.workers
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
-    mode = "serial" if (workers is None or workers == 1) else f"pool({workers or 'auto'})"
+    if args.broker:
+        mode = f"broker({args.broker})"
+    elif workers is None or workers == 1:
+        mode = "serial"
+    else:
+        mode = f"pool({workers or 'auto'})"
     print(
         f"campaign {campaign.name!r}: {total} missions, {mode}, "
         f"hash {campaign.campaign_hash()[:12]}",
         flush=True,
     )
+    if args.enqueue_only:
+        if not args.broker:
+            raise SimError("--enqueue-only needs --broker")
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            backoff_s=args.retry_backoff,
+            timeout_s=args.timeout,
+        )
+        with Broker(args.broker) as broker:
+            report = enqueue_campaign(
+                campaign, broker, record=args.record, retry=retry,
+                trace_dir=cache.directory if (args.record and cache) else None,
+            )
+            counts = broker.counts()
+        print(
+            f"enqueued {report.submitted} missions "
+            f"({report.duplicates} already queued, {report.already_done} "
+            f"already done); queue: {counts.pending} pending, "
+            f"{counts.leased} leased, {counts.done} done, "
+            f"{counts.failed} failed"
+        )
+        print(
+            f"drain with: python -m repro.exec worker --broker {args.broker}"
+        )
+        return 0
     progress_line = (
         ProgressLine(f"campaign {campaign.name!r}") if args.progress else None
     )
@@ -310,18 +348,25 @@ def _cmd_run(args) -> int:
         timeout_s=args.timeout,
     )
     start = time.perf_counter()
+    broker = Broker(args.broker) if args.broker else None
     try:
         result = run_campaign(
             campaign,
             workers=workers,
             progress=None if (args.quiet or args.progress) else _progress,
-            cache=cache,
+            cache=None if broker is not None else cache,
             record=args.record,
+            trace_dir=cache.directory if (args.record and cache) else None,
             exec_progress=progress_line,
             retry=retry,
             keep_going=args.keep_going,
+            broker=broker,
+            poll_s=args.poll,
+            wait_timeout_s=args.wait_timeout,
         )
     finally:
+        if broker is not None:
+            broker.close()
         if progress_line is not None:
             progress_line.finish()
     elapsed = time.perf_counter() - start
@@ -451,6 +496,27 @@ def main(argv=None) -> int:
         "--keep-going", action="store_true",
         help="a mission that exhausts its attempts is reported as failed "
         "in the result instead of aborting the campaign",
+    )
+    run.add_argument(
+        "--broker", default=None, metavar="PATH",
+        help="shard the campaign through a queue database instead of "
+        "executing in-process: missions are enqueued (idempotently) and "
+        "`python -m repro.exec worker` daemons drain them; results are "
+        "byte-identical to a serial run",
+    )
+    run.add_argument(
+        "--enqueue-only", action="store_true",
+        help="with --broker: submit the missions and exit without "
+        "waiting (re-run without this flag to wait and collect)",
+    )
+    run.add_argument(
+        "--poll", type=float, default=0.2, metavar="S",
+        help="with --broker: seconds between outcome polls",
+    )
+    run.add_argument(
+        "--wait-timeout", type=float, default=None, metavar="S",
+        help="with --broker: give up after this long without the queue "
+        "draining (default: wait forever)",
     )
     run.set_defaults(fn=_cmd_run)
 

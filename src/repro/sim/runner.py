@@ -15,16 +15,21 @@ paths indistinguishable downstream.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Optional, Tuple
+import time
+from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro.errors import ExecError
 from repro.exec import (
+    Broker,
     Executor,
+    ExecutionReport,
     JobFailure,
     JobSpec,
     ResultCache,
     RetryPolicy,
+    SubmitReport,
     default_cache_dir,
 )
 from repro.exec import resolve_workers  # noqa: F401  (re-export, see below)
@@ -184,6 +189,144 @@ def mission_job(spec: MissionSpec, trace_dir: Optional[str] = None) -> JobSpec:
     return job
 
 
+def campaign_jobs(
+    campaign: Campaign,
+    record: bool = False,
+    trace_dir: Optional[str] = None,
+) -> List[JobSpec]:
+    """The campaign's missions as execution-layer jobs, in mission order."""
+    if record and trace_dir is None:
+        trace_dir = default_cache_dir()
+    return [
+        mission_job(spec, trace_dir=trace_dir if record else None)
+        for spec in campaign.missions()
+    ]
+
+
+def enqueue_campaign(
+    campaign: Campaign,
+    broker: Broker,
+    record: bool = False,
+    trace_dir: Optional[str] = None,
+    retry: Optional[RetryPolicy] = None,
+) -> SubmitReport:
+    """Submit every mission of ``campaign`` to ``broker`` and return.
+
+    Submission is idempotent (the queue deduplicates by content hash),
+    so any number of clients may enqueue the same campaign: missions
+    already queued are skipped and missions already completed are
+    reported as ``already_done``. Pair with ``python -m repro.exec
+    worker`` daemons to drain, and :func:`run_campaign` with
+    ``broker=`` to (re-)submit, wait and collect.
+    """
+    return broker.submit(
+        campaign_jobs(campaign, record=record, trace_dir=trace_dir), retry=retry
+    )
+
+
+def _drain_broker(
+    campaign: Campaign,
+    broker: Broker,
+    jobs: List[JobSpec],
+    progress: Optional[ProgressCallback],
+    exec_progress: Optional[ExecProgressCallback],
+    keep_going: bool,
+    poll_s: float,
+    wait_timeout_s: Optional[float],
+) -> CampaignResult:
+    """Poll ``broker`` until every campaign job finished; collect results."""
+    specs = campaign.missions()
+    hashes = [job.content_hash() for job in jobs]
+    by_hash = {h: job for h, job in zip(hashes, jobs)}
+    unique = list(by_hash)
+    pre_done = {
+        h for h, out in broker.outcomes(unique).items() if out.state == "done"
+    }
+    start = time.perf_counter()
+    finished: dict = {}
+    while True:
+        fresh = {
+            h: out
+            for h, out in broker.outcomes(unique).items()
+            if h not in finished
+        }
+        for h, out in fresh.items():
+            finished[h] = out
+            if progress is None and exec_progress is None:
+                continue
+            if out.state == "failed":
+                payload: object = out.failure()
+            else:
+                payload = out.result
+            done = len(finished)
+            cached = out.cached or h in pre_done
+            if exec_progress is not None:
+                exec_progress(done, len(unique), by_hash[h], payload, cached)
+            if progress is not None and not isinstance(payload, JobFailure):
+                progress(done, len(unique), MissionRecord.from_dict(payload))
+        if len(finished) == len(unique):
+            break
+        elapsed = time.perf_counter() - start
+        if wait_timeout_s is not None and elapsed > wait_timeout_s:
+            counts = broker.counts()
+            raise ExecError(
+                f"broker drain timed out after {elapsed:.1f} s with "
+                f"{counts.remaining} of {len(unique)} campaign jobs "
+                f"unfinished ({counts.pending} pending, {counts.leased} "
+                f"leased) -- are any workers running?"
+            )
+        # Dead workers are normally noticed by the next lease() call;
+        # reclaim here too so a fleet that died entirely still drains
+        # (to `failed` once reclaim budgets exhaust) instead of hanging.
+        broker.reclaim_expired()
+        time.sleep(poll_s)
+    elapsed = time.perf_counter() - start
+    records = []
+    failures = []
+    retried = timed_out = 0
+    executed = cached_n = failed_n = 0
+    for h in unique:
+        out = finished[h]
+        timed_out += out.timeouts
+        if out.state == "failed":
+            failed_n += 1
+            retried += max(out.attempts - 1, 0) + out.reclaims
+        else:
+            retried += out.attempts + out.reclaims
+            if out.cached or h in pre_done:
+                cached_n += 1
+            else:
+                executed += 1
+    for spec, h in zip(specs, hashes):
+        out = finished[h]
+        if out.state == "failed":
+            failure = out.failure()
+            if not keep_going:
+                raise ExecError(
+                    f"job {failure.summary()} "
+                    f"(pass keep_going to isolate failures)"
+                )
+            failures.append({"index": spec.index, **failure.to_dict()})
+        else:
+            records.append(MissionRecord.from_dict(out.result))
+    report = ExecutionReport(
+        total=len(jobs),
+        executed=executed,
+        cached=cached_n + (len(jobs) - len(unique)),
+        elapsed_s=elapsed,
+        failed=failed_n,
+        retried=retried,
+        timed_out=timed_out,
+    )
+    return CampaignResult(
+        campaign.to_dict(),
+        campaign.campaign_hash(),
+        records,
+        execution=report,
+        failures=failures,
+    )
+
+
 def run_campaign(
     campaign: Campaign,
     workers: Optional[int] = None,
@@ -194,6 +337,9 @@ def run_campaign(
     exec_progress: Optional[ExecProgressCallback] = None,
     retry: Optional[RetryPolicy] = None,
     keep_going: bool = False,
+    broker: Optional[Broker] = None,
+    poll_s: float = 0.2,
+    wait_timeout_s: Optional[float] = None,
 ) -> CampaignResult:
     """Execute every mission of ``campaign`` and collect the results.
 
@@ -235,6 +381,21 @@ def run_campaign(
             with the mission ``index``) while its siblings fly on; when
             ``False`` (default) the first exhausted mission aborts the
             campaign.
+        broker: a :class:`~repro.exec.Broker` to shard the campaign
+            through instead of executing in-process: every mission is
+            enqueued (idempotently -- resubmitting a partially-drained
+            campaign only waits for the remainder), external ``python
+            -m repro.exec worker`` daemons drain the queue, and this
+            call polls until every mission finished. ``workers`` is
+            ignored (fleet size is however many daemons are running)
+            and ``cache`` is the *workers'* concern; results are
+            byte-identical to a serial in-process run. ``retry`` and
+            ``keep_going`` keep their meaning (attempt budgets are
+            fixed at submit time).
+        poll_s: broker mode only -- seconds between outcome polls.
+        wait_timeout_s: broker mode only -- give up (``ExecError``)
+            after this many seconds without the queue draining;
+            ``None`` waits forever.
 
     Returns:
         A :class:`~repro.sim.results.CampaignResult` with one record per
@@ -268,6 +429,19 @@ def run_campaign(
         if trace_dir is None:
             trace_dir = cache.directory if cache is not None else default_cache_dir()
         store = TraceStore(trace_dir)
+    if broker is not None:
+        jobs = campaign_jobs(campaign, record=record, trace_dir=trace_dir)
+        broker.submit(jobs, retry=retry)
+        return _drain_broker(
+            campaign,
+            broker,
+            jobs,
+            progress,
+            exec_progress,
+            keep_going,
+            poll_s,
+            wait_timeout_s,
+        )
     specs = campaign.missions()
     jobs = [
         mission_job(spec, trace_dir=trace_dir if record else None)

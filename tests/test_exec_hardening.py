@@ -7,11 +7,12 @@ import os
 
 import pytest
 
-from repro.exec import Executor, JobSpec, ResultCache, TRACE_SUFFIX
+from repro.exec import Broker, Executor, JobSpec, ResultCache, TRACE_SUFFIX, Worker
 from repro.exec.cache import QUARANTINE_SUFFIX, parse_age, parse_size
 from repro.errors import ExecError
 from repro.sim import Campaign, get_scenario, run_campaign
 from repro.sim.results import CampaignResult
+from repro.sim.runner import enqueue_campaign
 
 
 def sum_job(i=0):
@@ -306,6 +307,107 @@ class TestInterruptedCampaign:
             campaign, workers=0, cache=ResultCache(str(tmp_path / "cache2"))
         )
         assert resumed.to_json() == fresh.to_json()
+
+
+class Boom(Exception):
+    """Deliberate failure raised from inside user progress callbacks."""
+
+
+class TestRaisingProgressCallbacks:
+    """A user callback that raises must abort the *call*, never the
+    *state*: the execution report describes the aborted run, finished
+    work stays durably cached, and queued jobs are not lost."""
+
+    def test_report_reflects_the_aborted_run_not_the_previous_one(self, tmp_path):
+        ex = Executor(cache=ResultCache(str(tmp_path / "c")))
+        ex.run([sum_job(i) for i in range(3)])
+        assert ex.last_report.total == 3
+
+        calls = []
+
+        def boom(done, total, job, value, cached):
+            calls.append(done)
+            raise Boom
+
+        with pytest.raises(Boom):
+            ex.run([sum_job(i) for i in range(5, 10)], progress=boom)
+        assert calls == [1]
+        report = ex.last_report
+        assert report.total == 5  # this run, not the stale 3-job one
+        assert report.executed == 1  # exactly one job finished pre-abort
+        assert report.cached == 0
+        assert report.failed == 0
+
+    def test_finished_work_survives_an_aborted_run(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        jobs = [sum_job(i) for i in range(4)]
+
+        def boom(done, total, job, value, cached):
+            if done == 2:
+                raise Boom
+
+        with pytest.raises(Boom):
+            Executor(cache=cache).run(jobs, progress=boom)
+        # cache.put precedes the callback: both finished jobs landed
+        # durably, and nothing half-written needs quarantining
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.orphans == 0 and stats.quarantined == 0
+        rerun = Executor(cache=cache)
+        assert rerun.run(jobs) == [(1.0 + i) * 2.0 for i in range(4)]
+        assert rerun.last_report.cached == 2
+        assert rerun.last_report.executed == 2
+
+    def test_pooled_run_tears_down_workers_and_rerun_completes(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        jobs = [sum_job(i) for i in range(6)]
+
+        def boom(done, total, job, value, cached):
+            raise Boom
+
+        ex = Executor(workers=2, cache=cache)
+        with pytest.raises(Boom):
+            ex.run(jobs, progress=boom)
+        assert ex.last_report.total == 6
+        assert cache.stats().quarantined == 0
+        results = Executor(workers=2, cache=cache).run(jobs)
+        assert results == [(1.0 + i) * 2.0 for i in range(6)]
+
+    def test_campaign_progress_abort_loses_no_missions(self, tmp_path):
+        cache = ResultCache(str(tmp_path / "c"))
+        campaign = small_campaign()
+
+        def boom(done, total, record):
+            raise Boom
+
+        with pytest.raises(Boom):
+            run_campaign(campaign, cache=cache, progress=boom)
+        clean = run_campaign(campaign, cache=cache)
+        assert clean.execution.cached >= 1  # pre-abort missions reused
+        fresh = run_campaign(campaign)
+        assert clean.to_json() == fresh.to_json()
+
+    def test_broker_drain_progress_abort_preserves_queue_state(self, tmp_path):
+        campaign = small_campaign()
+        with Broker(str(tmp_path / "queue.db")) as broker:
+            enqueue_campaign(campaign, broker)
+            Worker(broker, worker_id="w", poll_s=0.01, exit_when_drained=True).run()
+            done_before = broker.counts().done
+            assert done_before == len(campaign.missions())
+
+            def boom(done, total, record):
+                raise Boom
+
+            with pytest.raises(Boom):
+                run_campaign(
+                    campaign, broker=broker, progress=boom, wait_timeout_s=30.0
+                )
+            # the abort is collector-side only: the queue lost nothing
+            # and a clean collection still matches a serial run exactly
+            assert broker.counts().done == done_before
+            assert broker.stats()["completions"] == done_before
+            collected = run_campaign(campaign, broker=broker, wait_timeout_s=30.0)
+        assert collected.to_json() == run_campaign(campaign).to_json()
 
 
 class TestCampaignFailures:

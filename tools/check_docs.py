@@ -34,6 +34,8 @@ DOCTEST_MODULES = (
     "repro.exec.executor",
     "repro.exec.faults",
     "repro.exec.jobspec",
+    "repro.exec.queue",
+    "repro.exec.worker",
     "repro.obs.recorder",
     "repro.seeding",
     "repro.sim.campaign",
