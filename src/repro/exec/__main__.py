@@ -26,6 +26,8 @@ import json
 import signal
 import sys
 import time
+from types import FrameType
+from typing import List, Optional, Sequence
 
 from repro.errors import ExecError
 from repro.exec import (
@@ -39,7 +41,7 @@ from repro.exec import (
 from repro.exec.queue import DEFAULT_MAX_RECLAIMS
 
 
-def _cmd_worker(args) -> int:
+def _cmd_worker(args: argparse.Namespace) -> int:
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
     retry = RetryPolicy(
         max_attempts=1, backoff_s=args.backoff, timeout_s=args.timeout
@@ -56,7 +58,7 @@ def _cmd_worker(args) -> int:
             exit_when_drained=args.exit_when_drained,
         )
 
-        def _graceful(signum, _frame):
+        def _graceful(signum: int, _frame: Optional[FrameType]) -> None:
             print(
                 f"worker {worker.worker_id}: caught signal {signum}, "
                 "finishing current job",
@@ -79,12 +81,12 @@ def _cmd_worker(args) -> int:
     return 0
 
 
-def _load_job_dicts(path: str):
+def _load_job_dicts(path: str) -> List[JobSpec]:
     raw = sys.stdin.read() if path == "-" else open(path, encoding="utf-8").read()
     data = json.loads(raw)
     if not isinstance(data, list):
         raise ExecError("submit expects a JSON list of job spec objects")
-    jobs = []
+    jobs: List[JobSpec] = []
     for entry in data:
         if not isinstance(entry, dict):
             raise ExecError(f"job spec entries must be objects, got {type(entry).__name__}")
@@ -94,7 +96,7 @@ def _load_job_dicts(path: str):
     return jobs
 
 
-def _cmd_submit(args) -> int:
+def _cmd_submit(args: argparse.Namespace) -> int:
     jobs = _load_job_dicts(args.jobs)
     retry = RetryPolicy(max_attempts=args.retries)
     with Broker(args.broker) as broker:
@@ -109,7 +111,7 @@ def _cmd_submit(args) -> int:
     return 0
 
 
-def _cmd_status(args) -> int:
+def _cmd_status(args: argparse.Namespace) -> int:
     with Broker(args.broker) as broker:
         broker.reclaim_expired()
         stats = broker.stats()
@@ -130,7 +132,7 @@ def _cmd_status(args) -> int:
         f"{stats['timeouts']} timeouts"
     )
     for w in stats["workers"]:
-        age = time.time() - w["last_seen"]
+        age = time.time() - w["last_seen"]  # repro: noqa[RPR102] CLI status display only; never hashed or persisted
         print(
             f"  worker {w['worker']}: {w['jobs_done']} jobs done, "
             f"last seen {age:.0f} s ago"
@@ -146,7 +148,7 @@ def _cmd_status(args) -> int:
     return 0
 
 
-def _cmd_drain(args) -> int:
+def _cmd_drain(args: argparse.Namespace) -> int:
     deadline = None if args.timeout is None else time.monotonic() + args.timeout
     with Broker(args.broker) as broker:
         while True:
@@ -176,21 +178,21 @@ def _cmd_drain(args) -> int:
     return 1 if failed else 0
 
 
-def _cmd_requeue(args) -> int:
+def _cmd_requeue(args: argparse.Namespace) -> int:
     with Broker(args.broker) as broker:
         n = broker.requeue_failed()
     print(f"requeued {n} failed jobs in {args.broker}")
     return 0
 
 
-def _add_broker_arg(parser) -> None:
+def _add_broker_arg(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--broker", required=True, metavar="PATH",
         help="queue database file (shared by submitters and workers)",
     )
 
 
-def main(argv=None) -> int:
+def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.exec", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
 

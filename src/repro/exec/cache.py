@@ -35,13 +35,14 @@ import time
 from dataclasses import dataclass
 from typing import Any, Iterator, NamedTuple, Optional, Tuple
 
+from repro import schemas
 from repro.errors import ExecError
 from repro.exec import faults
 from repro.exec.jobspec import JobSpec, canonical_json, json_roundtrip
 
 #: Cache-entry schema; bump when the on-disk layout changes so old
 #: entries read as misses instead of mis-parsing.
-CACHE_SCHEMA = "repro.exec.result/v1"
+CACHE_SCHEMA = schemas.CACHE_SCHEMA
 
 #: Environment variable overriding the default cache directory.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"

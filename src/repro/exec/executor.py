@@ -39,6 +39,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import schemas
 from repro.errors import ExecError, JobTimeout, TransientJobError, WorkerCrash
 from repro.exec import faults
 from repro.exec.cache import ResultCache
@@ -51,8 +52,9 @@ from repro.exec.jobspec import JobSpec, json_roundtrip
 #: that exhausted their attempts.
 ProgressCallback = Callable[[int, int, JobSpec, Any, bool], None]
 
-#: Schema token of the :class:`JobFailure` plain-data envelope.
-FAILURE_SCHEMA = "repro.exec.failure/v1"
+#: Schema token of the :class:`JobFailure` plain-data envelope
+#: (registered in :mod:`repro.schemas`, re-exported here).
+FAILURE_SCHEMA = schemas.FAILURE_SCHEMA
 
 #: Exception types the retry policy treats as transient (retryable).
 #: Everything else is permanent. ``TimeoutError`` is an ``OSError``
@@ -293,7 +295,7 @@ class _Task:
 
     __slots__ = ("index", "job", "attempts", "timeouts")
 
-    def __init__(self, index: int, job: JobSpec):
+    def __init__(self, index: int, job: JobSpec) -> None:
         self.index = index
         self.job = job
         self.attempts = 0  # completed (failed) attempts so far
@@ -337,7 +339,7 @@ def _failure_from_parts(
 # -- pool worker ----------------------------------------------------------
 
 
-def _pool_worker(worker_id: int, task_q, result_q) -> None:
+def _pool_worker(worker_id: int, task_q: Any, result_q: Any) -> None:
     """Worker-process main loop: pull ``(index, attempt, job)``, push results.
 
     Results are pre-pickled in the worker so an unpicklable value
@@ -375,7 +377,7 @@ class _Worker:
 
     __slots__ = ("proc", "task_q", "current", "deadline")
 
-    def __init__(self, proc, task_q):
+    def __init__(self, proc: multiprocessing.process.BaseProcess, task_q: Any) -> None:
         self.proc = proc
         self.task_q = task_q
         self.current: Optional[_Task] = None
@@ -431,7 +433,7 @@ class Executor:
         cache: Optional[ResultCache] = None,
         retry: Optional[RetryPolicy] = None,
         keep_going: bool = False,
-    ):
+    ) -> None:
         self.workers = resolve_workers(workers)
         self.cache = cache
         self.retry = retry or RetryPolicy()
@@ -649,7 +651,7 @@ class Executor:
         return self._supervise(items, workers, result_q, next_id=n_workers)
 
     @staticmethod
-    def _start_worker(worker_id: int, result_q) -> Optional[_Worker]:
+    def _start_worker(worker_id: int, result_q: Any) -> Optional[_Worker]:
         """Spawn one worker process, or ``None`` when the env forbids it."""
         try:
             task_q: Any = multiprocessing.Queue()
@@ -668,7 +670,7 @@ class Executor:
         self,
         items: List[Tuple[int, JobSpec]],
         workers: Dict[int, _Worker],
-        result_q,
+        result_q: Any,
         next_id: int,
     ) -> Iterator[_Outcome]:
         """Dispatch/collect loop: retries, deadlines, crash recovery."""
@@ -846,7 +848,7 @@ class Executor:
         )
 
     @staticmethod
-    def _shutdown(workers: Dict[int, _Worker], result_q) -> None:
+    def _shutdown(workers: Dict[int, _Worker], result_q: Any) -> None:
         """Stop every worker: sentinel first, then escalate."""
         for worker in workers.values():
             try:

@@ -93,7 +93,7 @@ def json_roundtrip(value: Any) -> Any:
     cache-loaded list collapse to the same plain data, while floats
     survive exactly (``json`` round-trips the shortest ``repr``).
     """
-    return json.loads(json.dumps(value))
+    return json.loads(json.dumps(value))  # repro: noqa[RPR104] ordering is discarded by the immediate loads; not a persisted form
 
 
 @dataclass(frozen=True)

@@ -65,13 +65,14 @@ import time
 from dataclasses import dataclass, replace
 from typing import Any, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from repro import schemas
 from repro.errors import ExecError
 from repro.exec.executor import JobFailure, RetryPolicy
 from repro.exec.jobspec import JobSpec, canonical_json, json_roundtrip
 
 #: On-disk schema token, stored in ``meta``; a broker file written by a
 #: different layout refuses to open instead of mis-parsing.
-BROKER_SCHEMA = "repro.exec.queue/v1"
+BROKER_SCHEMA = schemas.BROKER_SCHEMA
 
 #: Default lease duration: how long a worker may go without a heartbeat
 #: before its job is considered abandoned and re-leased.
@@ -197,7 +198,7 @@ class Broker:
             or was written by an incompatible schema version.
     """
 
-    def __init__(self, path: str, lease_s: float = DEFAULT_LEASE_S):
+    def __init__(self, path: str, lease_s: float = DEFAULT_LEASE_S) -> None:
         if not path or path == ":memory:":
             raise ExecError("broker needs a real database path (shared by workers)")
         if lease_s <= 0:
@@ -229,7 +230,7 @@ class Broker:
     def __enter__(self) -> "Broker":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def _init_schema(self) -> None:

@@ -38,7 +38,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.exec.cache import ResultCache
 from repro.exec.executor import (
@@ -108,7 +108,7 @@ class Worker:
         poll_s: float = DEFAULT_POLL_S,
         max_jobs: Optional[int] = None,
         exit_when_drained: bool = False,
-    ):
+    ) -> None:
         self.broker = broker
         self.cache = cache
         self.retry = retry or RetryPolicy()
@@ -243,7 +243,7 @@ def run_worker(
     broker_path: str,
     cache: Optional[ResultCache] = None,
     retry: Optional[RetryPolicy] = None,
-    **kwargs,
+    **kwargs: Any,
 ) -> WorkerReport:
     """Open ``broker_path`` and run one :class:`Worker` loop over it."""
     with Broker(broker_path) as broker:

@@ -32,6 +32,7 @@ from repro.datasets import (
     rebalance_with_translation,
 )
 from repro.datasets.base import DetectionDataset
+from repro import schemas
 from repro.errors import ExecError
 from repro.evaluation import evaluate_map
 from repro.exec import JobSpec
@@ -55,7 +56,7 @@ from repro.world import paper_room
 
 #: Code-version token of every experiment job; bump when a job callable
 #: below changes semantics so stale cached results are invalidated.
-EXPERIMENT_JOB_VERSION = "repro.experiments.jobs/v1"
+EXPERIMENT_JOB_VERSION = schemas.EXPERIMENT_JOB_VERSION
 
 #: Input resolution of the tiny experiment detectors, (H, W).
 TINY_HW = (48, 64)

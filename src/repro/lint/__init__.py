@@ -1,0 +1,48 @@
+"""``repro.lint`` -- the determinism-contract static analyzer.
+
+The byte-identity guarantees this repo makes (serial == pooled ==
+cached execution, replayable flight traces, content-hashed job
+identity) rest on source-level invariants: spawned-SeedSequence-only
+randomness, no wall clock on hashed paths, sorted filesystem
+iteration, canonical JSON, registered schema tokens, statically
+resolvable job callables. ``repro.lint`` machine-checks them at review
+time:
+
+    python -m repro.lint src                # text findings, exit 1 if any
+    python -m repro.lint src --format json  # machine-readable report
+    python -m repro.lint --list-rules       # the rule catalog
+
+Rules are AST-based plugins (see :mod:`repro.lint.registry`), findings
+can be suppressed inline with ``# repro: noqa[RPRxxx] reason`` (reason
+mandatory) or grandfathered in a shrink-only committed baseline
+(:mod:`repro.lint.baseline`). ``docs/linting.md`` is the rule catalog.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintReport, iter_python_files, lint_paths, lint_source
+from repro.lint.findings import Finding
+from repro.lint.registry import (
+    FileContext,
+    LintError,
+    LintRule,
+    RuleMeta,
+    all_rules,
+    rule,
+    rule_catalog,
+)
+
+__all__ = [
+    "Baseline",
+    "FileContext",
+    "Finding",
+    "LintError",
+    "LintReport",
+    "LintRule",
+    "RuleMeta",
+    "all_rules",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "rule",
+    "rule_catalog",
+]

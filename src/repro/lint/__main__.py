@@ -1,0 +1,121 @@
+"""CLI entry point: ``python -m repro.lint [paths] [options]``.
+
+Exit codes: ``0`` clean, ``1`` new findings (or stale baseline entries
+under ``--check-baseline``), ``2`` usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.baseline import Baseline
+from repro.lint.engine import LintReport, lint_paths
+from repro.lint.registry import LintError, rule_catalog
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser (separate for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Determinism-contract static analyzer (rules RPR1xx).",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        default=None,
+        help="committed baseline of grandfathered findings",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline with the current findings and exit 0",
+    )
+    parser.add_argument(
+        "--check-baseline",
+        action="store_true",
+        help="also fail when the baseline holds stale (fixed) entries",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalog and exit",
+    )
+    return parser
+
+
+def _render_text(report: LintReport) -> str:
+    lines: List[str] = []
+    for finding in report.findings:
+        lines.append(f"{finding.location()}: {finding.code} {finding.message}")
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+    for key in report.stale_baseline:
+        lines.append(f"baseline: stale entry {key} (finding fixed; remove it)")
+    summary = (
+        f"{report.files_scanned} files scanned: "
+        f"{len(report.findings)} new finding(s), "
+        f"{len(report.grandfathered)} grandfathered, "
+        f"{len(report.stale_baseline)} stale baseline entr(y/ies)"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the linter; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for meta in rule_catalog():
+            print(f"{meta.code} {meta.name}: {meta.summary}")
+        return 0
+
+    baseline: Optional[Baseline] = None
+    if args.baseline is not None:
+        try:
+            baseline = Baseline.load(args.baseline)
+        except LintError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+
+    report = lint_paths(args.paths, baseline=baseline)
+
+    if args.write_baseline:
+        if args.baseline is None:
+            print("error: --write-baseline requires --baseline", file=sys.stderr)
+            return 2
+        assert baseline is not None
+        baseline.save(args.baseline, report.findings + report.grandfathered)
+        total = len(report.findings) + len(report.grandfathered)
+        print(f"baseline written: {total} entr(y/ies) -> {args.baseline}")
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(_render_text(report))
+
+    code = report.exit_code
+    if args.check_baseline and report.stale_baseline:
+        code = 1
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

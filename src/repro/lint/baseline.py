@@ -1,0 +1,109 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline lets the linter gate *new* violations while pre-existing
+ones are burned down incrementally: findings whose fingerprint appears
+in the committed file are reported as "grandfathered" and do not fail
+the run. The contract is shrink-only -- a baseline entry whose finding
+was fixed becomes *stale* and must be removed (``--check-baseline``
+fails on stale entries; CI enforces it), so the file can only ever get
+smaller. Fingerprints hash the rule code, module path, stripped source
+line and an occurrence index, not line numbers (see
+:mod:`repro.lint.findings`), so unrelated edits don't churn it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro import schemas
+from repro.lint.findings import Finding
+from repro.lint.registry import LintError
+
+
+@dataclass
+class Baseline:
+    """The committed set of grandfathered finding fingerprints.
+
+    Attributes:
+        entries: fingerprint -> descriptive entry (code/path/snippet,
+            for humans reading the diff; matching uses the key only).
+        path: file the baseline was loaded from, if any.
+    """
+
+    entries: Dict[str, Dict[str, object]] = field(default_factory=dict)
+    path: str = ""
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline.
+
+        Raises:
+            LintError: on malformed content or a wrong schema token.
+        """
+        if not os.path.exists(path):
+            return cls(path=path)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"unreadable baseline {path!r}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("schema") != schemas.LINT_BASELINE_SCHEMA:
+            raise LintError(
+                f"{path!r} is not a {schemas.LINT_BASELINE_SCHEMA} baseline"
+            )
+        entries: Dict[str, Dict[str, object]] = {}
+        for entry in data.get("findings", []):
+            fingerprint = str(entry.get("fingerprint", ""))
+            if not fingerprint:
+                raise LintError(f"{path!r}: baseline entry without fingerprint")
+            entries[fingerprint] = dict(entry)
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str, findings: Sequence[Finding]) -> None:
+        """Write ``findings`` as the new baseline (atomic replace)."""
+        doc = {
+            "schema": schemas.LINT_BASELINE_SCHEMA,
+            "findings": [
+                {
+                    "fingerprint": f.fingerprint,
+                    "code": f.code,
+                    "path": f.path,
+                    "snippet": f.snippet,
+                }
+                for f in sorted(findings)
+            ],
+        }
+        directory = os.path.dirname(os.path.abspath(path))
+        fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(doc, fh, indent=1, sort_keys=True)
+                fh.write("\n")
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def partition(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Split findings into ``(new, grandfathered)`` plus stale keys.
+
+        Stale keys are baseline fingerprints no current finding
+        matches: the violation was fixed, so the entry must go.
+        """
+        new: List[Finding] = []
+        grandfathered: List[Finding] = []
+        matched = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                grandfathered.append(finding)
+                matched.add(finding.fingerprint)
+            else:
+                new.append(finding)
+        stale = sorted(set(self.entries) - matched)
+        return new, grandfathered, stale

@@ -1,0 +1,96 @@
+"""The :class:`Finding` record every lint rule produces.
+
+A finding is plain data -- code, location, message -- plus a
+*fingerprint* that identifies the finding across unrelated edits: the
+hash covers the rule code, the module-relative path, the stripped
+source line, and an occurrence index, but **not** the line number, so
+inserting code above a grandfathered finding does not turn it into a
+"new" one. Fingerprints are what the committed baseline file stores.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location.
+
+    Attributes:
+        path: display path of the file (module-relative when the file
+            lives under a ``repro/`` package, as given otherwise).
+        line: 1-based line of the offending node.
+        col: 0-based column of the offending node.
+        code: rule code, e.g. ``"RPR103"``.
+        message: human-readable description of the violation.
+        snippet: the stripped source line, for fingerprinting and text
+            output; attached by the engine.
+        fingerprint: stable identity used by the baseline; attached by
+            the engine via :func:`attach_fingerprints`.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    snippet: str = ""
+    fingerprint: str = ""
+
+    def location(self) -> str:
+        """``path:line:col`` prefix used by the text formatter."""
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-data form for the JSON report (sorted-key friendly)."""
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+            "fingerprint": self.fingerprint,
+        }
+
+
+def _fingerprint(code: str, path: str, snippet: str, occurrence: int) -> str:
+    blob = "\x00".join((code, path, snippet, str(occurrence)))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:20]
+
+
+def attach_fingerprints(
+    findings: Sequence[Finding], lines: Sequence[str]
+) -> List[Finding]:
+    """Fill ``snippet`` and ``fingerprint`` on raw rule output.
+
+    Occurrence indices disambiguate identical snippets tripping the
+    same rule twice in one file (each occurrence gets its own baseline
+    entry instead of one entry silently covering all of them).
+
+    Args:
+        findings: raw findings for one file, any order.
+        lines: that file's source lines (1-based ``finding.line``).
+    """
+    seen: Dict[Tuple[str, str, str], int] = {}
+    out = []
+    for finding in sorted(findings):
+        snippet = ""
+        if 1 <= finding.line <= len(lines):
+            snippet = lines[finding.line - 1].strip()
+        key = (finding.code, finding.path, snippet)
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(
+            replace(
+                finding,
+                snippet=snippet,
+                fingerprint=_fingerprint(
+                    finding.code, finding.path, snippet, occurrence
+                ),
+            )
+        )
+    return out

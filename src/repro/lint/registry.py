@@ -1,0 +1,212 @@
+"""Rule plugin registry and the per-file context rules run against.
+
+A rule is a class deriving :class:`LintRule`, decorated with
+:func:`rule` to claim a unique ``RPRxxx`` code. The engine instantiates
+every registered rule once per run and calls :meth:`LintRule.check`
+with a parsed :class:`FileContext`; rules yield
+:class:`~repro.lint.findings.Finding` records and never mutate the
+context. Registration at import time means dropping a new module with a
+decorated class into :mod:`repro.lint.rules` is the whole plugin story.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Type
+
+from repro.errors import ReproError
+from repro.lint.findings import Finding
+
+
+class LintError(ReproError):
+    """Configuration errors inside the linter itself (not findings)."""
+
+
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass(frozen=True)
+class RuleMeta:
+    """Catalog entry for one rule (drives ``--list-rules`` and docs).
+
+    Attributes:
+        code: unique ``RPRxxx`` identifier.
+        name: short kebab-case slug, e.g. ``"unseeded-rng"``.
+        summary: one-line description of what the rule flags.
+        rationale: which repo contract the rule protects.
+    """
+
+    code: str
+    name: str
+    summary: str
+    rationale: str = ""
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may look at for one source file.
+
+    Attributes:
+        path: display path (module-relative under a ``repro`` package).
+        module: posix path rooted at the ``repro`` package, e.g.
+            ``"repro/exec/cache.py"``; ``None`` for files outside one
+            (fixtures, tools). Module-scoped rules key off this.
+        source: raw file text.
+        lines: ``source.splitlines()``.
+        tree: parsed AST.
+        parents: child node -> parent node, for wrapping checks.
+        docstrings: the ``ast.Constant`` nodes that are docstrings
+            (skipped by literal-scanning rules).
+        src_root: absolute directory containing the top-level ``repro``
+            package, when known -- the import-graph walk of ``RPR106``
+            resolves ``repro.*`` modules against it.
+        resolver: shared cross-file module-AST cache (one per run).
+    """
+
+    path: str
+    module: Optional[str]
+    source: str
+    lines: List[str]
+    tree: ast.AST
+    parents: Dict[int, ast.AST] = field(default_factory=dict)
+    docstrings: Tuple[ast.Constant, ...] = ()
+    src_root: Optional[str] = None
+    resolver: Optional["ModuleResolver"] = None
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        """The syntactic parent of ``node``, or ``None`` at the root."""
+        return self.parents.get(id(node))
+
+
+class ModuleResolver:
+    """Parses sibling modules on demand, without executing them.
+
+    ``RPR106`` needs to know whether ``"repro.sim.runner:run_mission_payload"``
+    names a real module-level binding. Importing the module would run
+    arbitrary code; instead the resolver maps the dotted module to a
+    file under ``src_root`` and parses it, caching one AST per module
+    for the whole lint run.
+    """
+
+    def __init__(self) -> None:
+        self._cache: Dict[str, Optional[ast.Module]] = {}
+
+    def module_ast(self, src_root: str, dotted: str) -> Optional[ast.Module]:
+        """The parsed AST of ``dotted`` under ``src_root``, or ``None``.
+
+        ``None`` means the module file does not exist (or failed to
+        parse, which a scan of that file reports separately).
+        """
+        key = f"{src_root}::{dotted}"
+        if key not in self._cache:
+            self._cache[key] = self._load(src_root, dotted)
+        return self._cache[key]
+
+    @staticmethod
+    def _load(src_root: str, dotted: str) -> Optional[ast.Module]:
+        base = os.path.join(src_root, *dotted.split("."))
+        for candidate in (base + ".py", os.path.join(base, "__init__.py")):
+            if os.path.isfile(candidate):
+                try:
+                    with open(candidate, "r", encoding="utf-8") as fh:
+                        return ast.parse(fh.read(), filename=candidate)
+                except (OSError, SyntaxError):
+                    return None
+        return None
+
+
+class LintRule:
+    """Base class for rules; subclasses set ``meta`` via :func:`rule`."""
+
+    meta: RuleMeta
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        """Yield findings for ``ctx``; subclasses must implement."""
+        raise NotImplementedError
+
+    # -- shared AST helpers (used by several rules) -----------------------
+
+    @staticmethod
+    def dotted_name(node: ast.AST) -> str:
+        """``"np.random.default_rng"`` for a Name/Attribute chain, else ``""``."""
+        parts: List[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return ""
+
+    @staticmethod
+    def walk_calls(tree: ast.AST) -> Iterator[ast.Call]:
+        """All ``ast.Call`` nodes in ``tree``."""
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Call):
+                yield node
+
+
+#: code -> rule class. One instance per engine run.
+_RULES: Dict[str, Type[LintRule]] = {}
+
+
+def rule(
+    code: str, name: str, summary: str, rationale: str = ""
+) -> Callable[[Type[LintRule]], Type[LintRule]]:
+    """Class decorator registering a :class:`LintRule` under ``code``.
+
+    Raises:
+        LintError: for a malformed code or a code claimed twice.
+    """
+
+    def decorate(cls: Type[LintRule]) -> Type[LintRule]:
+        if not _CODE_RE.match(code):
+            raise LintError(f"rule code must match RPRxxx, got {code!r}")
+        if code in _RULES:
+            raise LintError(f"rule code {code} registered twice")
+        cls.meta = RuleMeta(code=code, name=name, summary=summary, rationale=rationale)
+        _RULES[code] = cls
+        return cls
+
+    return decorate
+
+
+def all_rules() -> List[LintRule]:
+    """Fresh instances of every registered rule, sorted by code."""
+    return [_RULES[code]() for code in sorted(_RULES)]
+
+
+def rule_catalog() -> List[RuleMeta]:
+    """Metadata of every registered rule, sorted by code."""
+    return [_RULES[code].meta for code in sorted(_RULES)]
+
+
+def build_parents(tree: ast.AST) -> Dict[int, ast.AST]:
+    """Child-id -> parent map over ``tree``."""
+    parents: Dict[int, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[id(child)] = node
+    return parents
+
+
+def collect_docstrings(tree: ast.AST) -> Tuple[ast.Constant, ...]:
+    """The Constant nodes serving as module/class/function docstrings."""
+    out: List[ast.Constant] = []
+    nodes: Iterable[ast.AST] = ast.walk(tree)
+    for node in nodes:
+        if isinstance(
+            node, (ast.Module, ast.ClassDef, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            body = node.body
+            if (
+                body
+                and isinstance(body[0], ast.Expr)
+                and isinstance(body[0].value, ast.Constant)
+                and isinstance(body[0].value.value, str)
+            ):
+                out.append(body[0].value)
+    return tuple(out)

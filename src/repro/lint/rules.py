@@ -1,0 +1,535 @@
+"""The determinism-contract rules (``RPR101`` .. ``RPR106``).
+
+Each rule guards an invariant the repo's byte-identity guarantees rest
+on; ``docs/linting.md`` is the user-facing catalog with examples and
+suppression guidance. Rules are registered through
+:func:`repro.lint.registry.rule` and discovered by the engine -- adding
+a rule is adding a class here (or in any imported module).
+
+Module-scoped rules key off the file's ``repro``-package-relative path
+(:attr:`FileContext.module`): the *hash-path* set below names the
+subsystems whose outputs feed content hashes, cache keys, or persisted
+artifacts, where nondeterminism is corruption rather than noise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.lint.findings import Finding
+from repro.lint.registry import FileContext, LintRule, rule
+
+#: Modules whose outputs feed content hashes or persisted artifacts.
+#: Directory prefixes cover a subsystem; file entries cover one module.
+HASH_PATH_PREFIXES: Tuple[str, ...] = (
+    "repro/exec/",
+    "repro/sim/",
+    "repro/obs/",
+    "repro/experiments/jobs.py",
+    "repro/seeding.py",
+    "repro/schemas.py",
+)
+
+#: Hash-path modules allowed to read the wall clock: lease expiry and
+#: cache eviction are *about* real time, and every call site takes a
+#: ``now=`` override so tests stay deterministic.
+WALL_CLOCK_ALLOWLIST: Tuple[str, ...] = (
+    "repro/exec/queue.py",
+    "repro/exec/cache.py",
+    "repro/exec/worker.py",
+)
+
+#: The one module allowed to touch RNG construction primitives freely.
+SEEDING_MODULE = "repro/seeding.py"
+
+#: The schema-token registry module (the only legal home of tokens).
+SCHEMAS_MODULE = "repro/schemas.py"
+
+#: A ``repro.<family>/vN`` schema token appearing inside a string.
+#: (Built so this pattern's own source text cannot match itself.)
+TOKEN_LITERAL_RE = re.compile(r"repro\.[a-z0-9_.-]*[a-z0-9]/v[0-9]+")
+
+
+def on_hash_path(module: Optional[str]) -> bool:
+    """Whether ``module`` belongs to the hash-path set."""
+    if module is None:
+        return False
+    return any(
+        module == p or (p.endswith("/") and module.startswith(p))
+        for p in HASH_PATH_PREFIXES
+    )
+
+
+def _wrapped_in_sorted(ctx: FileContext, node: ast.AST) -> bool:
+    """Whether ``node`` is directly an argument of ``sorted(...)``."""
+    parent = ctx.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Name)
+        and parent.func.id == "sorted"
+        and node in parent.args
+    )
+
+
+@rule(
+    "RPR101",
+    "unseeded-rng",
+    "RNG constructed without explicit, nameable seed provenance",
+    "Every random stream must descend from a spawned SeedSequence (or a "
+    "named seed constant) so a mission re-run in any process draws the "
+    "same numbers; global or magic-literal seeding breaks replay.",
+)
+class UnseededRngRule(LintRule):
+    """``np.random.default_rng()``/literal seeds, ``np.random.seed``, bare ``random``."""
+
+    #: ``np.random.*`` members that construct or carry provenance and
+    #: are therefore fine to call anywhere.
+    _ALLOWED_NP_RANDOM = {"default_rng", "SeedSequence", "Generator", "PCG64"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == SEEDING_MODULE:
+            return
+        yield from self._check_random_imports(ctx)
+        for call in self.walk_calls(ctx.tree):
+            name = self.dotted_name(call.func)
+            short = name.split(".")[-1] if name else ""
+            if short == "default_rng" and (
+                name == "default_rng" or name.endswith("random.default_rng")
+            ):
+                yield from self._check_default_rng(ctx, call)
+            elif (
+                name.startswith(("np.random.", "numpy.random."))
+                and short not in self._ALLOWED_NP_RANDOM
+            ):
+                yield Finding(
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        f"legacy global numpy RNG call {name}(); draw from a "
+                        "Generator built on a spawned SeedSequence instead"
+                    ),
+                )
+
+    def _check_default_rng(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        if not call.args and not call.keywords:
+            yield Finding(
+                path=ctx.path,
+                line=call.lineno,
+                col=call.col_offset,
+                code=self.meta.code,
+                message=(
+                    "default_rng() without a seed gathers OS entropy; pass a "
+                    "spawned SeedSequence (repro.seeding.spawn_streams)"
+                ),
+            )
+            return
+        seed_arg: Optional[ast.expr] = call.args[0] if call.args else None
+        if seed_arg is None and call.keywords:
+            for kw in call.keywords:
+                if kw.arg == "seed":
+                    seed_arg = kw.value
+        if isinstance(seed_arg, ast.Constant) and isinstance(
+            seed_arg.value, int
+        ):
+            yield Finding(
+                path=ctx.path,
+                line=call.lineno,
+                col=call.col_offset,
+                code=self.meta.code,
+                message=(
+                    f"magic literal seed default_rng({seed_arg.value!r}); name "
+                    "the constant (e.g. repro.seeding.DEFAULT_INIT_SEED) or "
+                    "derive a spawned SeedSequence"
+                ),
+            )
+
+    def _check_random_imports(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith("random."):
+                        yield self._random_finding(ctx, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random" and node.level == 0:
+                    yield self._random_finding(ctx, node)
+
+    def _random_finding(self, ctx: FileContext, node: ast.stmt) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=node.lineno,
+            col=node.col_offset,
+            code=self.meta.code,
+            message=(
+                "stdlib random module is process-global state; use numpy "
+                "Generators from spawned SeedSequences (repro.seeding)"
+            ),
+        )
+
+
+@rule(
+    "RPR102",
+    "wall-clock-on-hash-path",
+    "wall-clock read inside a hash-path module",
+    "Anything feeding a content hash or persisted artifact must be a "
+    "pure function of the job spec; wall-clock values make reruns "
+    "diverge. Lease/eviction modules take now= overrides and are "
+    "allowlisted.",
+)
+class WallClockRule(LintRule):
+    """``time.time()``, ``datetime.now()`` and friends on hash paths."""
+
+    _TIME_ATTRS = {"time", "time_ns"}
+    _DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not on_hash_path(ctx.module) or ctx.module in WALL_CLOCK_ALLOWLIST:
+            return
+        for call in self.walk_calls(ctx.tree):
+            name = self.dotted_name(call.func)
+            if not name:
+                continue
+            parts = name.split(".")
+            head, attr = parts[0], parts[-1]
+            is_time = head == "time" and attr in self._TIME_ATTRS and len(parts) == 2
+            is_dt = attr in self._DATETIME_ATTRS and any(
+                p in ("datetime", "date") for p in parts[:-1]
+            )
+            if is_time or is_dt:
+                yield Finding(
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        f"wall-clock call {name}() in hash-path module "
+                        f"{ctx.module}; take a now= override or move the "
+                        "timestamp outside the hashed payload"
+                    ),
+                )
+
+
+@rule(
+    "RPR103",
+    "unsorted-fs-iteration",
+    "filesystem iteration without sorted(...)",
+    "Directory order is filesystem-dependent; campaign shards and cache "
+    "scans must visit entries in one canonical order on every machine.",
+)
+class UnsortedFsIterationRule(LintRule):
+    """``os.listdir``/``glob.glob``/``Path.iterdir``/``os.walk`` unwrapped."""
+
+    _OS_ATTRS = {"listdir", "scandir", "walk"}
+    _GLOB_ATTRS = {"glob", "iglob"}
+    _ANY_RECEIVER_ATTRS = {"iterdir", "rglob"}
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        imported = self._imported_names(ctx.tree)
+        for call in self.walk_calls(ctx.tree):
+            flagged = self._classify(call, imported)
+            if flagged and not _wrapped_in_sorted(ctx, call):
+                yield Finding(
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        f"{flagged} iterates the filesystem in arbitrary "
+                        "order; wrap the call in sorted(...)"
+                    ),
+                )
+
+    def _classify(self, call: ast.Call, imported: Dict[str, str]) -> str:
+        func = call.func
+        if isinstance(func, ast.Name):
+            origin = imported.get(func.id)
+            if origin in ("os", "glob"):
+                return f"{origin}.{func.id}"
+            return ""
+        if not isinstance(func, ast.Attribute):
+            return ""
+        attr = func.attr
+        base = self.dotted_name(func.value)
+        if base == "os" and attr in self._OS_ATTRS:
+            return f"os.{attr}"
+        if base == "os.path":
+            return ""
+        if base == "glob" and attr in self._GLOB_ATTRS:
+            return f"glob.{attr}"
+        if attr in self._ANY_RECEIVER_ATTRS:
+            return f".{attr}()"
+        if attr == "glob" and base != "glob":
+            return ".glob()"  # Path.glob
+        return ""
+
+    def _imported_names(self, tree: ast.AST) -> Dict[str, str]:
+        """Bare names imported from os/glob, e.g. ``listdir`` -> ``os``."""
+        names: Dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module in ("os", "glob"):
+                for alias in node.names:
+                    if alias.name in self._OS_ATTRS | self._GLOB_ATTRS:
+                        names[alias.asname or alias.name] = node.module
+        return names
+
+
+@rule(
+    "RPR104",
+    "unsorted-serialization",
+    "json.dumps without sort_keys=True on a hash path, or a set feeding it",
+    "Canonical JSON (sorted keys, no sets) is what makes serial, pooled "
+    "and cached execution byte-identical; one unsorted dumps re-keys a "
+    "cache or corrupts a pinned artifact.",
+)
+class UnsortedSerializationRule(LintRule):
+    """Canonical-JSON discipline on hash paths; sets never serialize."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in self.walk_calls(ctx.tree):
+            name = self.dotted_name(call.func)
+            if name not in ("json.dumps", "dumps"):
+                continue
+            if name == "dumps" and not self._dumps_imported(ctx.tree):
+                continue
+            if on_hash_path(ctx.module) and not self._has_sort_keys(call):
+                yield Finding(
+                    path=ctx.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        "json.dumps without sort_keys=True in hash-path "
+                        f"module {ctx.module}; canonical serialization "
+                        "must be key-order independent"
+                    ),
+                )
+            for bad in self._set_arguments(call):
+                yield Finding(
+                    path=ctx.path,
+                    line=bad.lineno,
+                    col=bad.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        "set feeding json.dumps: iteration order is "
+                        "arbitrary (and sets are not JSON); serialize "
+                        "sorted(...) of it instead"
+                    ),
+                )
+
+    @staticmethod
+    def _has_sort_keys(call: ast.Call) -> bool:
+        for kw in call.keywords:
+            if kw.arg == "sort_keys":
+                if isinstance(kw.value, ast.Constant):
+                    return bool(kw.value.value)
+                return True  # dynamic value: give it the benefit of the doubt
+            if kw.arg is None:
+                return True  # **kwargs splat: cannot see inside
+        return False
+
+    @staticmethod
+    def _set_arguments(call: ast.Call) -> Iterator[ast.expr]:
+        roots: List[ast.expr] = list(call.args) + [
+            kw.value for kw in call.keywords if kw.arg != "sort_keys"
+        ]
+        for root in roots:
+            for node in ast.walk(root):
+                if isinstance(node, ast.Set) or (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("set", "frozenset")
+                ):
+                    yield node
+
+    @staticmethod
+    def _dumps_imported(tree: ast.AST) -> bool:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "json":
+                if any(a.name == "dumps" for a in node.names):
+                    return True
+        return False
+
+
+@rule(
+    "RPR105",
+    "schema-token-discipline",
+    "schema token used as a string literal outside repro/schemas.py",
+    "Versioned tokens are frozen on-disk history; they live in the "
+    "repro.schemas registry, which enforces uniqueness and gives "
+    "version bumps a single home. A literal copy can silently drift.",
+)
+class SchemaTokenRule(LintRule):
+    """Literal ``repro.*/vN`` strings, and duplicate registrations."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.module == SCHEMAS_MODULE:
+            yield from self._check_registry_module(ctx)
+            return
+        docstrings = {id(d) for d in ctx.docstrings}
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+                and TOKEN_LITERAL_RE.search(node.value)
+            ):
+                token = TOKEN_LITERAL_RE.search(node.value)
+                assert token is not None
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        f"literal schema token {token.group(0)!r}; import "
+                        "the constant from repro.schemas instead"
+                    ),
+                )
+
+    def _check_registry_module(self, ctx: FileContext) -> Iterator[Finding]:
+        docstrings = {id(d) for d in ctx.docstrings}
+        seen: Dict[str, int] = {}
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "register"
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                name = node.args[0].value
+                if name in seen:
+                    yield Finding(
+                        path=ctx.path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        code=self.meta.code,
+                        message=(
+                            f"schema family {name!r} registered twice "
+                            f"(first at line {seen[name]})"
+                        ),
+                    )
+                else:
+                    seen[name] = node.lineno
+            elif (
+                isinstance(node, ast.Constant)
+                and isinstance(node.value, str)
+                and id(node) not in docstrings
+                and TOKEN_LITERAL_RE.search(node.value)
+            ):
+                yield Finding(
+                    path=ctx.path,
+                    line=node.lineno,
+                    col=node.col_offset,
+                    code=self.meta.code,
+                    message=(
+                        "full token literal inside the registry; construct "
+                        "tokens via register(family, version) only"
+                    ),
+                )
+
+
+@rule(
+    "RPR106",
+    "unresolvable-job-callable",
+    "JobSpec fn does not statically resolve to a module-level callable",
+    "A dotted ref that imports on the submitting host but not in a "
+    "worker process fails at execution time, inside a lease; the "
+    "import-graph walk catches the typo at review time instead.",
+)
+class JobCallableRule(LintRule):
+    """``JobSpec(fn="pkg.mod:attr")`` refs must resolve without executing code."""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for call in self.walk_calls(ctx.tree):
+            name = self.dotted_name(call.func)
+            if name.split(".")[-1] != "JobSpec":
+                continue
+            fn_arg = self._fn_argument(call)
+            if not (
+                isinstance(fn_arg, ast.Constant) and isinstance(fn_arg.value, str)
+            ):
+                continue  # dynamic ref: runtime's problem
+            problem = self._resolve(ctx, fn_arg.value)
+            if problem:
+                yield Finding(
+                    path=ctx.path,
+                    line=fn_arg.lineno,
+                    col=fn_arg.col_offset,
+                    code=self.meta.code,
+                    message=f"JobSpec fn {fn_arg.value!r}: {problem}",
+                )
+
+    @staticmethod
+    def _fn_argument(call: ast.Call) -> Optional[ast.expr]:
+        for kw in call.keywords:
+            if kw.arg == "fn":
+                return kw.value
+        return call.args[0] if call.args else None
+
+    def _resolve(self, ctx: FileContext, ref: str) -> str:
+        module_name, sep, attr = ref.partition(":")
+        if not sep:
+            module_name, _, attr = ref.rpartition(".")
+        if not module_name or not attr:
+            return "not of the form 'package.module:function'"
+        root_pkg = module_name.split(".")[0]
+        if root_pkg != "repro":
+            return ""  # outside the repo's import graph: not checked
+        if ctx.src_root is None or ctx.resolver is None:
+            return ""  # no package root known (ad-hoc snippet)
+        tree = ctx.resolver.module_ast(ctx.src_root, module_name)
+        if tree is None:
+            return f"module {module_name!r} not found under the source tree"
+        first = attr.split(".")[0]
+        binding = self._toplevel_binding(tree, first)
+        if binding is None:
+            return f"module {module_name!r} has no module-level {first!r}"
+        if isinstance(binding, ast.Assign) and isinstance(
+            binding.value, ast.Constant
+        ):
+            return f"{module_name}:{first} is a constant, not callable"
+        return ""
+
+    @staticmethod
+    def _toplevel_binding(tree: ast.Module, name: str) -> Optional[ast.stmt]:
+        def scan(stmts: List[ast.stmt]) -> Optional[ast.stmt]:
+            for stmt in stmts:
+                if isinstance(
+                    stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ):
+                    if stmt.name == name:
+                        return stmt
+                elif isinstance(stmt, ast.Assign):
+                    for target in stmt.targets:
+                        if isinstance(target, ast.Name) and target.id == name:
+                            return stmt
+                elif isinstance(stmt, ast.AnnAssign):
+                    if (
+                        isinstance(stmt.target, ast.Name)
+                        and stmt.target.id == name
+                    ):
+                        return stmt
+                elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    for alias in stmt.names:
+                        bound = alias.asname or alias.name.split(".")[0]
+                        if bound == name:
+                            return stmt
+                elif isinstance(stmt, (ast.If, ast.Try)):
+                    bodies = [stmt.body]
+                    if isinstance(stmt, ast.If):
+                        bodies.append(stmt.orelse)
+                    else:
+                        bodies.extend([stmt.orelse, stmt.finalbody])
+                        bodies.extend(h.body for h in stmt.handlers)
+                    for body in bodies:
+                        found = scan(body)
+                        if found is not None:
+                            return found
+            return None
+
+        return scan(tree.body)

@@ -1,0 +1,142 @@
+"""Inline suppressions: ``# repro: noqa[RPRxxx] reason``.
+
+A suppression silences named rule codes on its own physical line, and
+**must carry a reason** -- an unexplained suppression is itself a
+finding (``RPR001``), because "trust me" is exactly the review posture
+the determinism contracts exist to eliminate. Suppressions that never
+match a finding are reported too (``RPR002``): stale noqa comments
+otherwise accumulate and hide future regressions on the same line.
+
+Blanket suppressions (no code list) are deliberately unsupported.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.findings import Finding
+
+#: Meta-code: malformed suppression (missing reason / bad code list).
+BAD_SUPPRESSION = "RPR001"
+
+#: Meta-code: suppression that silenced nothing.
+UNUSED_SUPPRESSION = "RPR002"
+
+#: Meta-code: file that does not parse at all.
+PARSE_ERROR = "RPR000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\s*(\[([^\]]*)\])?\s*(.*)$")
+_CODE_RE = re.compile(r"^RPR\d{3}$")
+
+
+@dataclass
+class Suppression:
+    """One parsed ``# repro: noqa[...]`` comment.
+
+    Attributes:
+        line: 1-based physical line the comment sits on.
+        codes: rule codes it silences.
+        reason: free-text justification (required).
+        valid: whether the comment is well-formed; invalid suppressions
+            silence nothing.
+        used: set by the engine when a finding was actually silenced.
+    """
+
+    line: int
+    codes: Tuple[str, ...]
+    reason: str
+    valid: bool
+    used: bool = False
+
+
+def scan(source: str) -> List[Suppression]:
+    """All suppression comments in ``source`` (valid or not).
+
+    Only genuine ``COMMENT`` tokens count: a docstring or string
+    literal *describing* the noqa syntax never suppresses (or trips
+    the malformed-suppression check).
+    """
+    out: List[Suppression] = []
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return out  # unparseable files are reported as RPR000 elsewhere
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        idx = tok.start[0]
+        match = _NOQA_RE.search(tok.string)
+        if match is None:
+            continue
+        bracket, code_list, reason = match.groups()
+        reason = reason.strip()
+        codes: Tuple[str, ...] = ()
+        valid = True
+        if bracket is None:
+            valid = False  # blanket noqa: must name codes
+        else:
+            parsed = tuple(c.strip() for c in code_list.split(",") if c.strip())
+            if not parsed or not all(_CODE_RE.match(c) for c in parsed):
+                valid = False
+            codes = parsed
+        if not reason:
+            valid = False
+        out.append(Suppression(line=idx, codes=codes, reason=reason, valid=valid))
+    return out
+
+
+def apply(
+    path: str, findings: Sequence[Finding], suppressions: Sequence[Suppression]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into (kept, silenced) and add meta-findings.
+
+    Meta-findings (``RPR001`` for malformed, ``RPR002`` for unused
+    suppressions) are appended to the *kept* list: they are real
+    problems in the file being linted.
+
+    Args:
+        path: display path used for the meta-findings.
+        findings: raw rule output for one file.
+        suppressions: result of :func:`scan` over the same file.
+    """
+    by_line: Dict[int, Suppression] = {s.line: s for s in suppressions if s.valid}
+    kept: List[Finding] = []
+    silenced: List[Finding] = []
+    for finding in findings:
+        sup = by_line.get(finding.line)
+        if sup is not None and finding.code in sup.codes:
+            sup.used = True
+            silenced.append(finding)
+        else:
+            kept.append(finding)
+    for sup in suppressions:
+        if not sup.valid:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    code=BAD_SUPPRESSION,
+                    message=(
+                        "malformed suppression: use "
+                        "'# repro: noqa[RPRxxx] <reason>' with explicit "
+                        "codes and a non-empty reason"
+                    ),
+                )
+            )
+        elif not sup.used:
+            codes = ",".join(sup.codes)
+            kept.append(
+                Finding(
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    code=UNUSED_SUPPRESSION,
+                    message=f"unused suppression for [{codes}]: nothing to silence here",
+                )
+            )
+    return kept, silenced

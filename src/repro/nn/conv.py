@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn.functional import col2im, im2col
+from repro.seeding import DEFAULT_INIT_SEED
 from repro.nn.module import Module, Parameter
 
 
@@ -48,7 +49,7 @@ class Conv2d(Module):
         super().__init__()
         if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
             raise ShapeError("conv dimensions must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.kernel_size = kernel_size
@@ -126,7 +127,7 @@ class DepthwiseConv2d(Module):
         super().__init__()
         if channels <= 0 or kernel_size <= 0:
             raise ShapeError("conv dimensions must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
         self.channels = channels
         self.kernel_size = kernel_size
         self.stride = stride

@@ -8,6 +8,7 @@ import numpy as np
 
 from repro.errors import ShapeError
 from repro.nn.module import Module, Parameter
+from repro.seeding import DEFAULT_INIT_SEED
 
 
 class Linear(Module):
@@ -23,7 +24,7 @@ class Linear(Module):
         super().__init__()
         if in_features <= 0 or out_features <= 0:
             raise ShapeError("linear dimensions must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
         std = np.sqrt(2.0 / in_features)
         self.in_features = in_features
         self.out_features = out_features

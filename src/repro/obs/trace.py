@@ -37,6 +37,7 @@ import struct
 from dataclasses import dataclass, field
 from typing import Any, Dict, List
 
+from repro import schemas
 from repro.errors import ObsError
 from repro.exec.jobspec import canonical_json, json_roundtrip
 
@@ -44,7 +45,7 @@ from repro.exec.jobspec import canonical_json, json_roundtrip
 #: stale traces read as errors instead of mis-parsing. Deliberately
 #: independent of the result-cache schema: a trace-format bump must not
 #: bust cached mission results.
-TRACE_SCHEMA = "repro.obs.trace/v1"
+TRACE_SCHEMA = schemas.TRACE_SCHEMA
 
 #: The per-tick telemetry columns, in storage order. ``collisions`` is
 #: the cumulative collision count after the tick, so collision *events*

@@ -22,7 +22,7 @@ from repro.drone.controller import SetPoint
 from repro.drone.state_estimator import EstimatedState
 from repro.errors import PolicyError
 from repro.geometry.vec import angle_diff, normalize_angle
-from repro.seeding import SeedLike
+from repro.seeding import DEFAULT_INIT_SEED, SeedLike
 from repro.sensors.multiranger import RangerReading
 
 
@@ -69,7 +69,7 @@ class ExplorationPolicy(abc.ABC):
 
     def __init__(self, config: Optional[PolicyConfig] = None):
         self.config = config or PolicyConfig()
-        self._rng = np.random.default_rng(0)
+        self._rng = np.random.default_rng(DEFAULT_INIT_SEED)
         self._turn_target: Optional[float] = None
         self._turn_direction = 1.0
         self._was_reset = False

@@ -21,6 +21,15 @@ import numpy as np
 #: an integer, or an already-derived :class:`~numpy.random.SeedSequence`.
 SeedLike = Union[None, int, np.random.SeedSequence]
 
+#: Seed of the fallback initializer RNG that modules construct when the
+#: caller passes ``rng=None`` (layer weight init, placeholder policy
+#: state). One named constant instead of ``default_rng(0)`` literals
+#: scattered per call site: the value is part of the reproducibility
+#: contract -- changing it re-initializes every default-constructed
+#: network -- so it must have exactly one home. Enforced by lint rule
+#: ``RPR101`` (magic literal seeds are findings).
+DEFAULT_INIT_SEED: int = 0
+
 
 def as_seed_sequence(seed: SeedLike) -> np.random.SeedSequence:
     """Wrap ``seed`` into a :class:`~numpy.random.SeedSequence`.

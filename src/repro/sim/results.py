@@ -18,6 +18,8 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import schemas
+
 from repro.errors import SimError
 from repro.mapping.coverage import CoverageSeries
 from repro.mission.closed_loop import DetectionEvent, SearchResult
@@ -48,7 +50,7 @@ SCALAR_COLUMNS = (
 #: columns (``coverage_raw``, ``reachable_cells``, ``grid_cells``) when
 #: ``coverage`` switched to reachable-cell normalization; v1 files load
 #: with backfilled defaults (see :meth:`MissionRecord.from_dict`).
-RESULT_SCHEMA = "repro.sim.campaign-result/v2"
+RESULT_SCHEMA = schemas.RESULT_SCHEMA
 
 
 @dataclass(frozen=True)
@@ -396,7 +398,7 @@ class CampaignResult:
         with open(path, "r", encoding="utf-8") as fh:
             data = json.load(fh)
         schema = data.get("schema", "")
-        if not schema.startswith("repro.sim.campaign-result/"):
+        if not schema.startswith(schemas.family(RESULT_SCHEMA) + "/"):
             raise SimError(f"{path}: not a campaign result file (schema {schema!r})")
         return cls(
             campaign=data["campaign"],

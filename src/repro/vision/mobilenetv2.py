@@ -20,6 +20,7 @@ from repro.nn.act import ReLU6
 from repro.nn.conv import Conv2d, DepthwiseConv2d
 from repro.nn.module import Module, Sequential
 from repro.nn.norm import BatchNorm2d
+from repro.seeding import DEFAULT_INIT_SEED
 
 #: The standard MobileNetV2 stage table: (expansion t, channels c,
 #: repeats n, first stride s).
@@ -85,7 +86,7 @@ class InvertedResidual(Module):
         super().__init__()
         if stride not in (1, 2):
             raise ShapeError("stride must be 1 or 2")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
         self.in_channels = in_channels
         self.out_channels = out_channels
         self.stride = stride
@@ -158,7 +159,7 @@ class MobileNetV2Backbone(Module):
         super().__init__()
         if width_mult <= 0.0:
             raise ShapeError("width multiplier must be positive")
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
         self.width_mult = width_mult
         self.config = tuple(config)
 

@@ -26,6 +26,7 @@ from repro.nn.conv import Conv2d, DepthwiseConv2d
 from repro.nn.functional import conv_output_size
 from repro.nn.loss import smooth_l1_loss, softmax, softmax_cross_entropy
 from repro.nn.module import Module, Sequential
+from repro.seeding import DEFAULT_INIT_SEED
 from repro.nn.norm import BatchNorm2d
 from repro.vision.anchors import AnchorLevel, generate_anchors
 from repro.vision.boxcodec import BoxCodec
@@ -204,7 +205,7 @@ class SSDDetector(Module):
 
     def __init__(self, spec: SSDSpec, rng: Optional[np.random.Generator] = None):
         super().__init__()
-        rng = rng or np.random.default_rng(0)
+        rng = rng or np.random.default_rng(DEFAULT_INIT_SEED)
         self.spec = spec
         self.codec = BoxCodec()
         self.backbone = MobileNetV2Backbone(

@@ -1,0 +1,244 @@
+"""Per-rule good/bad fixture pairs for every ``repro.lint`` rule.
+
+Each rule gets at least one source snippet that must fire and one that
+must stay silent, exercised through :func:`repro.lint.lint_source` with
+display paths that place the snippet on or off the hash path as the
+rule requires.
+"""
+
+import pytest
+
+from repro.lint import lint_source
+
+#: A module on the hash path (exec/, not on the wall-clock allowlist).
+HASH_PATH = "repro/exec/snippet.py"
+#: A module on the hash path but allowlisted for wall-clock reads.
+ALLOWLISTED = "repro/exec/queue.py"
+#: A repro module off the hash path.
+OFF_HASH_PATH = "repro/policies/snippet.py"
+
+
+def codes(source, path=OFF_HASH_PATH, **kwargs):
+    return [f.code for f in lint_source(source, path=path, **kwargs)]
+
+
+# -- RPR101: unseeded / magic-literal randomness -------------------------
+
+
+def test_rpr101_no_arg_default_rng_fires():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert codes(src) == ["RPR101"]
+
+
+def test_rpr101_magic_literal_seed_fires():
+    src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+    assert codes(src) == ["RPR101"]
+
+
+def test_rpr101_legacy_global_np_random_fires():
+    src = "import numpy as np\nnp.random.seed(3)\nx = np.random.rand(4)\n"
+    assert codes(src) == ["RPR101", "RPR101"]
+
+
+def test_rpr101_bare_random_module_fires():
+    src = "import random\nx = random.random()\n"
+    assert codes(src) == ["RPR101"]
+
+
+def test_rpr101_threaded_seed_passes():
+    src = (
+        "import numpy as np\n"
+        "from repro.seeding import DEFAULT_INIT_SEED\n"
+        "def f(seed):\n"
+        "    return np.random.default_rng(seed)\n"
+        "fallback = np.random.default_rng(DEFAULT_INIT_SEED)\n"
+        "ss = np.random.SeedSequence(DEFAULT_INIT_SEED)\n"
+    )
+    assert codes(src) == []
+
+
+def test_rpr101_silent_inside_seeding_module():
+    src = "import numpy as np\nrng = np.random.default_rng()\n"
+    assert codes(src, path="repro/seeding.py") == []
+
+
+# -- RPR102: wall-clock on the hash path ---------------------------------
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        "time.time()",
+        "time.time_ns()",
+        "datetime.datetime.now()",
+        "datetime.datetime.utcnow()",
+        "datetime.date.today()",
+    ],
+)
+def test_rpr102_wall_clock_fires_on_hash_path(call):
+    src = f"import time, datetime\nstamp = {call}\n"
+    assert codes(src, path=HASH_PATH) == ["RPR102"]
+
+
+def test_rpr102_perf_counter_is_allowed():
+    """Monotonic timers are observability, excluded from hash identity."""
+    src = "import time\nt0 = time.perf_counter()\nt1 = time.monotonic()\n"
+    assert codes(src, path=HASH_PATH) == []
+
+
+def test_rpr102_silent_off_hash_path():
+    src = "import time\nstamp = time.time()\n"
+    assert codes(src, path=OFF_HASH_PATH) == []
+
+
+def test_rpr102_silent_on_allowlisted_module():
+    src = "import time\nstamp = time.time()\n"
+    assert codes(src, path=ALLOWLISTED) == []
+
+
+# -- RPR103: unsorted filesystem iteration -------------------------------
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        "os.listdir('.')",
+        "glob.glob('*.json')",
+        "glob.iglob('*.json')",
+        "path.iterdir()",
+        "path.rglob('*.py')",
+    ],
+)
+def test_rpr103_unsorted_iteration_fires(expr):
+    src = f"import os, glob\npath = object()\nnames = {expr}\n"
+    assert codes(src) == ["RPR103"]
+
+
+def test_rpr103_os_walk_fires():
+    src = "import os\nfor root, dirs, files in os.walk('.'):\n    pass\n"
+    assert codes(src) == ["RPR103"]
+
+
+@pytest.mark.parametrize(
+    "expr",
+    [
+        "sorted(os.listdir('.'))",
+        "sorted(glob.glob('*.json'))",
+        "sorted(path.iterdir())",
+    ],
+)
+def test_rpr103_sorted_wrapper_passes(expr):
+    src = f"import os, glob\npath = object()\nnames = {expr}\n"
+    assert codes(src) == []
+
+
+# -- RPR104: unsorted serialization on the hash path ---------------------
+
+
+def test_rpr104_dumps_without_sort_keys_fires():
+    src = "import json\nblob = json.dumps({'b': 1, 'a': 2})\n"
+    assert codes(src, path=HASH_PATH) == ["RPR104"]
+
+
+def test_rpr104_dumps_with_sort_keys_passes():
+    src = "import json\nblob = json.dumps({'b': 1}, sort_keys=True)\n"
+    assert codes(src, path=HASH_PATH) == []
+
+
+def test_rpr104_set_feeding_serialization_fires():
+    src = (
+        "import json\n"
+        "def f(items):\n"
+        "    return json.dumps(list({'a', 'b'}), sort_keys=True)\n"
+    )
+    assert codes(src, path=HASH_PATH) == ["RPR104"]
+
+
+def test_rpr104_silent_off_hash_path():
+    src = "import json\nblob = json.dumps({'b': 1, 'a': 2})\n"
+    assert codes(src, path=OFF_HASH_PATH) == []
+
+
+# -- RPR105: schema-token literals outside the registry ------------------
+
+
+def test_rpr105_token_literal_outside_registry_fires():
+    src = 'SCHEMA = "repro.exec.result/v1"\n'
+    assert codes(src, path=HASH_PATH) == ["RPR105"]
+
+
+def test_rpr105_registry_reference_passes():
+    src = "from repro import schemas\nSCHEMA = schemas.CACHE_SCHEMA\n"
+    assert codes(src, path=HASH_PATH) == []
+
+
+def test_rpr105_docstring_mention_passes():
+    src = '"""Docs may mention repro.exec.result/v1 tokens."""\nX = 1\n'
+    assert codes(src, path=HASH_PATH) == []
+
+
+def test_rpr105_duplicate_register_in_schemas_module_fires():
+    src = (
+        "def register(name, version):\n"
+        "    return f'{name}/v{version}'\n"
+        "A = register('repro.exec.thing', 1)\n"
+        "B = register('repro.exec.thing', 2)\n"
+    )
+    findings = lint_source(src, path="repro/schemas.py")
+    assert [f.code for f in findings] == ["RPR105"]
+
+
+# -- RPR106: JobSpec dotted refs must statically resolve -----------------
+
+
+@pytest.fixture
+def repro_tree(tmp_path):
+    """A minimal on-disk repro package for cross-module resolution."""
+    pkg = tmp_path / "repro"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "demo.py").write_text(
+        "def job(n):\n"
+        "    return n\n"
+        "NOT_CALLABLE = 3\n"
+    )
+    return tmp_path
+
+
+def rpr106_codes(repro_tree, fn_ref):
+    src = (
+        "from repro.exec import JobSpec\n"
+        f"job = JobSpec(fn={fn_ref!r}, kwargs={{}})\n"
+    )
+    path = str(repro_tree / "repro" / "snippet.py")
+    return [f.code for f in lint_source(src, path=path)]
+
+
+def test_rpr106_resolvable_ref_passes(repro_tree):
+    assert rpr106_codes(repro_tree, "repro.demo:job") == []
+
+
+def test_rpr106_missing_module_fires(repro_tree):
+    assert rpr106_codes(repro_tree, "repro.nonexistent:job") == ["RPR106"]
+
+
+def test_rpr106_missing_attribute_fires(repro_tree):
+    assert rpr106_codes(repro_tree, "repro.demo:not_there") == ["RPR106"]
+
+
+def test_rpr106_constant_target_fires(repro_tree):
+    assert rpr106_codes(repro_tree, "repro.demo:NOT_CALLABLE") == ["RPR106"]
+
+
+def test_rpr106_non_repro_ref_skipped(repro_tree):
+    assert rpr106_codes(repro_tree, "otherlib.mod:fn") == []
+
+
+def test_rpr106_dynamic_ref_skipped(repro_tree):
+    src = (
+        "from repro.exec import JobSpec\n"
+        "def build(ref):\n"
+        "    return JobSpec(fn=ref, kwargs={})\n"
+    )
+    path = str(repro_tree / "repro" / "snippet.py")
+    assert [f.code for f in lint_source(src, path=path)] == []

@@ -1,0 +1,97 @@
+"""Static-typing gate: the determinism-critical packages stay clean.
+
+Runs mypy (when available) with the repo's ``mypy.ini`` over the
+packages the config puts under ``disallow_untyped_defs``:
+``repro.exec``, ``repro.seeding``, ``repro.schemas`` and ``repro.lint``.
+CI installs mypy; environments without it skip rather than fail, so the
+tier-1 suite never depends on an optional tool.
+
+A lightweight AST check backs the mypy run: every function in the
+strict packages must carry a return annotation and annotate every
+parameter. That subset of ``disallow_untyped_defs`` runs everywhere,
+mypy or not, so annotation regressions cannot slip through a
+mypy-less environment.
+"""
+
+import ast
+import os
+import shutil
+import subprocess
+import sys
+
+import pytest
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+#: Paths (relative to src/) the mypy config holds to disallow_untyped_defs.
+STRICT_TARGETS = (
+    "repro/exec",
+    "repro/lint",
+    "repro/seeding.py",
+    "repro/schemas.py",
+)
+
+
+def _strict_files():
+    for target in STRICT_TARGETS:
+        path = os.path.join(SRC, target)
+        if os.path.isfile(path):
+            yield path
+            continue
+        for root, dirs, files in os.walk(path):
+            dirs[:] = [d for d in dirs if d != "__pycache__"]
+            for name in sorted(files):
+                if name.endswith(".py"):
+                    yield os.path.join(root, name)
+
+
+def _unannotated_defs(path):
+    """(lineno, name, what) for each annotation gap in one file."""
+    with open(path, encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=path)
+    gaps = []
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        if node.returns is None:
+            gaps.append((node.lineno, node.name, "return"))
+        args = node.args
+        params = args.posonlyargs + args.args + args.kwonlyargs
+        for arg in params:
+            if arg.annotation is None and arg.arg not in ("self", "cls"):
+                gaps.append((node.lineno, node.name, arg.arg))
+        for star in (args.vararg, args.kwarg):
+            if star is not None and star.annotation is None:
+                gaps.append((node.lineno, node.name, "*" + star.arg))
+    return gaps
+
+
+def test_strict_packages_fully_annotated():
+    """AST-level disallow_untyped_defs, independent of mypy."""
+    failures = []
+    for path in _strict_files():
+        rel = os.path.relpath(path, REPO_ROOT)
+        for lineno, name, what in _unannotated_defs(path):
+            failures.append(f"{rel}:{lineno}: {name}() missing annotation: {what}")
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+def test_mypy_clean():
+    """Full mypy run with the committed config over the strict targets."""
+    targets = [os.path.join(SRC, t) for t in STRICT_TARGETS]
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "mypy",
+            "--config-file",
+            os.path.join(REPO_ROOT, "mypy.ini"),
+            *targets,
+        ],
+        capture_output=True,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    assert proc.returncode == 0, proc.stdout + proc.stderr

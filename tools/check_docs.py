@@ -7,6 +7,9 @@ Two checks, both fatal on failure:
    a heading that actually exists (GitHub-style slugs).
 2. The runnable examples embedded in the public ``repro.sim`` API
    docstrings pass under :mod:`doctest`.
+3. Interactive (``>>>``) examples inside ``python`` code fences in the
+   markdown docs pass under :mod:`doctest` too -- the docs cannot show
+   a session the code no longer produces.
 
 Run from the repository root (CI's docs job does exactly this):
 
@@ -36,7 +39,9 @@ DOCTEST_MODULES = (
     "repro.exec.jobspec",
     "repro.exec.queue",
     "repro.exec.worker",
+    "repro.lint.engine",
     "repro.obs.recorder",
+    "repro.schemas",
     "repro.seeding",
     "repro.sim.campaign",
     "repro.sim.generators",
@@ -101,9 +106,39 @@ def run_doctests() -> List[str]:
     return errors
 
 
+_FENCE_RE = re.compile(r"```python\n(.*?)```", re.DOTALL)
+
+
+def run_markdown_doctests() -> List[str]:
+    """Failures of ``>>>`` examples in markdown ``python`` fences."""
+    errors = []
+    parser = doctest.DocTestParser()
+    runner = doctest.DocTestRunner(verbose=False)
+    files = sorted(
+        {f for pattern in MARKDOWN_GLOBS for f in REPO_ROOT.glob(pattern)}
+    )
+    for md in files:
+        rel = str(md.relative_to(REPO_ROOT))
+        text = md.read_text(encoding="utf-8")
+        for idx, fence in enumerate(_FENCE_RE.findall(text)):
+            if ">>>" not in fence:
+                continue  # illustrative snippet, not a session transcript
+            test = parser.get_doctest(
+                fence, {}, f"{rel}[fence {idx}]", rel, 0
+            )
+            result = runner.run(test, clear_globs=True)
+            if result.failed:
+                errors.append(
+                    f"{rel}: fence {idx}: "
+                    f"{result.failed}/{result.attempted} examples failed"
+                )
+    return errors
+
+
 def main() -> int:
     errors = check_markdown_links()
     errors += run_doctests()
+    errors += run_markdown_doctests()
     if errors:
         for err in errors:
             print(f"FAIL {err}", file=sys.stderr)
