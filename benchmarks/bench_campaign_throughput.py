@@ -32,7 +32,7 @@ import time
 from repro.exec import Executor, JobSpec, ResultCache, RetryPolicy
 from repro.exec.demo import scaled_sum
 from repro.exec.faults import FaultPlan, FaultSpec, injected
-from repro.experiments.reporting import ascii_table
+from repro.experiments.reporting import ascii_table, machine_info
 from repro.sim import Campaign, get_scenario, run_campaign
 
 #: Simulated flight time per mission; short enough to benchmark, long
@@ -249,7 +249,10 @@ def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
     serial = run_campaign(campaign, workers=None)
     serial_s = time.perf_counter() - start
 
-    cores = os.cpu_count() or 1
+    machine = machine_info()
+    # Size the pool from the cores the process may actually use, not the
+    # box's total -- on cgroup-limited CI runners the two differ a lot.
+    cores = machine["cpus_available"] or os.cpu_count() or 1
     pool_workers = min(4, max(2, cores))
     start = time.perf_counter()
     pooled = run_campaign(campaign, workers=pool_workers)
@@ -298,6 +301,7 @@ def run_benchmarks(quick: bool = False, out_path: str = None) -> dict:
     )
 
     payload = {
+        "machine": machine,
         "campaign": {
             "missions": n,
             "flight_time_s": campaign.flight_time_s,
@@ -330,7 +334,7 @@ def test_campaign_throughput():
     serial = run_campaign(campaign, workers=None)
     serial_s = time.perf_counter() - start
 
-    cores = os.cpu_count() or 1
+    cores = machine_info()["cpus_available"] or os.cpu_count() or 1
     pool_workers = min(4, max(2, cores))
     start = time.perf_counter()
     pooled = run_campaign(campaign, workers=pool_workers)

@@ -28,7 +28,6 @@ import argparse
 import json
 import math
 import os
-import platform
 import time
 from contextlib import contextmanager
 from typing import List, Optional
@@ -38,7 +37,7 @@ import numpy as np
 from repro.drone.crazyflie import CrazyflieConfig
 from repro.drone.dynamics import DroneDynamics, DroneState
 from repro.drone.state_estimator import EstimatedState, StateEstimator
-from repro.experiments.reporting import ascii_table
+from repro.experiments.reporting import ascii_table, machine_info
 from repro.geometry.raycast import RayCaster
 from repro.geometry.vec import Vec2
 from repro.mapping.mocap import MotionCaptureTracker, TrackedSample
@@ -66,6 +65,17 @@ REQUIRED_PAPER_ROOM_SPEEDUP_QUICK = 2.5
 #: Required grid-vs-brute speedup for ``is_free`` point queries on a
 #: generated 1000+-segment world (the PR-3 acceptance bar).
 REQUIRED_POINT_QUERY_SPEEDUP = 2.0
+
+#: Fleet sizes swept by the fleet-throughput benchmark.
+FLEET_SIZES = (1, 8, 64)
+
+#: Required fleet-vs-serial throughput gain at the largest fleet size on
+#: paper-room (the fleet-vectorization acceptance bar). Quick mode flies
+#: 3x shorter missions, so the fleet's per-block setup (noise-tape
+#: pre-generation, schedules) amortizes over fewer ticks and the smoke
+#: bar is lower.
+REQUIRED_FLEET_SPEEDUP = 3.0
+REQUIRED_FLEET_SPEEDUP_QUICK = 2.5
 
 _EPS = 1e-12
 
@@ -597,6 +607,72 @@ def bench_freespace_raster(repeats: int, inner: int = 20):
     return rows
 
 
+def bench_fleet_throughput(flight_time: float, repeats: int) -> list:
+    """Fleet-vectorized vs. serial mission stepping on paper-room.
+
+    Flies the same N-mission block (identical specs, only the run index
+    and seed stream differ) through the serial :func:`fly_mission` loop
+    and through the lock-step :func:`~repro.sim.fleet.fly_fleet`
+    stepper, asserting record bit-identity before reporting throughput.
+    N=1 is expected to *lose* (vectorization overhead with nothing to
+    amortize it over -- the reason the runner's ``fleet_block`` gate
+    ignores blocks of one); the win grows with N as the per-tick numpy
+    dispatch spreads over the whole block.
+    """
+    from repro.sim.campaign import MissionSpec
+    from repro.sim.fleet import fly_fleet
+    from repro.sim.runner import fly_mission
+
+    scenario = get_scenario("paper-room")
+    rows = []
+    for n in FLEET_SIZES:
+        specs = [
+            MissionSpec(
+                index=i,
+                scenario=scenario,
+                kind="explore",
+                policy="pseudo-random",
+                speed=0.5,
+                ssd_width=None,
+                run_idx=i,
+                flight_time_s=flight_time,
+                seed_entropy=20240807,
+                spawn_key=(11, i),
+            )
+            for i in range(n)
+        ]
+        serial_s = math.inf
+        serial_records = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            flown = [fly_mission(spec)[0] for spec in specs]
+            serial_s = min(serial_s, time.perf_counter() - start)
+            serial_records = flown
+        fleet_s = math.inf
+        fleet_records = None
+        for _ in range(repeats):
+            start = time.perf_counter()
+            flown = fly_fleet(specs)
+            fleet_s = min(fleet_s, time.perf_counter() - start)
+            fleet_records = flown
+        identical = [f.to_dict() for f in fleet_records] == [
+            s.to_dict() for s in serial_records
+        ]
+        rows.append(
+            {
+                "scenario": "paper-room",
+                "n": n,
+                "serial_s": serial_s,
+                "fleet_s": fleet_s,
+                "serial_missions_per_s": n / serial_s,
+                "fleet_missions_per_s": n / fleet_s,
+                "speedup": serial_s / fleet_s,
+                "bit_identical": identical,
+            }
+        )
+    return rows
+
+
 def run_benchmarks(quick: bool, out_path: str):
     flight_time = 10.0 if quick else 30.0
     repeats = 2 if quick else 3
@@ -604,6 +680,7 @@ def run_benchmarks(quick: bool, out_path: str):
     raycast = bench_raycast(repeats)
     point_queries = bench_point_queries(repeats)
     freespace_raster = bench_freespace_raster(repeats)
+    fleet_throughput = bench_fleet_throughput(flight_time, repeats)
 
     print()
     print(
@@ -676,17 +753,33 @@ def run_benchmarks(quick: bool, out_path: str):
             ),
         )
     )
+    print()
+    print(
+        ascii_table(
+            ["N", "serial [s]", "fleet [s]", "missions/s", "speedup", "identical"],
+            [
+                [
+                    str(r["n"]),
+                    f"{r['serial_s']:.3f}",
+                    f"{r['fleet_s']:.3f}",
+                    f"{r['fleet_missions_per_s']:.1f}",
+                    f"{r['speedup']:.2f}x",
+                    str(r["bit_identical"]),
+                ]
+                for r in fleet_throughput
+            ],
+            title=(
+                f"fleet-vectorized stepping, paper-room x {flight_time:.0f} s "
+                f"flights (serial = per-mission loop, same records)"
+            ),
+        )
+    )
 
     payload = {
         "benchmark": "sim_core",
         "created_unix": time.time(),
         "quick": quick,
-        "machine": {
-            "platform": platform.platform(),
-            "python": platform.python_version(),
-            "numpy": np.__version__,
-            "cpu_count": os.cpu_count(),
-        },
+        "machine": {**machine_info(), "numpy": np.__version__},
         "baseline": (
             "legacy = seed-tree hot-path implementations (per-beam numpy "
             "casts, np.clip ToF noise, per-call obstacle segment rebuilds, "
@@ -696,6 +789,7 @@ def run_benchmarks(quick: bool, out_path: str):
         "raycast": raycast,
         "point_queries": point_queries,
         "freespace_raster": freespace_raster,
+        "fleet_throughput": fleet_throughput,
     }
     with open(out_path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
@@ -703,6 +797,8 @@ def run_benchmarks(quick: bool, out_path: str):
 
     for r in missions:
         assert r["bit_identical"], f"{r['scenario']}: legacy and optimized diverged"
+    for r in fleet_throughput:
+        assert r["bit_identical"], f"fleet N={r['n']}: fleet and serial diverged"
     paper = next(r for r in missions if r["scenario"] == "paper-room")
     if os.environ.get("REPRO_BENCH_RELAX") != "1":
         bar = REQUIRED_PAPER_ROOM_SPEEDUP_QUICK if quick else REQUIRED_PAPER_ROOM_SPEEDUP
@@ -716,6 +812,15 @@ def run_benchmarks(quick: bool, out_path: str):
                 f"below the {REQUIRED_POINT_QUERY_SPEEDUP:.1f}x bar "
                 f"(set REPRO_BENCH_RELAX=1 on loaded machines)"
             )
+        fleet_bar = (
+            REQUIRED_FLEET_SPEEDUP_QUICK if quick else REQUIRED_FLEET_SPEEDUP
+        )
+        biggest = max(fleet_throughput, key=lambda r: r["n"])
+        assert biggest["speedup"] >= fleet_bar, (
+            f"fleet N={biggest['n']} speedup {biggest['speedup']:.2f}x below "
+            f"the {fleet_bar:.1f}x bar (set REPRO_BENCH_RELAX=1 on loaded "
+            f"machines)"
+        )
     return payload
 
 

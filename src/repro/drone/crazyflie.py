@@ -24,7 +24,7 @@ from repro.sensors.camera import HimaxCamera
 from repro.sensors.flowdeck import FlowDeck
 from repro.sensors.imu import Gyro
 from repro.sensors.multiranger import MultiRangerDeck, RangerReading
-from repro.seeding import SeedLike
+from repro.seeding import SeedLike, spawn_streams
 from repro.world.room import Room
 
 #: Control-loop rate of the simulated platform, Hz.
@@ -71,8 +71,15 @@ class Crazyflie:
         start: initial position; defaults to 1 m from the south-west corner.
         heading: initial heading, rad.
         config: platform configuration.
-        seed: RNG seed for every sensor noise source (``None``, an int,
-            or a :class:`~numpy.random.SeedSequence` stream).
+        seed: RNG seed for the sensor noise sources (``None``, an int,
+            or a :class:`~numpy.random.SeedSequence` stream). Four child
+            streams are spawned from it in a fixed order -- flow deck,
+            gyro, ranger dropout, ranger gaussian noise -- so each
+            sensor owns an independent stream whose position depends
+            only on the tick / refresh count. That independence is what
+            lets the fleet stepper (:mod:`repro.sim.fleet`) pre-draw
+            every mission's noise as one block per sensor and still
+            reproduce a serial mission bit-for-bit.
     """
 
     def __init__(
@@ -85,8 +92,27 @@ class Crazyflie:
     ):
         self.room = room
         self.config = config or CrazyflieConfig()
-        rng = np.random.default_rng(seed) if self.config.noisy else None
-        self._rng = rng
+        if self.config.noisy:
+            flow_stream, gyro_stream, drop_stream, noise_stream = spawn_streams(
+                seed, 4
+            )
+            self._flow_rng: Optional[np.random.Generator] = np.random.default_rng(
+                flow_stream
+            )
+            self._gyro_rng: Optional[np.random.Generator] = np.random.default_rng(
+                gyro_stream
+            )
+            ranger_rng: Optional[np.random.Generator] = np.random.default_rng(
+                drop_stream
+            )
+            ranger_noise_rng: Optional[np.random.Generator] = np.random.default_rng(
+                noise_stream
+            )
+        else:
+            self._flow_rng = None
+            self._gyro_rng = None
+            ranger_rng = None
+            ranger_noise_rng = None
         if start is None:
             start = Vec2(1.0, 1.0)
         self.dynamics = DroneDynamics(
@@ -98,14 +124,17 @@ class Crazyflie:
         self.controller = VelocityController()
         self.estimator = StateEstimator(initial_position=start, initial_heading=heading)
         self.multiranger = MultiRangerDeck(
-            noise_std=self.config.tof_noise_std if rng is not None else 0.0,
-            dropout_prob=self.config.tof_dropout_prob if rng is not None else 0.0,
-            rng=rng,
+            noise_std=self.config.tof_noise_std if ranger_rng is not None else 0.0,
+            dropout_prob=(
+                self.config.tof_dropout_prob if ranger_rng is not None else 0.0
+            ),
+            rng=ranger_rng,
+            noise_rng=ranger_noise_rng,
         )
         self.flowdeck = FlowDeck(
-            velocity_noise_std=self.config.odometry_noise_std, rng=rng
+            velocity_noise_std=self.config.odometry_noise_std, rng=self._flow_rng
         )
-        self.gyro = Gyro(noise_std=self.config.gyro_noise_std, rng=rng)
+        self.gyro = Gyro(noise_std=self.config.gyro_noise_std, rng=self._gyro_rng)
         self.camera = HimaxCamera(batched=self.config.batched_sensors)
         self._dt = 1.0 / self.config.control_rate_hz
         self._tof_period = 1.0 / self.multiranger.rate_hz
@@ -159,20 +188,28 @@ class Crazyflie:
         """Run one 50 Hz control tick under the given set-point."""
         clamped = self.controller.clamp(setpoint)
         state = self.dynamics.step(clamped, self._dt)
-        if self._rng is not None and self.config.batched_sensors:
-            # One pre-drawn block replaces four scalar generator calls;
-            # the bit stream is consumed in the same order (flow vx, vy,
-            # height, then gyro), so the tick is bit-identical. The
-            # flow/gyro noise application is inlined (normal(0, s) is
-            # s * standard_normal() internally) and the height term is
-            # never consumed by the estimator, so only its draw matters.
-            z = self._rng.standard_normal(4).tolist()
+        flow_rng = self._flow_rng
+        gyro_rng = self._gyro_rng
+        if (
+            flow_rng is not None
+            and gyro_rng is not None
+            and self.config.batched_sensors
+        ):
+            # One pre-drawn block per sensor stream replaces the scalar
+            # generator calls; each stream is consumed in the same order
+            # as the reference path (flow vx, vy, height; then gyro), so
+            # the tick is bit-identical. The flow/gyro noise application
+            # is inlined (normal(0, s) is s * standard_normal()
+            # internally) and the height term is never consumed by the
+            # estimator, so only its draw matters.
+            zf = flow_rng.standard_normal(3).tolist()
+            zg = float(gyro_rng.standard_normal())
             flow = self.flowdeck
             gyro = self.gyro
             self.estimator.update_raw(
-                flow.scale * state.vx_body + flow.velocity_noise_std * z[0],
-                flow.scale * state.vy_body + flow.velocity_noise_std * z[1],
-                state.yaw_rate + gyro.bias + gyro.noise_std * z[3],
+                flow.scale * state.vx_body + flow.velocity_noise_std * zf[0],
+                flow.scale * state.vy_body + flow.velocity_noise_std * zf[1],
+                state.yaw_rate + gyro.bias + gyro.noise_std * zg,
                 self._dt,
             )
         else:

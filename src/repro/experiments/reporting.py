@@ -1,8 +1,45 @@
-"""ASCII table/series rendering for the experiment harness."""
+"""ASCII table/series rendering + machine metadata for the experiment harness."""
 
 from __future__ import annotations
 
-from typing import List, Sequence
+import os
+import platform
+from typing import Dict, List, Optional, Sequence, Union
+
+
+def _cpu_model() -> Optional[str]:
+    """Human CPU model string from ``/proc/cpuinfo``; ``None`` off-Linux."""
+    try:
+        with open("/proc/cpuinfo", encoding="utf-8") as fh:
+            for line in fh:
+                if line.lower().startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        return None
+    return None
+
+
+def machine_info() -> Dict[str, Union[str, int, None]]:
+    """Machine fingerprint stamped into ``BENCH_*.json`` reports.
+
+    Benchmark numbers are meaningless without knowing what they ran on:
+    ``cpu_count`` is the machine's total core count, while
+    ``cpus_available`` is what the process may actually use
+    (``sched_getaffinity`` -- CI runners and cgroup-limited containers
+    often pin far fewer cores than the box has), and ``cpu_model``
+    names the silicon.
+    """
+    try:
+        available: Optional[int] = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # non-Linux platforms
+        available = None
+    return {
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count(),
+        "cpus_available": available,
+        "cpu_model": _cpu_model(),
+    }
 
 
 def ascii_table(headers: Sequence[str], rows: Sequence[Sequence[str]], title: str = "") -> str:

@@ -33,6 +33,38 @@ class CoverageSeries:
         self._times.append(time)
         self._coverage.append(coverage)
 
+    @classmethod
+    def from_arrays(cls, times: np.ndarray, coverage: np.ndarray) -> "CoverageSeries":
+        """Build a series from whole sample arrays in one shot.
+
+        The fleet stepper accumulates every mission's coverage trace as
+        array columns and converts them here on exit; the result equals
+        appending the samples one by one (same finiteness and
+        monotonicity validation, vectorized).
+
+        Raises:
+            ValueError: on shape mismatch, non-finite samples, or a
+                time axis running backwards.
+        """
+        t = np.asarray(times, dtype=np.float64)
+        c = np.asarray(coverage, dtype=np.float64)
+        if t.ndim != 1 or t.shape != c.shape:
+            raise ValueError(
+                f"times and coverage must be equal-length 1-D arrays, "
+                f"got {t.shape} and {c.shape}"
+            )
+        if t.size:
+            if not np.isfinite(t).all():
+                raise ValueError("time must be finite")
+            if not np.isfinite(c).all():
+                raise ValueError("coverage must be finite")
+            if t.size > 1 and bool((np.diff(t) < 0.0).any()):
+                raise ValueError("time must be non-decreasing")
+        series = cls()
+        series._times = t.tolist()
+        series._coverage = c.tolist()
+        return series
+
     @property
     def times(self) -> np.ndarray:
         return np.array(self._times, dtype=np.float64)

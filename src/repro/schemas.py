@@ -142,6 +142,15 @@ TRACE_SCHEMA = register("repro.obs.trace", 1)
 #: reachable-free-space coverage normalization; v1 files still load.
 RESULT_SCHEMA = register("repro.sim.campaign-result", 2)
 
+#: Job ``version`` stamp for campaign mission jobs
+#: (``repro.sim.runner``). Decoupled from :data:`RESULT_SCHEMA` (which
+#: tracks the result *file* format): a change that redraws mission
+#: randomness without touching the file shape bumps this token only.
+#: History: v1/v2 rode on the campaign-result token; v3 = per-sensor
+#: spawned seed streams (flow, gyro, ranger dropout, ranger noise),
+#: which re-keys every cached mission once.
+MISSION_JOB_VERSION = register("repro.sim.mission-job", 3)
+
 #: Job ``version`` stamp for the paper-experiment jobs
 #: (``repro.experiments.jobs``): training, deployment plans, fig3.
 EXPERIMENT_JOB_VERSION = register("repro.experiments.jobs", 1)

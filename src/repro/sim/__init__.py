@@ -11,8 +11,11 @@ The one subsystem owning all mission fan-out:
   per-mission independent ``SeedSequence`` streams, over presets and
   ``(family, params, seed)`` references alike,
 - :mod:`repro.sim.runner` -- a thin adapter over the
-  :mod:`repro.exec` execution layer: serial, pooled or cache-served
-  missions, all bit-identical,
+  :mod:`repro.exec` execution layer: serial, pooled, cache-served or
+  fleet-vectorized missions, all bit-identical,
+- :mod:`repro.sim.fleet` -- the fleet stepper: N same-world missions
+  advanced in lock-step as structure-of-arrays numpy state, one
+  multi-origin raycast per tick,
 - :mod:`repro.sim.results` -- the columnar result store with aggregation
   and hash-keyed JSON persistence.
 
@@ -38,6 +41,7 @@ from repro.sim.generators import (
     iter_families,
     register_family,
 )
+from repro.sim.fleet import fleet_key, fly_fleet
 from repro.sim.results import AggregateStat, CampaignResult, MissionRecord
 from repro.sim.runner import (
     campaign_jobs,
@@ -76,6 +80,8 @@ __all__ = [
     "enqueue_campaign",
     "execute_mission",
     "family_names",
+    "fleet_key",
+    "fly_fleet",
     "generate_scenario",
     "get_family",
     "get_scenario",

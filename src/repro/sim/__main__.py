@@ -303,8 +303,11 @@ def _cmd_run(args) -> int:
     total = len(campaign.missions())
     workers = args.workers
     cache = open_cache(args.cache_dir, enabled=not args.no_cache)
+    fleet_block = args.fleet_block
     if args.broker:
         mode = f"broker({args.broker})"
+    elif fleet_block is not None and fleet_block > 1 and not args.record:
+        mode = f"fleet(block={fleet_block})"
     elif workers is None or workers == 1:
         mode = "serial"
     else:
@@ -363,6 +366,7 @@ def _cmd_run(args) -> int:
             broker=broker,
             poll_s=args.poll,
             wait_timeout_s=args.wait_timeout,
+            fleet_block=fleet_block,
         )
     finally:
         if broker is not None:
@@ -457,6 +461,12 @@ def main(argv=None) -> int:
     run.add_argument("--kind", choices=("search", "explore"), default="search")
     run.add_argument("--seed", type=int, default=0, help="campaign root seed")
     run.add_argument("--workers", type=int, default=None, help="pool size; 0 = all cores; default serial")
+    run.add_argument(
+        "--fleet-block", type=int, default=None, metavar="N",
+        help="step same-world missions in vectorized lock-step blocks of "
+        "up to N (results byte-identical to serial; ignored with "
+        "--broker/--record)",
+    )
     run.add_argument("--name", default="cli", help="campaign name used in the result file")
     run.add_argument("--out", default=None, help="directory for the JSON result (default: don't persist)")
     run.add_argument("--quiet", action="store_true", help="suppress per-mission progress lines")

@@ -20,6 +20,7 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from repro import schemas
 from repro.errors import ExecError
 from repro.exec import (
     Broker,
@@ -41,16 +42,18 @@ from repro.obs import MissionTrace, TraceStore
 from repro.policies import PolicyConfig, make_policy
 from repro.seeding import seed_provenance
 from repro.sim.campaign import Campaign, MissionSpec
-from repro.sim.results import RESULT_SCHEMA, CampaignResult, MissionRecord
+from repro.sim.results import CampaignResult, MissionRecord
 
 #: Progress callback signature: ``(done, total, record)``.
 ProgressCallback = Callable[[int, int, MissionRecord], None]
 
-#: Code-version token of the mission job. Reusing the result-file
-#: schema string ties cache validity to record semantics: bumping the
-#: schema (new columns, changed normalization) automatically invalidates
-#: every cached mission instead of serving records with stale meaning.
-MISSION_JOB_VERSION = RESULT_SCHEMA
+#: Code-version token of the mission job, now its own schema family
+#: (``repro.sim.mission-job``): cache validity tracks mission
+#: *semantics* (what numbers a flight draws and records), which can
+#: change without the result-file format moving -- exactly what the
+#: per-sensor seed-stream refactor did (v3). Result files still carry
+#: :data:`~repro.sim.results.RESULT_SCHEMA`.
+MISSION_JOB_VERSION = schemas.MISSION_JOB_VERSION
 
 
 def fly_mission(
@@ -327,6 +330,146 @@ def _drain_broker(
     )
 
 
+def _run_campaign_fleet(
+    campaign: Campaign,
+    fleet_block: int,
+    progress: Optional[ProgressCallback],
+    cache: Optional[ResultCache],
+    exec_progress: Optional[ExecProgressCallback],
+    retry: Optional[RetryPolicy],
+    keep_going: bool,
+) -> CampaignResult:
+    """Fleet path of :func:`run_campaign`: step same-world blocks in lock-step.
+
+    Cache hits are served first in mission order (exactly like the
+    executor path); the remaining missions are grouped by
+    :func:`~repro.sim.fleet.fleet_key` into blocks of at most
+    ``fleet_block`` and each block flies as one
+    :func:`~repro.sim.fleet.fly_fleet` call. Every member keeps its own
+    job identity: one cache entry per mission, progress fired per
+    member, and the execution report's per-job wall clocks are the
+    block time amortized over its members. A block that raises falls
+    back to per-mission serial execution (honoring ``retry`` /
+    ``keep_going``), so fleet mode never turns one bad mission into a
+    lost block.
+    """
+    from repro.sim.fleet import fleet_key, fly_fleet
+
+    specs = campaign.missions()
+    jobs = [mission_job(spec) for spec in specs]
+    total = len(jobs)
+    start = time.perf_counter()
+    done = 0
+    payloads: dict = {}  # mission index -> result dict or JobFailure
+    cached_n = 0
+    if cache is not None:
+        for spec, job in zip(specs, jobs):
+            value, hit = cache.get(job)
+            if not hit:
+                continue
+            payloads[spec.index] = value
+            cached_n += 1
+            done += 1
+            if exec_progress is not None:
+                exec_progress(done, total, job, value, True)
+            if progress is not None:
+                progress(done, total, MissionRecord.from_dict(value))
+
+    blocks: List[List[Tuple[MissionSpec, JobSpec]]] = []
+    open_blocks: dict = {}
+    for spec, job in zip(specs, jobs):
+        if spec.index in payloads:
+            continue
+        key = fleet_key(spec)
+        block = open_blocks.get(key)
+        if block is None or len(block) >= fleet_block:
+            block = []
+            open_blocks[key] = block
+            blocks.append(block)
+        block.append((spec, job))
+
+    executed = 0
+    failed_n = 0
+    retried = 0
+    timed_out = 0
+    failures: List[dict] = []
+    # (per-mission amortized seconds, label) of every fresh flight.
+    timings: List[Tuple[float, str]] = []
+    for block in blocks:
+        block_specs = [spec for spec, _ in block]
+        t0 = time.perf_counter()
+        try:
+            records = fly_fleet(block_specs)
+        except Exception:
+            # One bad mission must not sink its block-mates: re-fly the
+            # members individually with the executor's fault tolerance.
+            executor = Executor(
+                workers=None, cache=cache, retry=retry, keep_going=keep_going
+            )
+            member_jobs = [job for _, job in block]
+            member_payloads = executor.run(member_jobs)
+            report = executor.last_report
+            if report is not None:
+                executed += report.executed
+                cached_n += report.cached
+                failed_n += report.failed
+                retried += report.retried
+                timed_out += report.timed_out
+                if report.executed:
+                    timings.append((report.job_min_s, ""))
+                    timings.append((report.job_max_s, report.slowest_label))
+            for (spec, job), payload in zip(block, member_payloads):
+                payloads[spec.index] = payload
+                done += 1
+                if exec_progress is not None:
+                    exec_progress(done, total, job, payload, False)
+                if progress is not None and not isinstance(payload, JobFailure):
+                    progress(done, total, MissionRecord.from_dict(payload))
+            continue
+        per_mission_s = (time.perf_counter() - t0) / len(block)
+        for (spec, job), outcome in zip(block, records):
+            payload = outcome.to_dict()
+            if cache is not None:
+                cache.put(job, payload)
+            payloads[spec.index] = payload
+            executed += 1
+            done += 1
+            timings.append((per_mission_s, job.label or job.content_hash()[:12]))
+            if exec_progress is not None:
+                exec_progress(done, total, job, payload, False)
+            if progress is not None:
+                progress(done, total, MissionRecord.from_dict(payload))
+
+    records_out = []
+    for spec in specs:
+        payload = payloads[spec.index]
+        if isinstance(payload, JobFailure):
+            failures.append({"index": spec.index, **payload.to_dict()})
+        else:
+            records_out.append(MissionRecord.from_dict(payload))
+    fresh = [t for t, _ in timings]
+    report = ExecutionReport(
+        total=total,
+        executed=executed,
+        cached=cached_n,
+        elapsed_s=time.perf_counter() - start,
+        failed=failed_n,
+        retried=retried,
+        timed_out=timed_out,
+        job_min_s=min(fresh) if fresh else 0.0,
+        job_mean_s=sum(fresh) / len(fresh) if fresh else 0.0,
+        job_max_s=max(fresh) if fresh else 0.0,
+        slowest_label=max(timings, key=lambda t: t[0])[1] if timings else "",
+    )
+    return CampaignResult(
+        campaign.to_dict(),
+        campaign.campaign_hash(),
+        records_out,
+        execution=report,
+        failures=failures,
+    )
+
+
 def run_campaign(
     campaign: Campaign,
     workers: Optional[int] = None,
@@ -340,6 +483,7 @@ def run_campaign(
     broker: Optional[Broker] = None,
     poll_s: float = 0.2,
     wait_timeout_s: Optional[float] = None,
+    fleet_block: Optional[int] = None,
 ) -> CampaignResult:
     """Execute every mission of ``campaign`` and collect the results.
 
@@ -396,6 +540,16 @@ def run_campaign(
         wait_timeout_s: broker mode only -- give up (``ExecError``)
             after this many seconds without the queue draining;
             ``None`` waits forever.
+        fleet_block: when greater than 1, group cache-missed missions
+            that share a (world, kind) into blocks of at most this many
+            and step each block in lock-step through the vectorized
+            :func:`~repro.sim.fleet.fly_fleet` instead of flying
+            missions one by one. Purely a throughput knob: records,
+            cache entries (one per mission, same job hashes) and saved
+            result files are byte-identical to the serial path.
+            Ignored in broker mode and when ``record`` is set (traces
+            are a per-mission serial concern); ``None``/``1`` keeps
+            the historical per-mission paths.
 
     Returns:
         A :class:`~repro.sim.results.CampaignResult` with one record per
@@ -441,6 +595,11 @@ def run_campaign(
             keep_going,
             poll_s,
             wait_timeout_s,
+        )
+    if fleet_block is not None and fleet_block > 1 and not record:
+        return _run_campaign_fleet(
+            campaign, fleet_block, progress, cache, exec_progress, retry,
+            keep_going,
         )
     specs = campaign.missions()
     jobs = [

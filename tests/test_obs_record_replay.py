@@ -26,17 +26,20 @@ from repro.sim import Campaign, get_scenario, run_campaign
 from repro.sim.generators import GeneratedSpec
 from repro.sim.runner import fly_mission, mission_job
 
-#: Pre-observability pins (derived from the seed commit's code): the
-#: two mission-job hashes and the result-JSON digest of PIN_CAMPAIGN.
+#: Frozen pins: the two mission-job hashes and the result-JSON digest
+#: of PIN_CAMPAIGN. Re-derived exactly once per mission-semantics
+#: generation (tracked by ``schemas.MISSION_JOB_VERSION``); current
+#: values belong to ``repro.sim.mission-job/v3``, the per-sensor
+#: seed-stream refactor that re-drew every mission's noise tape.
 PIN_JOB_HASHES = (
-    "280bd98575d19f4d3ce1be73c4677e36c529836ec1a344bbe4708035fc2c56bf",
-    "b1819e2dacbd8590230913891740cc08db94b616c72ba9c251b9ad1e6c459ce7",
+    "f98f104433070e82e15dc7a29f22eea6c6966d1976aaff03fd3674751449f84f",
+    "16cf31415019f7a4f233721b39aa7809b8da2118d7f7bcf1e277ab5fb55c5f6d",
 )
 PIN_RESULT_SHA256 = (
-    "25ea2990570aa025ed927b25cf45efd387be84362ab2b237900243c07627050b"
+    "9c8ba826218acce7f8ac2043c8cd72b678fc911bb884ce36924dfd8c4493ce34"
 )
 PIN_MAZE_JOB_HASH = (
-    "e764ffc871480874e639e6c7c6e4ecf75037843e9348b424a1f2a3cd6b9b1dbc"
+    "8060b6e313f3088647b752de09d502d9f989886a08cbb054cafdb82f2b4ea980"
 )
 
 

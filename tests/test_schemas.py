@@ -14,6 +14,7 @@ FROZEN_TOKENS = {
     "CACHE_SCHEMA": "repro.exec.result/v1",
     "TRACE_SCHEMA": "repro.obs.trace/v1",
     "RESULT_SCHEMA": "repro.sim.campaign-result/v2",
+    "MISSION_JOB_VERSION": "repro.sim.mission-job/v3",
     "EXPERIMENT_JOB_VERSION": "repro.experiments.jobs/v1",
     "LINT_REPORT_SCHEMA": "repro.lint.report/v1",
     "LINT_BASELINE_SCHEMA": "repro.lint.baseline/v1",
@@ -41,6 +42,7 @@ def test_consumer_modules_reexport_registry_tokens():
     from repro.experiments.jobs import EXPERIMENT_JOB_VERSION
     from repro.obs.trace import TRACE_SCHEMA
     from repro.sim.results import RESULT_SCHEMA
+    from repro.sim.runner import MISSION_JOB_VERSION
 
     assert CACHE_SCHEMA == schemas.CACHE_SCHEMA
     assert FAILURE_SCHEMA == schemas.FAILURE_SCHEMA
@@ -48,6 +50,7 @@ def test_consumer_modules_reexport_registry_tokens():
     assert EXPERIMENT_JOB_VERSION == schemas.EXPERIMENT_JOB_VERSION
     assert TRACE_SCHEMA == schemas.TRACE_SCHEMA
     assert RESULT_SCHEMA == schemas.RESULT_SCHEMA
+    assert MISSION_JOB_VERSION == schemas.MISSION_JOB_VERSION
 
 
 def test_parse_family_version():
